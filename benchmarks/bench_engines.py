@@ -1,0 +1,63 @@
+"""Micro-benchmarks of the combinatorial engines.
+
+Not a paper artifact -- these track the performance of the pieces the
+protocols run in their inner loops (exact set packing, vertex-disjoint
+max flow, witness generation/verification, watch-list construction), so
+a quadratic regression in any of them shows up as a bench slowdown.
+"""
+
+from repro.analysis.flows import max_vertex_disjoint_paths
+from repro.analysis.packing import find_set_packing
+from repro.core.earmark import watchlist_for_node
+from repro.core.paths import corner_connectivity
+from repro.core.witnesses import verify_connectivity_map
+from repro.grid.graphs import adjacency_map
+from repro.grid.torus import Torus
+
+
+def test_packing_protocol_shaped(benchmark):
+    """A commit-rule-sized instance: honest disjoint chains plus
+    adversarial overlapping fakes."""
+    t = 9
+    sets = [frozenset({("n", i)}) for i in range(t + 1)]
+    sets += [frozenset({("n", t + 1 + i), ("m", i)}) for i in range(t)]
+    sets += [frozenset({("x", i), ("bad", i % 3)}) for i in range(30)]
+
+    result = benchmark(find_set_packing, sets, target=2 * t + 1)
+    assert len(result) >= 2 * t + 1
+
+
+def test_flow_torus_connectivity(benchmark):
+    torus = Torus.square(11, 2)
+    adj = adjacency_map(torus)
+
+    count = benchmark(
+        max_vertex_disjoint_paths, adj, (0, 0), (5, 5)
+    )
+    assert count == 24  # full neighborhood degree
+
+
+def test_corner_connectivity_generation(benchmark):
+    families = benchmark(corner_connectivity, 0, 0, 5)
+    assert len(families) == 5 * 11
+
+
+def test_witness_verification(benchmark):
+    r = 4
+    families = corner_connectivity(0, 0, r)
+
+    def verify():
+        verify_connectivity_map(
+            families,
+            r,
+            required_nodes=r * (2 * r + 1),
+            required_paths_each=r * (2 * r + 1),
+        )
+        return True
+
+    assert benchmark(verify)
+
+
+def test_watchlist_build(benchmark):
+    wl = benchmark(watchlist_for_node, (7, 9), (0, 0), 3)
+    assert len(wl) >= 3 * 7

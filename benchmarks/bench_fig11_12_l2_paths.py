@@ -1,0 +1,25 @@
+"""EXP-F11_12 -- Figures 11-12 / Section VIII: the L2 connectivity
+argument.
+
+Paper claim: for the worst frontier pair (distance ~ r*sqrt(2)), about
+1.47 r^2 = 0.47 pi r^2 node-disjoint paths fit inside the neighborhood of
+the midpoint -- enough to beat 2t+1 at t < 0.23 pi r^2.  We *measure* the
+true lattice connectivity with max flow instead of trusting the area
+estimate.
+"""
+
+from repro.experiments.runners import run_l2_argument
+
+
+def test_fig11_12_l2_connectivity(benchmark, save_table):
+    rows = benchmark.pedantic(
+        run_l2_argument, kwargs={"radii": (2, 3, 4, 5, 6, 7)}, rounds=1, iterations=1
+    )
+    for row in rows:
+        assert row["argument_holds"], row
+        assert row["measured_disjoint_paths"] >= row["required_2t_plus_1"]
+    save_table(
+        "EXP-F11_12_l2_paths",
+        rows,
+        title="EXP-F11_12: L2 disjoint paths vs area argument",
+    )

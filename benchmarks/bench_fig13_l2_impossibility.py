@@ -1,0 +1,30 @@
+"""EXP-F13 -- Figure 13 / Section VIII: L2 impossibility construction.
+
+Paper claim: the (Fig. 13) strip construction places about 0.3 pi r^2
+faults in the worst neighborhood and blocks reliable broadcast beyond the
+strip.  We measure the exact lattice count and run the blocked scenario.
+"""
+
+import math
+
+from repro.experiments.runners import run_l2_impossibility
+
+
+def test_fig13_l2_strip_blocks(benchmark, save_table):
+    rows = benchmark.pedantic(
+        run_l2_impossibility, kwargs={"radii": (2, 3)}, rounds=1, iterations=1
+    )
+    for row in rows:
+        assert row["safe"]
+        assert not row["achieved"]
+        assert row["undecided"] > 0
+        # lattice count within O(r) of the paper's 0.3*pi*r^2 estimate
+        r = row["r"]
+        assert abs(row["worst_faults_per_nbd"] - 0.3 * math.pi * r * r) <= max(
+            4 * r, 6
+        )
+    save_table(
+        "EXP-F13_l2_impossibility",
+        rows,
+        title="EXP-F13: L2 half-density strip impossibility",
+    )

@@ -1,0 +1,16 @@
+"""EXP-F1_3 -- Figures 1-3: the M = R + U + S1 + S2 decomposition.
+
+Paper claim: |M| = r(2r+1), |R| = r(r+1), |U| = |S2| = r(r-1)/2,
+|S1| = r, and the four parts partition M.
+"""
+
+from repro.experiments.runners import run_fig1_3_regions
+
+
+def test_fig1_3_region_cardinalities(benchmark, save_table):
+    rows = benchmark(run_fig1_3_regions, radii=(1, 2, 3, 4, 5, 8, 12, 20))
+    assert all(row["match"] for row in rows)
+    assert all(row["partition_ok"] for row in rows)
+    save_table(
+        "EXP-F1_3_regions", rows, title="EXP-F1_3: Figures 1-3 region cardinalities"
+    )

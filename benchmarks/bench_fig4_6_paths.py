@@ -1,0 +1,20 @@
+"""EXP-F4_6 -- Figures 4-6: the node-disjoint path constructions.
+
+Paper claim (Theorem 3's core): for every node of region M, the corner
+frontier node P has r(2r+1) node-disjoint paths to it, all lying inside a
+single neighborhood.  The bench regenerates the construction for each
+radius and verifies every family mechanically.
+"""
+
+from repro.experiments.runners import run_fig4_6_paths
+
+
+def test_fig4_6_disjoint_path_witnesses(benchmark, save_table):
+    rows = benchmark(run_fig4_6_paths, radii=(1, 2, 3, 4, 5, 6))
+    assert all(row["verified"] for row in rows)
+    assert all(row["nodes_covered"] == row["required"] for row in rows)
+    save_table(
+        "EXP-F4_6_paths",
+        rows,
+        title="EXP-F4_6: Figures 4-6 node-disjoint path witnesses",
+    )

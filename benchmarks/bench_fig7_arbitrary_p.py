@@ -1,0 +1,20 @@
+"""EXP-F7 -- Figure 7: arbitrary position of P.
+
+Paper claim: for any non-corner top-edge frontier node P_l (offset
+0 <= l <= r), the direct region grows to r(r+l+1) nodes and the total
+connectivity stays at least r(2r+1).
+"""
+
+from repro.experiments.runners import run_fig7_arbitrary_p
+
+
+def test_fig7_every_offset_verified(benchmark, save_table):
+    rows = benchmark(run_fig7_arbitrary_p, radii=(1, 2, 3, 4))
+    assert all(row["verified"] for row in rows)
+    assert all(row["nodes_covered"] >= row["required"] for row in rows)
+    assert all(
+        row["direct_nodes"] == row["claimed_direct_r(r+l+1)"] for row in rows
+    )
+    save_table(
+        "EXP-F7_arbitrary_p", rows, title="EXP-F7: Figure 7 arbitrary P offsets"
+    )

@@ -1,0 +1,22 @@
+"""EXP-F8 -- Figure 8 / Theorem 4: the crash-stop strip partition.
+
+Paper claim: a full-height width-r strip respects t = r(2r+1) per
+neighborhood yet partitions the plane beyond it; removing a single fault
+(t - 1 regime) heals the partition.
+"""
+
+from repro.experiments.runners import run_fig8_crash_impossibility
+
+
+def test_fig8_strip_partitions_exactly_at_threshold(benchmark, save_table):
+    rows = benchmark(run_fig8_crash_impossibility, radii=(1, 2, 3))
+    for row in rows:
+        assert row["max_faults_per_nbd"] == row["t_threshold_r(2r+1)"]
+        assert row["partitioned"]
+        assert row["healed_complete"]
+        assert row["coverage_at_threshold"] < 1.0
+    save_table(
+        "EXP-F8_crash_impossibility",
+        rows,
+        title="EXP-F8: Figure 8 crash-stop strip partition",
+    )

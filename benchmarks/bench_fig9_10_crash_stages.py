@@ -1,0 +1,78 @@
+"""EXP-F9_10 -- Figures 9-10 / Theorem 5: staged crash-stop propagation.
+
+Paper claim: below t = r(2r+1) every frontier node receives the broadcast
+(the staged argument); the simulated sweep shows success below and
+partition at the threshold.
+"""
+
+from repro.core.crash_argument import crash_inductive_step_holds
+from repro.core.thresholds import crash_linf_threshold
+from repro.experiments.runners import run_crash_threshold_sweep
+from repro.faults.placement import greedy_random_placement
+
+import random
+
+
+def test_fig9_10_crash_sweep(benchmark, save_table):
+    rows = benchmark.pedantic(
+        run_crash_threshold_sweep,
+        kwargs={"radii": (1, 2)},
+        rounds=1,
+        iterations=1,
+    )
+    for row in rows:
+        if row["regime"] == "below":
+            assert row["achieved"]
+        else:
+            assert row["safe"] and not row["achieved"]
+    save_table(
+        "EXP-F9_10_crash_stages",
+        rows,
+        title="EXP-F9_10: Theorem 5 simulated crash threshold sweep",
+    )
+
+
+def test_fig9_10_inductive_step_statistics(benchmark, save_table):
+    """The localized inductive step itself, over random placements."""
+
+    def sweep():
+        rows = []
+        for r in (1, 2):
+            holds_count = 0
+            trials = 10
+            for seed in range(trials):
+                rng = random.Random(seed)
+                box = [
+                    (x, y)
+                    for x in range(-3 * r, 3 * r + 1)
+                    for y in range(-3 * r, 3 * r + 1)
+                ]
+                faults = greedy_random_placement(
+                    box, crash_linf_threshold(r) - 1, r, rng=rng
+                )
+                ok, _ = crash_inductive_step_holds(faults, 0, 0, r)
+                holds_count += ok
+            strip = {
+                (x, y)
+                for x in range(1, 1 + r)
+                for y in range(-4 * r - 1, 4 * r + 2)
+            }
+            strip_ok, _ = crash_inductive_step_holds(strip, 0, 0, r)
+            rows.append(
+                {
+                    "r": r,
+                    "random_below_threshold_hold_rate": holds_count / trials,
+                    "strip_at_threshold_holds": strip_ok,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for row in rows:
+        assert row["random_below_threshold_hold_rate"] == 1.0
+        assert not row["strip_at_threshold_holds"]
+    save_table(
+        "EXP-F9_10_inductive_step",
+        rows,
+        title="EXP-F9_10: inductive-step hold rates",
+    )

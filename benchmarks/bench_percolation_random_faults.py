@@ -1,0 +1,84 @@
+"""EXP-PERC -- Section XI: the random-failure (site percolation) model.
+
+Paper remark: with i.i.d. node failures the crash-stop problem "is
+similar to the problem of site percolation".  The bench sweeps the
+failure probability and exhibits the phase transition; larger r tolerates
+larger p_fail.
+"""
+
+from repro.analysis.percolation import critical_probability_estimate, percolation_curve
+from repro.experiments.runners import run_percolation
+from repro.grid.torus import Torus
+
+
+def test_percolation_phase_shape(benchmark, save_table):
+    rows = benchmark.pedantic(
+        run_percolation,
+        kwargs={
+            "r": 1,
+            "side": 25,
+            "probabilities": (0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95),
+            "trials": 8,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    # low-p regime: nearly full coverage; high-p: collapsed
+    assert rows[0]["mean_coverage"] > 0.95
+    assert rows[-1]["mean_coverage"] < 0.5
+    # coverage is (noisily) decreasing: compare the ends of the sweep
+    assert rows[0]["mean_coverage"] > rows[-1]["mean_coverage"]
+    save_table(
+        "EXP-PERC_curve", rows, title="EXP-PERC: site-percolation coverage"
+    )
+
+
+def test_percolation_cluster_order_parameter(benchmark, save_table):
+    """The largest-cluster fraction (the percolation order parameter)
+    must collapse across the transition."""
+    from repro.analysis.percolation import cluster_statistics_curve
+
+    torus = Torus.square(25, 1)
+    rows = benchmark.pedantic(
+        cluster_statistics_curve,
+        args=(torus, [0.1, 0.3, 0.5, 0.7, 0.9]),
+        kwargs={"trials": 6, "seed": 2},
+        rounds=1,
+        iterations=1,
+    )
+    assert rows[0]["mean_largest_fraction"] > 0.95  # supercritical
+    assert rows[-1]["mean_largest_fraction"] < 0.5  # subcritical
+    save_table(
+        "EXP-PERC_clusters",
+        rows,
+        title="EXP-PERC: largest-cluster fraction vs failure probability",
+    )
+
+
+def test_percolation_radius_helps(benchmark, save_table):
+    """Bigger neighborhoods percolate through more failures."""
+
+    def criticals():
+        rows = []
+        probabilities = [0.1, 0.3, 0.5, 0.7, 0.9]
+        for r in (1, 2):
+            torus = Torus.square(25, r)
+            pts = percolation_curve(
+                torus, (0, 0), probabilities, trials=6, seed=11
+            )
+            rows.append(
+                {
+                    "r": r,
+                    "critical_p(cov<0.5)": critical_probability_estimate(pts)
+                    or 1.0,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(criticals, rounds=1, iterations=1)
+    assert rows[1]["critical_p(cov<0.5)"] >= rows[0]["critical_p(cov<0.5)"]
+    save_table(
+        "EXP-PERC_radius",
+        rows,
+        title="EXP-PERC: critical failure probability vs radius",
+    )

@@ -1,0 +1,26 @@
+"""EXP-SECX -- Section X: spoofing, collisions, and counter-measures.
+
+Paper discussion: "If address spoofing is allowed, any malicious node may
+attempt to impersonate any honest node.  Similarly, reliable broadcast is
+rendered impossible if the adversary can cause an unbounded number of
+collisions ... If the adversary uses collisions to merely disrupt
+communication, the problem is trivially solved by re-transmitting."
+
+The bench demonstrates each clause with a single Byzantine node.
+"""
+
+from repro.experiments.runners import run_section_x_attacks
+
+
+def test_section_x_attacks(benchmark, save_table):
+    rows = benchmark.pedantic(run_section_x_attacks, rounds=1, iterations=1)
+    by_regime = {row["regime"]: row for row in rows}
+    assert not by_regime["spoofing allowed"]["safe"]
+    assert not by_regime["unbounded jamming"]["achieved"]
+    assert by_regime["jam budget 2 + 4 repeats"]["achieved"]
+    assert by_regime["20% loss + 8 copies"]["achieved"]
+    save_table(
+        "EXP-SECX_attacks",
+        rows,
+        title="EXP-SECX: Section X attacks (one fault each)",
+    )

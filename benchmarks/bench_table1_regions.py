@@ -1,0 +1,16 @@
+"""EXP-T1 -- Table I: region extents and per-family path counts.
+
+Paper claim: for every U-region node (parameters r >= q > p >= 1), the
+regions A/B/C/D of Table I contain exactly (r-p+1)(r+q), (p-1)(r+q),
+(r-p)(r-q+1) and p(r-q+1) nodes respectively, summing to r(2r+1).
+"""
+
+from repro.experiments.runners import run_table1_regions
+
+
+def test_table1_region_counts(benchmark, save_table):
+    rows = benchmark(run_table1_regions, radii=(1, 2, 3, 4, 5, 6, 8))
+    assert rows, "sweep must produce rows"
+    assert all(row["match"] for row in rows)
+    assert all(row["total"] == row["r(2r+1)"] for row in rows)
+    save_table("EXP-T1_table1_regions", rows, title="EXP-T1: Table I region/path counts")

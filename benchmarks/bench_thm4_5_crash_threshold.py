@@ -1,0 +1,28 @@
+"""EXP-THM45 -- Theorems 4-5: the exact crash-stop threshold t < r(2r+1).
+
+Paper claim: crash-flood succeeds for every t < r(2r+1) and the strip
+partition defeats it at exactly t = r(2r+1).
+"""
+
+from repro.experiments.runners import run_crash_threshold_sweep
+
+
+def test_thm4_5_exact_crash_threshold(benchmark, save_table):
+    rows = benchmark.pedantic(
+        run_crash_threshold_sweep,
+        kwargs={"radii": (1, 2, 3)},
+        rounds=1,
+        iterations=1,
+    )
+    for row in rows:
+        assert row["safe"]
+        if row["regime"] == "below":
+            assert row["achieved"], row
+        else:
+            assert not row["live"], row
+            assert row["undecided"] > 0
+    save_table(
+        "EXP-THM45_crash",
+        rows,
+        title="EXP-THM45: Theorems 4-5 exact crash threshold",
+    )

@@ -1,0 +1,61 @@
+"""EXP-THM6 -- Theorem 6: CPA bound sweep and bound comparison.
+
+Paper claim: CPA succeeds at t <= (2/3) r^2 (and at Koo's bound from [1]
+for small r); the impossibility bound ceil(r(2r+1)/2) defeats it.  The
+region between is "uncertain" in the theory -- the bench reports what the
+worst-case-construction adversary actually does there.
+"""
+
+from repro.core.thresholds import (
+    cpa_best_known_max_t,
+    cpa_linf_bound,
+    koo_cpa_linf_bound,
+)
+from repro.experiments.runners import run_cpa_threshold_sweep
+
+
+def test_thm6_cpa_sweep(benchmark, save_table):
+    rows = benchmark.pedantic(
+        run_cpa_threshold_sweep,
+        kwargs={"radii": (2, 3), "strategies": ("liar",)},
+        rounds=1,
+        iterations=1,
+    )
+    for row in rows:
+        assert row["safe"]
+        if row["regime"] in ("thm6_t=2r^2/3", "best_known"):
+            assert row["achieved"], row
+        if row["regime"] == "impossible":
+            assert not row["achieved"], row
+    save_table(
+        "EXP-THM6_cpa", rows, title="EXP-THM6: CPA threshold sweep"
+    )
+
+
+def test_thm6_bound_crossover(benchmark, save_table):
+    """Theorem 6's 2r^2/3 overtakes Koo's bound at r = 10."""
+
+    def crossover_table():
+        rows = []
+        for r in range(1, 16):
+            rows.append(
+                {
+                    "r": r,
+                    "thm6_2r^2/3": round(cpa_linf_bound(r), 2),
+                    "koo_bound": round(koo_cpa_linf_bound(r), 2),
+                    "thm6_wins": cpa_linf_bound(r) > koo_cpa_linf_bound(r),
+                    "best_max_t": cpa_best_known_max_t(r),
+                }
+            )
+        return rows
+
+    rows = benchmark(crossover_table)
+    assert not rows[0]["thm6_wins"]  # Koo wins small r
+    assert rows[-1]["thm6_wins"]  # Theorem 6 wins large r
+    first_win = next(row["r"] for row in rows if row["thm6_wins"])
+    assert first_win == 10
+    save_table(
+        "EXP-THM6_crossover",
+        rows,
+        title="EXP-THM6: Theorem 6 vs Koo bound crossover",
+    )

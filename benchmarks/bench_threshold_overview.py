@@ -1,0 +1,23 @@
+"""EXP-THRESH -- the abstract's headline table: every bound per radius.
+
+Regenerates the quantitative summary the paper states in prose: Byzantine
+threshold exactly r(2r+1)/2 (just under 1/4 of the neighborhood), crash
+threshold exactly r(2r+1) (just under 1/2), the CPA bounds, and the L2
+estimates.
+"""
+
+from repro.experiments.runners import run_threshold_overview
+
+
+def test_threshold_overview(benchmark, save_table):
+    rows = benchmark(run_threshold_overview, radii=(1, 2, 3, 4, 5, 8, 10, 20))
+    for row in rows:
+        # exactness and the paper's fraction claims
+        assert row["byz_linf_max_t"] + 1 == row["koo_impossibility"]
+        assert row["crash_linf_threshold"] == 2 * row["byz_linf_threshold"]
+        assert row["byz_linf_threshold"] / row["nbd_size"] < 0.25
+        assert row["crash_linf_threshold"] / row["nbd_size"] < 0.5
+        assert row["l2_byz_achievable"] < row["l2_byz_impossible"]
+    save_table(
+        "EXP-THRESH_overview", rows, title="EXP-THRESH: all bounds per radius"
+    )

@@ -1,0 +1,30 @@
+"""EXP-SHARP -- threshold sharpness under random adversarial placements.
+
+The theorems are worst-case statements; the bench measures how the
+protocol fares against *random* maximal budget-respecting placements: the
+success fraction must be exactly 1.0 up to the threshold (that is the
+guarantee), and usually stays high just beyond it (the impossibility
+construction is special).
+"""
+
+from repro.core.thresholds import byzantine_linf_max_t
+from repro.experiments.runners import run_threshold_sharpness
+
+
+def test_threshold_sharpness_r1(benchmark, save_table):
+    rows = benchmark.pedantic(
+        run_threshold_sharpness,
+        kwargs={"r": 1, "trials": 4},
+        rounds=1,
+        iterations=1,
+    )
+    threshold = byzantine_linf_max_t(1)
+    for row in rows:
+        assert row["safety_fraction"] == 1.0  # safety is unconditional
+        if row["t"] <= threshold:
+            assert row["success_fraction"] == 1.0, row
+    save_table(
+        "EXP-SHARP_byzantine_r1",
+        rows,
+        title="EXP-SHARP: success fraction vs budget (random placements)",
+    )

@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark suite.
+
+Every bench regenerates one paper artifact (figure/table), asserts its
+*shape* (who wins, where thresholds fall), times the regeneration via
+pytest-benchmark, and writes the rendered table under
+``benchmarks/results/`` so the artifacts survive output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Any, Dict, List, Optional, Sequence
+
+import pytest
+
+from repro.experiments.report import format_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_table():
+    """Persist a rendered experiment table to benchmarks/results/."""
+
+    def _save(
+        exp_id: str,
+        rows: List[Dict[str, Any]],
+        title: Optional[str] = None,
+        columns: Optional[Sequence[str]] = None,
+    ) -> str:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = format_table(rows, columns=columns, title=title or exp_id)
+        path = RESULTS_DIR / f"{exp_id}.txt"
+        path.write_text(text + "\n")
+        return text
+
+    return _save

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Tour of the exact Byzantine threshold (Theorem 1 + Koo's bound).
+
+For each radius this example runs the Bhandari-Vaidya two-hop protocol on
+both sides of the exact threshold t* = r(2r+1)/2:
+
+- at t = ceil(t*) - 1 (the largest tolerable budget) broadcast succeeds
+  against silent, lying, and report-fabricating adversaries;
+- at t = ceil(t*) (Koo's impossibility bound) the half-density strip
+  blocks liveness -- and safety still holds (nobody ever commits wrong).
+
+This is the paper's headline result reproduced end to end.
+
+Run:  python examples/byzantine_threshold_tour.py [--r 1 2]
+"""
+
+import argparse
+
+from repro import (
+    byzantine_broadcast_scenario,
+    byzantine_linf_max_t,
+    koo_impossibility_bound,
+)
+from repro.experiments.report import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--r", nargs="+", type=int, default=[1, 2], help="radii to sweep"
+    )
+    parser.add_argument(
+        "--protocol",
+        default="bv-two-hop",
+        choices=["bv-two-hop", "bv-indirect", "cpa"],
+    )
+    args = parser.parse_args()
+
+    rows = []
+    for r in args.r:
+        for label, t in (
+            ("below (achievable)", byzantine_linf_max_t(r)),
+            ("at bound (impossible)", koo_impossibility_bound(r)),
+        ):
+            for strategy in ("silent", "liar", "fabricator"):
+                sc = byzantine_broadcast_scenario(
+                    r=r, t=t, protocol=args.protocol, strategy=strategy
+                )
+                sc.validate()
+                out = sc.run()
+                rows.append(
+                    {
+                        "r": r,
+                        "t": t,
+                        "regime": label,
+                        "strategy": strategy,
+                        "achieved": out.achieved,
+                        "safe": out.safe,
+                        "undecided": len(out.undecided),
+                        "rounds": out.rounds,
+                        "messages": out.messages,
+                    }
+                )
+                print(
+                    f"r={r} t={t} {strategy:11s} {label:22s} -> "
+                    f"achieved={out.achieved} safe={out.safe}"
+                )
+
+    print()
+    print(
+        format_table(
+            rows,
+            title=f"Theorem 1 threshold tour ({args.protocol}): "
+            "success below r(2r+1)/2, liveness loss at the bound",
+        )
+    )
+
+    below = [row for row in rows if "below" in row["regime"]]
+    at = [row for row in rows if "at bound" in row["regime"]]
+    assert all(row["achieved"] for row in below)
+    assert all(row["safe"] and not row["achieved"] for row in at)
+    print("\nthreshold shape confirmed: exact, as the paper proves.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Figure 8 live: the crash-stop partition at t = r(2r+1), and its
+healing one fault below the threshold (Theorems 4 and 5).
+
+The example builds the paper's strip construction (adapted to the torus:
+two strips, so the wrap cannot route around), prints the fault map, runs
+the crash-flood protocol, and shows that:
+
+1. at t = r(2r+1) the far band never receives the broadcast;
+2. removing a single fault (t - 1 regime) lets the broadcast through.
+
+Run:  python examples/crash_partition_demo.py [--r 2]
+"""
+
+import argparse
+
+from repro import crash_broadcast_scenario, crash_linf_threshold
+from repro.viz.ascii_art import render_commit_wave, render_fault_map
+
+
+def show(scenario, label):
+    out = scenario.run()
+    print(f"--- {label} ---")
+    print(
+        render_commit_wave(
+            scenario.topology,
+            out.result.committed(),
+            out.value,
+            faulty=scenario.faulty_nodes,
+        )
+    )
+    print(
+        f"achieved={out.achieved}  undecided={len(out.undecided)}  "
+        f"rounds={out.rounds}  messages={out.messages}\n"
+    )
+    return out
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--r", type=int, default=2)
+    args = parser.parse_args()
+    r = args.r
+    t_imp = crash_linf_threshold(r)
+
+    print(f"crash-stop threshold: t < r(2r+1) = {t_imp}\n")
+
+    at_threshold = crash_broadcast_scenario(
+        r=r, t=t_imp, enforce_budget=False
+    )
+    at_threshold.validate()
+    print("fault placement (two width-r strips; S = source):")
+    print(render_fault_map(at_threshold.topology, at_threshold.faulty_nodes))
+    print()
+    blocked = show(at_threshold, f"t = {t_imp}: the strip partitions the torus")
+
+    below = crash_broadcast_scenario(r=r, t=t_imp - 1, enforce_budget=True)
+    below.validate()
+    healed = show(below, f"t = {t_imp - 1}: holes open, broadcast completes")
+
+    assert not blocked.achieved and blocked.safe
+    assert healed.achieved
+    print("Theorems 4 and 5 confirmed: the crash threshold is exact.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""A guided tour of the paper's constructive proofs, executed.
+
+Walks through the machinery behind Theorem 3 for a chosen radius:
+
+1. the Figures 1-3 region decomposition (M = R + U + S1 + S2);
+2. Table I's relay regions for a chosen U node, with the claimed counts;
+3. the full r(2r+1) node-disjoint path family, mechanically verified;
+4. the 'earmarked messages' watch-list the proof enables;
+5. the Theorem 6 (CPA) stage inequalities.
+
+Run:  python examples/proof_constructions_tour.py [--r 3 --p 1 --q 2]
+"""
+
+import argparse
+
+from repro.core.cpa_argument import theorem6_row
+from repro.core.earmark import earmarked_reports, watchlist_size
+from repro.core.paths import corner_P, corner_connectivity, u_node_paths
+from repro.core.regions import (
+    expected_region_sizes,
+    expected_U_path_counts,
+    region_M,
+    region_R,
+    region_S1,
+    region_S2,
+    region_U,
+    table1_U_regions,
+)
+from repro.core.witnesses import verify_connectivity_map, verify_family
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--r", type=int, default=3)
+    parser.add_argument("--p", type=int, default=1)
+    parser.add_argument("--q", type=int, default=2)
+    args = parser.parse_args()
+    r, p, q = args.r, args.p, args.q
+    a = b = 0
+
+    print(f"=== Theorem 3 construction, r={r}, nbd({a},{b}), "
+          f"corner node P = {corner_P(a, b, r)} ===\n")
+
+    sizes = expected_region_sizes(r)
+    print("1. Region decomposition (Figs. 1-3):")
+    print(f"   |M|  = {len(region_M(a, b, r)):4d}  (claimed r(2r+1)   = {sizes['M']})")
+    print(f"   |R|  = {len(region_R(a, b, r)):4d}  (claimed r(r+1)    = {sizes['R']})")
+    print(f"   |U|  = {len(region_U(a, b, r)):4d}  (claimed r(r-1)/2  = {sizes['U']})")
+    print(f"   |S1| = {len(region_S1(a, b, r)):4d}  (claimed r         = {sizes['S1']})")
+    print(f"   |S2| = {len(region_S2(a, b, r)):4d}  (claimed r(r-1)/2  = {sizes['S2']})")
+
+    from repro.viz.regions_art import render_m_decomposition, render_u_construction
+
+    print("\n   the decomposition, drawn (Fig. 3):")
+    print("   " + render_m_decomposition(a, b, r).replace("\n", "\n   "))
+
+    print(f"\n2. Table I relay regions for the U node N = ({a+p},{b+q}):")
+    regions = table1_U_regions(a, b, r, p, q)
+    claims = expected_U_path_counts(r, p, q)
+    for name in ("A", "B1", "B2", "C1", "C2", "D1", "D2", "D3"):
+        rect = regions[name]
+        print(f"   {name:3s} [{rect.x_min},{rect.x_max}]x[{rect.y_min},{rect.y_max}]"
+              f"  |{name}| = {len(rect)}")
+    print(f"   claimed paths: A={claims['A']} B={claims['B']} "
+          f"C={claims['C']} D={claims['D']}  total={claims['total']} "
+          f"= r(2r+1) = {r*(2*r+1)}")
+    print("\n   the construction, drawn (Fig. 5):")
+    print("   " + render_u_construction(a, b, r, p, q).replace("\n", "\n   "))
+
+    print("\n3. Path family for N, mechanically verified:")
+    fam = u_node_paths(a, b, r, p, q)
+    verify_family(fam, r, expected_count=r * (2 * r + 1))
+    print(f"   {fam.count} node-disjoint paths N->P, all inside "
+          f"nbd({fam.center}) -- verified (endpoints, adjacency, "
+          "disjointness, containment)")
+    sample = fam.paths[: 3]
+    for path in sample:
+        print(f"     e.g. {' -> '.join(map(str, path))}")
+
+    print("\n   ... and the same for every node of M:")
+    families = corner_connectivity(a, b, r)
+    verify_connectivity_map(
+        families,
+        r,
+        required_nodes=r * (2 * r + 1),
+        required_paths_each=r * (2 * r + 1),
+    )
+    print(f"   {len(families)} nodes x {r*(2*r+1)} disjoint paths each: verified")
+
+    print("\n4. Earmarked watch-list (the proof's state reduction):")
+    wl = earmarked_reports(a, b, r)
+    print(f"   P watches {len(wl)} origins, {watchlist_size(wl)} relay "
+          "chains total (vs tracking every HEARD in a 4-hop halo)")
+
+    print("\n5. Theorem 6 (CPA) stage inequalities at this radius:")
+    if r >= 2:
+        row = theorem6_row(r)
+        print(f"   t = 2r^2/3 = {row.t};  2t+1 = {row.threshold:.1f}")
+        print(f"   first-wave support  : {row.initial_support}")
+        print(f"   stage-1 rows        : {row.stage1_rows_certified} "
+              f"(paper claims >= floor(r/sqrt(6)) = {row.paper_stage1_claim})")
+        print(f"   stage-2 corner supp : {row.stage2_corner_support}")
+        print(f"   all inequalities hold: {row.all_inequalities_hold}")
+    else:
+        print("   (needs r >= 2)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Compare the paper's protocols head to head.
+
+Same torus, same adversary, five protocols:
+
+- crash-flood (Section VII) -- fast, crash-only (a liar corrupts it);
+- CPA (Section IX / Koo) -- cheap, tolerates t <= 2r^2/3;
+- bv-two-hop (Section VI-B) -- the simplified indirect-report protocol,
+  exact threshold t < r(2r+1)/2;
+- bv-indirect (Section VI) -- the full four-hop protocol, same threshold,
+  heavier reporting;
+- bv-earmarked (Section VI's state reduction) -- four-hop traffic with
+  construction-derived watch-lists instead of general evidence tracking.
+
+The run shows the safety/liveness trade-offs and the message-cost
+ordering the paper discusses.
+
+Run:  python examples/protocol_comparison.py [--r 1 --t 1]
+"""
+
+import argparse
+
+from repro import byzantine_broadcast_scenario
+from repro.experiments.report import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--r", type=int, default=1)
+    parser.add_argument("--t", type=int, default=1)
+    parser.add_argument(
+        "--strategy",
+        default="liar",
+        choices=["silent", "liar", "duplicitous", "fabricator", "noise"],
+    )
+    args = parser.parse_args()
+
+    rows = []
+    for protocol in (
+        "crash-flood",
+        "cpa",
+        "bv-two-hop",
+        "bv-indirect",
+        "bv-earmarked",
+    ):
+        sc = byzantine_broadcast_scenario(
+            r=args.r, t=args.t, protocol=protocol, strategy=args.strategy
+        )
+        sc.validate()
+        out = sc.run()
+        rows.append(
+            {
+                "protocol": protocol,
+                "achieved": out.achieved,
+                "safe": out.safe,
+                "live": out.live,
+                "wrong_commits": len(out.wrong_commits),
+                "undecided": len(out.undecided),
+                "rounds": out.rounds,
+                "messages": out.messages,
+            }
+        )
+
+    print(
+        format_table(
+            rows,
+            title=(
+                f"protocol comparison: r={args.r}, t={args.t}, "
+                f"adversary={args.strategy}, worst-case strip placement"
+            ),
+        )
+    )
+    print()
+    print("Reading the table:")
+    print("- crash-flood trusts everyone: a lying adversary breaks safety;")
+    print("- CPA and both BV protocols never commit wrong values;")
+    print("- the BV protocols pay messages for their exact threshold.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,203 @@
+"""Vertex-disjoint paths via vertex-capacitated max flow (Menger).
+
+The paper's sufficiency arguments hinge on counting *node-disjoint* paths
+between a frontier node and an already-committed neighborhood (Theorem 3's
+``r(2r+1)`` paths, Section V's ``2f+1``-connectivity condition).  This
+module computes, for any adjacency map, the maximum number of internally
+vertex-disjoint paths between two nodes -- the local vertex connectivity,
+by Menger's theorem equal to a max flow where every *internal* vertex has
+capacity one.
+
+Implementation: standard vertex splitting (``v`` becomes ``v_in -> v_out``
+with capacity 1) followed by BFS augmentation (Edmonds-Karp).  Each
+augmentation adds one disjoint path, and the number of paths is bounded by
+the neighborhood degree, so the ``O(paths * E)`` cost is small for every
+instance in this library.  Tests cross-check against ``networkx`` where it
+is installed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
+
+Node = Hashable
+Adjacency = Mapping[Node, Iterable[Node]]
+
+# In the split graph every node v becomes (v, "in") and (v, "out").
+_IN = 0
+_OUT = 1
+
+
+def _build_residual(
+    adj: Adjacency, allowed: Optional[Set[Node]]
+) -> Dict[Tuple[Node, int], Dict[Tuple[Node, int], int]]:
+    """Residual capacity graph with vertex splitting.
+
+    Every vertex contributes ``v_in -> v_out`` capacity 1; every undirected
+    edge ``{u, v}`` contributes ``u_out -> v_in`` and ``v_out -> u_in``
+    with capacity 1.  Unit edge capacity is exact for *internally*
+    vertex-disjoint paths: two such paths can never share an edge (they
+    would share its endpoints), and it is what bounds the flow when the
+    source and sink are adjacent -- the direct edge is one path, not
+    infinitely many.
+    """
+    residual: Dict[Tuple[Node, int], Dict[Tuple[Node, int], int]] = {}
+
+    def node_ok(v: Node) -> bool:
+        return allowed is None or v in allowed
+
+    for u, nbrs in adj.items():
+        if not node_ok(u):
+            continue
+        residual.setdefault((u, _IN), {})[(u, _OUT)] = 1
+        residual.setdefault((u, _OUT), {})
+        for v in nbrs:
+            if not node_ok(v) or v == u:
+                continue
+            residual.setdefault((u, _OUT), {})[(v, _IN)] = 1
+            residual.setdefault((v, _IN), {}).setdefault((v, _OUT), 1)
+            residual.setdefault((v, _OUT), {})
+    return residual
+
+
+def _bfs_augment(
+    residual: Dict[Tuple[Node, int], Dict[Tuple[Node, int], int]],
+    s: Tuple[Node, int],
+    t: Tuple[Node, int],
+) -> Optional[List[Tuple[Node, int]]]:
+    """Shortest augmenting path in the residual graph, or ``None``."""
+    parents: Dict[Tuple[Node, int], Tuple[Node, int]] = {s: s}
+    frontier = [s]
+    while frontier:
+        nxt: List[Tuple[Node, int]] = []
+        for u in frontier:
+            for v, cap in residual.get(u, {}).items():
+                if cap <= 0 or v in parents:
+                    continue
+                parents[v] = u
+                if v == t:
+                    path = [t]
+                    while path[-1] != s:
+                        path.append(parents[path[-1]])
+                    path.reverse()
+                    return path
+                nxt.append(v)
+        frontier = nxt
+    return None
+
+
+def max_vertex_disjoint_paths(
+    adj: Adjacency,
+    source: Node,
+    sink: Node,
+    *,
+    allowed: Optional[Iterable[Node]] = None,
+    cap: Optional[int] = None,
+) -> int:
+    """Maximum number of internally vertex-disjoint source-sink paths.
+
+    Parameters
+    ----------
+    adj:
+        Undirected adjacency map (directed input also works; each listed
+        arc is used as given).
+    allowed:
+        If given, restrict paths to these vertices (the paper's "all lie
+        within some single neighborhood" restriction).  ``source`` and
+        ``sink`` must be allowed.
+    cap:
+        Stop augmenting once this many paths are found (the commit rules
+        only care whether a bound is reached).
+
+    If ``source`` and ``sink`` are adjacent, the direct edge counts as one
+    path (it has no internal vertices and is disjoint from everything).
+    """
+    allowed_set = set(allowed) if allowed is not None else None
+    if allowed_set is not None:
+        if source not in allowed_set or sink not in allowed_set:
+            return 0
+    if source == sink:
+        raise ValueError("source and sink must differ")
+    residual = _build_residual(adj, allowed_set)
+    s = (source, _OUT)
+    t = (sink, _IN)
+    if s not in residual or t not in residual:
+        return 0
+    # The source and sink own vertex capacities must not limit the count.
+    flow = 0
+    while cap is None or flow < cap:
+        path = _bfs_augment(residual, s, t)
+        if path is None:
+            break
+        for a, b in zip(path, path[1:]):
+            residual[a][b] -= 1
+            residual.setdefault(b, {})
+            residual[b][a] = residual[b].get(a, 0) + 1
+        flow += 1
+    return flow
+
+
+def vertex_disjoint_paths(
+    adj: Adjacency,
+    source: Node,
+    sink: Node,
+    *,
+    allowed: Optional[Iterable[Node]] = None,
+    cap: Optional[int] = None,
+) -> List[List[Node]]:
+    """Materialize a maximum family of internally vertex-disjoint paths.
+
+    Runs the same flow as :func:`max_vertex_disjoint_paths`, then
+    decomposes the flow into paths.  Returned paths include the endpoints.
+    """
+    allowed_set = set(allowed) if allowed is not None else None
+    if allowed_set is not None and (
+        source not in allowed_set or sink not in allowed_set
+    ):
+        return []
+    if source == sink:
+        raise ValueError("source and sink must differ")
+    residual = _build_residual(adj, allowed_set)
+    s = (source, _OUT)
+    t = (sink, _IN)
+    if s not in residual or t not in residual:
+        return []
+    original = {u: dict(vs) for u, vs in residual.items()}
+    flow = 0
+    while cap is None or flow < cap:
+        path = _bfs_augment(residual, s, t)
+        if path is None:
+            break
+        for a, b in zip(path, path[1:]):
+            residual[a][b] -= 1
+            residual.setdefault(b, {})
+            residual[b][a] = residual[b].get(a, 0) + 1
+        flow += 1
+    # Flow decomposition: follow saturated arcs from s.
+    used: Dict[Tuple[Node, int], Dict[Tuple[Node, int], int]] = {}
+    for u, vs in original.items():
+        for v, cap0 in vs.items():
+            sent = cap0 - residual.get(u, {}).get(v, cap0)
+            if sent > 0:
+                used.setdefault(u, {})[v] = sent
+    paths: List[List[Node]] = []
+    for _ in range(flow):
+        path_nodes: List[Node] = [source]
+        cur = s
+        guard = 0
+        while cur != t:
+            guard += 1
+            if guard > 10_000:  # pragma: no cover - defensive
+                raise RuntimeError("flow decomposition did not terminate")
+            nxt = next(v for v, amt in used[cur].items() if amt > 0)
+            used[cur][nxt] -= 1
+            if nxt[1] == _IN and nxt[0] != path_nodes[-1]:
+                path_nodes.append(nxt[0])
+            cur = nxt
+        paths.append(path_nodes)
+    return paths
+
+
+def local_vertex_connectivity(adj: Adjacency, source: Node, sink: Node) -> int:
+    """Menger local connectivity (alias with no restriction or cap)."""
+    return max_vertex_disjoint_paths(adj, source, sink)

@@ -1,0 +1,89 @@
+"""Hopcroft-Karp maximum bipartite matching.
+
+The paper's path constructions pair regions one-to-one ("there is a
+one-to-one correspondence between a point (x,y) in B1 and a point (x-r,y)
+in B2 ... any one-to-one pairing of nodes in D1 with nodes in D2 is
+valid").  The witness checkers use maximum bipartite matching to verify
+such pairings exist and to *construct* them when the paper allows any
+pairing (regions D1/D2, where every cross pair is adjacent).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional
+
+Left = Hashable
+Right = Hashable
+
+_INF = float("inf")
+
+
+def max_bipartite_matching(
+    edges: Mapping[Left, Iterable[Right]],
+) -> Dict[Left, Right]:
+    """Maximum matching of a bipartite graph given as left -> rights.
+
+    Returns the matching as a left -> right dict.  Hopcroft-Karp,
+    ``O(E sqrt(V))``; instances here are region-sized (hundreds of nodes).
+
+    Left and right vertex namespaces are independent: the same hashable
+    value may appear on both sides without being identified.
+    """
+    adj: Dict[Left, List[Right]] = {u: list(vs) for u, vs in edges.items()}
+    match_left: Dict[Left, Optional[Right]] = {u: None for u in adj}
+    match_right: Dict[Right, Optional[Left]] = {}
+    for vs in adj.values():
+        for v in vs:
+            match_right.setdefault(v, None)
+
+    dist: Dict[Left, float] = {}
+
+    def bfs() -> bool:
+        queue: deque = deque()
+        for u in adj:
+            if match_left[u] is None:
+                dist[u] = 0
+                queue.append(u)
+            else:
+                dist[u] = _INF
+        found = False
+        while queue:
+            u = queue.popleft()
+            for v in adj[u]:
+                w = match_right[v]
+                if w is None:
+                    found = True
+                elif dist[w] == _INF:
+                    dist[w] = dist[u] + 1
+                    queue.append(w)
+        return found
+
+    def dfs(u: Left) -> bool:
+        for v in adj[u]:
+            w = match_right[v]
+            if w is None or (dist[w] == dist[u] + 1 and dfs(w)):
+                match_left[u] = v
+                match_right[v] = u
+                return True
+        dist[u] = _INF
+        return False
+
+    while bfs():
+        for u in adj:
+            if match_left[u] is None:
+                dfs(u)
+    return {u: v for u, v in match_left.items() if v is not None}
+
+
+def is_perfect_matching(
+    edges: Mapping[Left, Iterable[Right]], matching: Mapping[Left, Right]
+) -> bool:
+    """Whether ``matching`` saturates every left vertex of ``edges`` and
+    uses each right vertex at most once."""
+    if set(matching) != set(edges):
+        return False
+    rights = list(matching.values())
+    if len(set(rights)) != len(rights):
+        return False
+    return all(v in set(edges[u]) for u, v in matching.items())

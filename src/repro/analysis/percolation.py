@@ -1,0 +1,199 @@
+"""The random-failure (site percolation) model of the paper's conclusion.
+
+Section XI: "Another useful model to consider would be that of random
+failure, whereby each node has a probability of failure p_f, and nodes
+fail independently of each other.  Observe that in case of crash-stop
+failures, the problem is similar to the problem of site percolation."
+
+We implement exactly that: each node independently crashes (dies before
+the run) with probability ``p_f``; the broadcast reaches the correct
+component of the source.  Sweeping ``p_f`` exhibits the percolation phase
+transition: coverage stays near 1 below a critical failure probability and
+collapses above it.  (For the radio graph with radius ``r`` the critical
+*occupation* probability falls as the neighborhood grows, so larger ``r``
+tolerates a larger ``p_f`` -- the benches report this shape.)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.reachability import crash_broadcast_coverage
+from repro.analysis.stats import mean, stdev
+from repro.geometry.coords import Coord
+from repro.grid.topology import Topology
+
+
+@dataclass(frozen=True)
+class PercolationPoint:
+    """Aggregated trials at one failure probability."""
+
+    p_fail: float
+    trials: int
+    mean_coverage: float
+    stdev_coverage: float
+    all_reached_fraction: float
+
+    def row(self) -> Tuple[float, int, float, float, float]:
+        """Tuple form for tabular reports."""
+        return (
+            self.p_fail,
+            self.trials,
+            self.mean_coverage,
+            self.stdev_coverage,
+            self.all_reached_fraction,
+        )
+
+
+def percolation_trial(
+    topology: Topology,
+    source: Coord,
+    p_fail: float,
+    rng: random.Random,
+) -> float:
+    """One random-failure trial; returns the coverage fraction.
+
+    The source is kept alive (the problem is broadcast *from* it); every
+    other node independently crashes with probability ``p_fail``.
+    """
+    if not 0.0 <= p_fail <= 1.0:
+        raise ValueError(f"p_fail must be in [0, 1], got {p_fail}")
+    src = topology.canonical(source)
+    crashed = [
+        node
+        for node in topology.nodes()
+        if node != src and rng.random() < p_fail
+    ]
+    return crash_broadcast_coverage(topology, src, crashed).coverage
+
+
+def percolation_curve(
+    topology: Topology,
+    source: Coord,
+    probabilities: Sequence[float],
+    trials: int = 20,
+    seed: int = 0,
+) -> List[PercolationPoint]:
+    """Sweep ``p_fail`` and aggregate coverage statistics per point.
+
+    Deterministic given ``seed``; each probability gets an independent
+    substream so adding probabilities does not perturb existing ones.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    points: List[PercolationPoint] = []
+    for i, p in enumerate(probabilities):
+        rng = random.Random((seed, i, round(p * 1e9)).__hash__())
+        coverages = [
+            percolation_trial(topology, source, p, rng) for _ in range(trials)
+        ]
+        points.append(
+            PercolationPoint(
+                p_fail=p,
+                trials=trials,
+                mean_coverage=mean(coverages),
+                stdev_coverage=stdev(coverages),
+                all_reached_fraction=sum(c >= 1.0 for c in coverages) / trials,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class ClusterStats:
+    """Cluster-level observables of one random-failure configuration.
+
+    ``largest_fraction`` (the fraction of surviving nodes in the largest
+    connected cluster) is the standard percolation order parameter: it
+    stays near 1 in the supercritical phase and collapses past the
+    transition.
+    """
+
+    p_fail: float
+    survivors: int
+    clusters: int
+    largest_fraction: float
+    mean_cluster_size: float
+
+
+def cluster_statistics(
+    topology: Topology,
+    p_fail: float,
+    rng: random.Random,
+) -> ClusterStats:
+    """Cluster observables for one i.i.d. failure draw."""
+    from repro.grid.graphs import adjacency_map, connected_components, remove_nodes
+
+    if not 0.0 <= p_fail <= 1.0:
+        raise ValueError(f"p_fail must be in [0, 1], got {p_fail}")
+    failed = [n for n in topology.nodes() if rng.random() < p_fail]
+    adj = remove_nodes(adjacency_map(topology), failed)
+    survivors = len(adj)
+    if survivors == 0:
+        return ClusterStats(
+            p_fail=p_fail,
+            survivors=0,
+            clusters=0,
+            largest_fraction=0.0,
+            mean_cluster_size=0.0,
+        )
+    comps = connected_components(adj)
+    sizes = [len(c) for c in comps]
+    return ClusterStats(
+        p_fail=p_fail,
+        survivors=survivors,
+        clusters=len(comps),
+        largest_fraction=max(sizes) / survivors,
+        mean_cluster_size=sum(sizes) / len(sizes),
+    )
+
+
+def cluster_statistics_curve(
+    topology: Topology,
+    probabilities: Sequence[float],
+    trials: int = 10,
+    seed: int = 0,
+) -> List[Dict[str, float]]:
+    """Averaged cluster observables per failure probability (rows for
+    the percolation bench)."""
+    rows: List[Dict[str, float]] = []
+    for i, p in enumerate(probabilities):
+        rng = random.Random(f"clusters-{seed}-{i}-{p}")
+        stats = [
+            cluster_statistics(topology, p, rng) for _ in range(trials)
+        ]
+        rows.append(
+            {
+                "p_fail": p,
+                "trials": trials,
+                "mean_largest_fraction": mean(
+                    [s.largest_fraction for s in stats]
+                ),
+                "mean_clusters": mean([float(s.clusters) for s in stats]),
+                "mean_survivors": mean([float(s.survivors) for s in stats]),
+            }
+        )
+    return rows
+
+
+def critical_probability_estimate(
+    points: Sequence[PercolationPoint], threshold: float = 0.5
+) -> Optional[float]:
+    """Crude phase-transition locator: the first swept probability where
+    mean coverage drops below ``threshold`` (linear interpolation against
+    the previous point).  ``None`` when coverage never drops."""
+    prev: Optional[PercolationPoint] = None
+    for pt in sorted(points, key=lambda q: q.p_fail):
+        if pt.mean_coverage < threshold:
+            if prev is None:
+                return pt.p_fail
+            # interpolate between prev (above) and pt (below)
+            span = pt.mean_coverage - prev.mean_coverage
+            if span == 0:
+                return pt.p_fail
+            frac = (threshold - prev.mean_coverage) / span
+            return prev.p_fail + frac * (pt.p_fail - prev.p_fail)
+        prev = pt
+    return None

@@ -1,0 +1,97 @@
+"""Reachability on fault-pruned radio graphs.
+
+Under crash-stop failures "the sole criterion for achievability is
+reachability" (paper, Section VII): a correct node receives the broadcast
+iff the radio graph restricted to correct nodes connects it to the source
+(or to a correct neighbor of the source -- the source itself is assumed to
+transmit before any crash in the worst-case analyses here, so we model the
+source as correct).
+
+These helpers answer reachability questions analytically, without spinning
+up the simulator; integration tests check the two agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Set
+
+from repro.geometry.coords import Coord
+from repro.grid.topology import Topology
+
+
+def reachable_from(
+    topology: Topology,
+    sources: Iterable[Coord],
+    blocked: Iterable[Coord] = (),
+) -> Set[Coord]:
+    """Nodes reachable from ``sources`` in the radio graph minus ``blocked``.
+
+    ``sources`` themselves are included (if not blocked).  BFS over the
+    topology's neighbor relation; works on any finite topology.
+    """
+    blocked_set = {topology.canonical(b) for b in blocked}
+    frontier: List[Coord] = []
+    seen: Set[Coord] = set()
+    for s in sources:
+        cs = topology.canonical(s)
+        if cs not in blocked_set and cs not in seen:
+            seen.add(cs)
+            frontier.append(cs)
+    while frontier:
+        nxt: List[Coord] = []
+        for u in frontier:
+            for v in topology.neighbors(u):
+                if v in seen or v in blocked_set:
+                    continue
+                seen.add(v)
+                nxt.append(v)
+        frontier = nxt
+    return seen
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Result of a crash-stop reachability analysis."""
+
+    reached: FrozenSet[Coord]
+    unreached_correct: FrozenSet[Coord]
+    total_correct: int
+
+    @property
+    def complete(self) -> bool:
+        """Whether every correct node is reached (broadcast achieved)."""
+        return not self.unreached_correct
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of correct nodes reached (1.0 on success)."""
+        if self.total_correct == 0:
+            return 1.0
+        return len(self.reached) / self.total_correct
+
+
+def crash_broadcast_coverage(
+    topology: Topology,
+    source: Coord,
+    crashed: Iterable[Coord],
+) -> CoverageReport:
+    """Crash-stop broadcast coverage with all of ``crashed`` dead from the
+    start (the adversary's strongest move for pure reachability).
+
+    The source transmits once before anything else, so its correct
+    neighbors always receive the value; propagation then only crosses
+    correct nodes.
+    """
+    crashed_set = {topology.canonical(c) for c in crashed}
+    src = topology.canonical(source)
+    if src in crashed_set:
+        raise ValueError("the designated source must be correct")
+    reached = reachable_from(topology, [src], blocked=crashed_set)
+    correct = {n for n in topology.nodes() if n not in crashed_set}
+    unreached = correct - reached
+    return CoverageReport(
+        reached=frozenset(reached),
+        unreached_correct=frozenset(unreached),
+        total_correct=len(correct),
+    )

@@ -1,0 +1,51 @@
+"""Small-sample statistics for experiment reports.
+
+Kept dependency-free (no numpy import at module scope) so the core library
+stays importable anywhere; the benches format these numbers into the
+paper-shaped tables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence, Tuple
+
+
+def mean(xs: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    if not xs:
+        raise ValueError("mean of empty sequence")
+    return sum(xs) / len(xs)
+
+
+def stdev(xs: Sequence[float]) -> float:
+    """Sample standard deviation (n-1); zero for n < 2."""
+    n = len(xs)
+    if n < 2:
+        return 0.0
+    m = mean(xs)
+    return math.sqrt(sum((x - m) ** 2 for x in xs) / (n - 1))
+
+
+def confidence_interval95(xs: Sequence[float]) -> Tuple[float, float]:
+    """Normal-approximation 95% CI for the mean.
+
+    Adequate for the coarse coverage fractions reported here; for n < 2
+    the interval degenerates to the point.
+    """
+    m = mean(xs)
+    if len(xs) < 2:
+        return (m, m)
+    half = 1.96 * stdev(xs) / math.sqrt(len(xs))
+    return (m - half, m + half)
+
+
+def summarize(xs: Sequence[float]) -> Dict[str, float]:
+    """Mean / stdev / min / max bundle for log lines."""
+    return {
+        "n": float(len(xs)),
+        "mean": mean(xs),
+        "stdev": stdev(xs),
+        "min": min(xs),
+        "max": max(xs),
+    }

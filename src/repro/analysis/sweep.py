@@ -1,0 +1,118 @@
+"""Threshold-sharpness sweeps.
+
+The theorems give exact worst-case thresholds; these helpers measure how
+sharp the transition is *empirically*: for each fault budget ``t``,
+run many randomized adversarial placements and record the success
+fraction.  Below the threshold the fraction must be 1.0 (the theorems are
+worst-case guarantees); above it, random placements may or may not defeat
+the protocol -- the curve exposes how special the impossibility
+constructions are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.experiments.scenarios import (
+    byzantine_broadcast_scenario,
+    crash_broadcast_scenario,
+)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Aggregated trials at one fault budget."""
+
+    t: int
+    trials: int
+    success_fraction: float
+    safety_fraction: float
+    mean_undecided: float
+
+    def row(self) -> Dict[str, float]:
+        """Dict form for tabular reports."""
+        return {
+            "t": self.t,
+            "trials": self.trials,
+            "success_fraction": self.success_fraction,
+            "safety_fraction": self.safety_fraction,
+            "mean_undecided": self.mean_undecided,
+        }
+
+
+def byzantine_sharpness_sweep(
+    r: int,
+    budgets: Sequence[int],
+    protocol: str = "bv-two-hop",
+    strategy: str = "fabricator",
+    trials: int = 5,
+    seed: int = 0,
+) -> List[SweepPoint]:
+    """Success fraction vs fault budget under random valid placements.
+
+    For each ``t`` the protocol is *told* ``t`` and the adversary places a
+    random maximal ``t``-bounded fault set; both sides scale together,
+    exactly as in the paper's model.
+    """
+    points: List[SweepPoint] = []
+    for t in budgets:
+        successes = 0
+        safeties = 0
+        undecided_total = 0
+        for trial in range(trials):
+            sc = byzantine_broadcast_scenario(
+                r=r,
+                t=t,
+                protocol=protocol,
+                strategy=strategy,
+                placement="random",
+                seed=seed * 1000 + t * 100 + trial,
+            )
+            out = sc.run()
+            successes += out.achieved
+            safeties += out.safe
+            undecided_total += len(out.undecided)
+        points.append(
+            SweepPoint(
+                t=t,
+                trials=trials,
+                success_fraction=successes / trials,
+                safety_fraction=safeties / trials,
+                mean_undecided=undecided_total / trials,
+            )
+        )
+    return points
+
+
+def crash_sharpness_sweep(
+    r: int,
+    budgets: Sequence[int],
+    trials: int = 5,
+    seed: int = 0,
+) -> List[SweepPoint]:
+    """Crash-stop analogue of :func:`byzantine_sharpness_sweep`."""
+    points: List[SweepPoint] = []
+    for t in budgets:
+        successes = 0
+        undecided_total = 0
+        for trial in range(trials):
+            sc = crash_broadcast_scenario(
+                r=r,
+                t=t,
+                placement="random",
+                seed=seed * 1000 + t * 100 + trial,
+            )
+            out = sc.run()
+            successes += out.achieved
+            undecided_total += len(out.undecided)
+        points.append(
+            SweepPoint(
+                t=t,
+                trials=trials,
+                success_fraction=successes / trials,
+                safety_fraction=1.0,  # crash faults cannot lie
+                mean_undecided=undecided_total / trials,
+            )
+        )
+    return points

@@ -1,0 +1,143 @@
+"""Command-line interface: run any registered experiment or a one-off demo.
+
+Usage (``python -m repro ...``)::
+
+    python -m repro list
+    python -m repro run EXP-THM45
+    python -m repro run EXP-F1_3 --radii 1 2 3
+    python -m repro thresholds --radii 1 2 4 8
+    python -m repro demo --protocol bv-two-hop --r 2 --t 4 \
+        --strategy fabricator --map
+
+All output is plain text tables (see
+:mod:`repro.experiments.report`); exit status is zero unless the run
+errored.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.thresholds import threshold_table
+from repro.experiments.registry import REGISTRY, all_experiments, get_experiment
+from repro.experiments.report import format_table
+from repro.experiments.scenarios import byzantine_broadcast_scenario
+from repro.faults.byzantine import BYZANTINE_STRATEGIES
+from repro.protocols.registry import protocol_names
+from repro.viz.ascii_art import render_commit_wave
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = [
+        {
+            "id": e.exp_id,
+            "paper": e.paper_ref,
+            "description": e.description,
+        }
+        for e in all_experiments()
+    ]
+    print(format_table(rows, title="registered experiments"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        exp = get_experiment(args.exp_id)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    kwargs = {}
+    if args.radii:
+        kwargs["radii"] = tuple(args.radii)
+    rows = exp.run(**kwargs)
+    print(format_table(rows, title=f"{exp.exp_id}: {exp.description}"))
+    return 0
+
+
+def _cmd_thresholds(args: argparse.Namespace) -> int:
+    rows = threshold_table(args.radii or [1, 2, 3, 4, 5])
+    print(format_table(rows, title="all bounds per radius"))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    scenario = byzantine_broadcast_scenario(
+        r=args.r,
+        t=args.t,
+        protocol=args.protocol,
+        strategy=args.strategy,
+        placement=args.placement,
+        seed=args.seed,
+    )
+    scenario.validate()
+    outcome = scenario.run()
+    if args.map:
+        print(
+            render_commit_wave(
+                scenario.topology,
+                outcome.result.committed(),
+                outcome.value,
+                faulty=scenario.faulty_nodes,
+            )
+        )
+        print()
+    print(format_table([dict(outcome.summary())], title="outcome"))
+    return 0 if outcome.safe else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'On Reliable Broadcast in a Radio "
+        "Network' (Bhandari & Vaidya, PODC 2005)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list registered experiments")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run one experiment by id")
+    p_run.add_argument("exp_id", help=f"one of {sorted(REGISTRY)}")
+    p_run.add_argument(
+        "--radii", nargs="+", type=int, help="override the radius sweep"
+    )
+    p_run.set_defaults(func=_cmd_run)
+
+    p_thr = sub.add_parser("thresholds", help="print the bound table")
+    p_thr.add_argument("--radii", nargs="+", type=int)
+    p_thr.set_defaults(func=_cmd_thresholds)
+
+    p_demo = sub.add_parser("demo", help="run a single broadcast scenario")
+    p_demo.add_argument(
+        "--protocol", default="bv-two-hop", choices=sorted(protocol_names())
+    )
+    p_demo.add_argument("--r", type=int, default=2)
+    p_demo.add_argument("--t", type=int, default=4)
+    p_demo.add_argument(
+        "--strategy",
+        default="fabricator",
+        choices=sorted(BYZANTINE_STRATEGIES),
+    )
+    p_demo.add_argument(
+        "--placement", default="strip", choices=["strip", "random"]
+    )
+    p_demo.add_argument("--seed", type=int, default=0)
+    p_demo.add_argument(
+        "--map", action="store_true", help="print the commit-wave map"
+    )
+    p_demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,106 @@
+"""The paper's analytical contribution, as executable mathematics.
+
+- :mod:`repro.core.thresholds` -- every bound stated in the paper;
+- :mod:`repro.core.regions` -- Table I and the Figures 1-3 region
+  inventory for the Theorem 1/3 construction;
+- :mod:`repro.core.paths` -- the explicit node-disjoint path
+  constructions of Figures 4-7;
+- :mod:`repro.core.witnesses` -- checkers that verify a claimed path
+  family is disjoint, plausible and neighborhood-contained;
+- :mod:`repro.core.crash_argument` -- the staged propagation argument of
+  Theorem 5 (Figures 9-10);
+- :mod:`repro.core.l2_construction` -- the approximate Euclidean
+  construction of Section VIII (Figures 11-12);
+- :mod:`repro.core.cpa_argument` -- the stage inequalities of Theorem 6
+  (Figures 14-19).
+"""
+
+from repro.core.regions import (
+    region_M,
+    region_R,
+    region_U,
+    region_S1,
+    region_S2,
+    corner_P,
+    table1_U_regions,
+    table1_S1_regions,
+    expected_region_sizes,
+)
+from repro.core.paths import (
+    PathFamily,
+    corner_connectivity,
+    arbitrary_p_connectivity,
+    u_node_paths,
+    s1_node_paths,
+    s2_node_paths,
+)
+from repro.core.witnesses import verify_family, verify_connectivity_map
+from repro.core.crash_argument import (
+    crash_inductive_step_holds,
+    stage_one_split,
+)
+from repro.core.l2_construction import (
+    l2_disjoint_path_count,
+    l2_argument_row,
+    l2_argument_table,
+)
+from repro.core.cpa_argument import theorem6_row, theorem6_table
+from repro.core.thresholds import (
+    linf_nbd_size,
+    byzantine_linf_threshold,
+    byzantine_linf_max_t,
+    koo_impossibility_bound,
+    crash_linf_threshold,
+    crash_linf_max_t,
+    koo_cpa_linf_bound,
+    koo_cpa_l2_bound,
+    cpa_linf_bound,
+    cpa_linf_max_t,
+    l2_byzantine_achievable_estimate,
+    l2_byzantine_impossible_estimate,
+    l2_crash_achievable_estimate,
+    l2_crash_impossible_estimate,
+    threshold_table,
+)
+
+__all__ = [
+    "region_M",
+    "region_R",
+    "region_U",
+    "region_S1",
+    "region_S2",
+    "corner_P",
+    "table1_U_regions",
+    "table1_S1_regions",
+    "expected_region_sizes",
+    "PathFamily",
+    "corner_connectivity",
+    "arbitrary_p_connectivity",
+    "u_node_paths",
+    "s1_node_paths",
+    "s2_node_paths",
+    "verify_family",
+    "verify_connectivity_map",
+    "crash_inductive_step_holds",
+    "stage_one_split",
+    "l2_disjoint_path_count",
+    "l2_argument_row",
+    "l2_argument_table",
+    "theorem6_row",
+    "theorem6_table",
+    "linf_nbd_size",
+    "byzantine_linf_threshold",
+    "byzantine_linf_max_t",
+    "koo_impossibility_bound",
+    "crash_linf_threshold",
+    "crash_linf_max_t",
+    "koo_cpa_linf_bound",
+    "koo_cpa_l2_bound",
+    "cpa_linf_bound",
+    "cpa_linf_max_t",
+    "l2_byzantine_achievable_estimate",
+    "l2_byzantine_impossible_estimate",
+    "l2_crash_achievable_estimate",
+    "l2_crash_impossible_estimate",
+    "threshold_table",
+]

@@ -1,0 +1,162 @@
+"""The stage analysis of Theorem 6 (Figs. 14-19): CPA tolerates
+``t <= (2/3) r^2``.
+
+The proof tracks how commitment spreads outward from a committed central
+square under the simple protocol, one "row" at a time:
+
+- **Stage 1** (Figs. 14-16): along each edge of the committed square,
+  ``2 ceil(r/2) + 1`` nodes commit immediately (their committed-neighbor
+  count is at least ``(r + 1 + r/2) r > (4/3) r^2 + 1 = 2t + 1``); then
+  row ``i`` commits given rows ``< i``, as long as
+
+  ``(ceil(3r/2) + 1)(r + 1 - i) + (i - 1)(2 ceil(r/2) + 1)
+  + (i - 1)(ceil(r/2) - i + 1) >= (4/3) r^2 + 1``
+
+  which the paper shows holds up to ``i <= floor(r / sqrt(6))``, letting
+  the stack reach ``floor(r/3)`` rows.
+- **Stage 2** (Figs. 17-19): 8 corner-adjacent nodes then commit
+  (``>= (r + 1 + ceil(r/2)) r + 2 ceil(r/2) floor(r/3) >= 11r^2/6``), and
+  after them every remaining node has at least
+  ``(r + 1) r + 2 ceil(r/2) floor(r/3) + 4 > (4/3) r^2`` committed
+  neighbors.
+
+This module implements each inequality verbatim so the tests can sweep
+``r`` and the bench can print the stage table; the simulation-level
+confirmation (CPA actually succeeding at ``t = floor(2 r^2 / 3)``) lives
+in the protocol tests and the Theorem 6 bench.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+def _ceil_half(r: int) -> int:
+    return -(-r // 2)
+
+
+def commit_threshold(r: int) -> float:
+    """The ``2t + 1`` requirement at ``t = (2/3) r^2``: ``(4/3) r^2 + 1``."""
+    if r < 1:
+        raise ValueError(f"radius must be >= 1, got {r}")
+    return 4 * r * r / 3 + 1
+
+
+def stage1_initial_support(r: int) -> int:
+    """Committed-neighbor count of the first ``2 ceil(r/2) + 1`` nodes per
+    edge (Fig. 14's shaded region): ``(r + 1 + ceil(r/2)) * r``."""
+    if r < 1:
+        raise ValueError(f"radius must be >= 1, got {r}")
+    return (r + 1 + _ceil_half(r)) * r
+
+
+def stage1_row_support(r: int, i: int) -> int:
+    """The left side of the row-``i`` inequality (``i >= 1``), as printed
+    in the paper."""
+    if i < 1:
+        raise ValueError(f"row index must be >= 1, got {i}")
+    ceil_3r2 = -(-3 * r // 2)
+    return (
+        (ceil_3r2 + 1) * (r + 1 - i)
+        + (i - 1) * (2 * _ceil_half(r) + 1)
+        + (i - 1) * (_ceil_half(r) - i + 1)
+    )
+
+
+def stage1_row_commits(r: int, i: int) -> bool:
+    """Whether row ``i`` satisfies the stage-1 inequality."""
+    return stage1_row_support(r, i) >= commit_threshold(r)
+
+
+def stage1_max_row(r: int) -> int:
+    """Largest contiguous row the stage-1 inequality certifies.
+
+    The paper claims this is at least ``floor(r / sqrt(6))`` for
+    ``r >= 2`` and in particular at least ``floor(r/3)``.
+    """
+    i = 0
+    while stage1_row_commits(r, i + 1):
+        i += 1
+        if i > 2 * r:  # pragma: no cover - inequality fails long before
+            break
+    return i
+
+
+def paper_stage1_claim(r: int) -> int:
+    """The paper's certified depth ``floor(r / sqrt(6))``."""
+    return math.floor(r / math.sqrt(6))
+
+
+def stage2_corner_support(r: int) -> int:
+    """Committed-neighbor count of the 8 post-stage-1 corner nodes
+    (Fig. 17): ``(r + 1 + ceil(r/2)) r + 2 ceil(r/2) floor(r/3)``."""
+    return (r + 1 + _ceil_half(r)) * r + 2 * _ceil_half(r) * (r // 3)
+
+
+def stage2_remaining_support(r: int) -> int:
+    """Committed-neighbor floor for every remaining node (Fig. 17's shaded
+    count): ``(r + 1) r + 2 ceil(r/2) floor(r/3) + 4``."""
+    return (r + 1) * r + 2 * _ceil_half(r) * (r // 3) + 4
+
+
+@dataclass(frozen=True)
+class Theorem6Row:
+    """One radius of the Theorem 6 stage table."""
+
+    r: int
+    t: int  # floor(2 r^2 / 3)
+    threshold: float  # (4/3) r^2 + 1
+    initial_support: int
+    stage1_rows_certified: int
+    paper_stage1_claim: int
+    stage2_corner_support: int
+    stage2_remaining_support: int
+
+    @property
+    def all_inequalities_hold(self) -> bool:
+        """Theorem 6's chain of inequalities for this radius (``r >= 2``;
+        the paper proves the stage bounds for ``r >= 2``)."""
+        return (
+            self.initial_support > self.threshold - 1
+            and self.stage1_rows_certified >= self.paper_stage1_claim
+            and self.stage1_rows_certified >= self.r // 3
+            and self.stage2_corner_support >= self.threshold
+            and self.stage2_remaining_support > 4 * self.r * self.r / 3
+        )
+
+
+def theorem6_row(r: int) -> Theorem6Row:
+    """Evaluate every Theorem 6 inequality at radius ``r``."""
+    return Theorem6Row(
+        r=r,
+        t=(2 * r * r) // 3,
+        threshold=commit_threshold(r),
+        initial_support=stage1_initial_support(r),
+        stage1_rows_certified=stage1_max_row(r),
+        paper_stage1_claim=paper_stage1_claim(r),
+        stage2_corner_support=stage2_corner_support(r),
+        stage2_remaining_support=stage2_remaining_support(r),
+    )
+
+
+def theorem6_table(radii: List[int]) -> List[Dict[str, object]]:
+    """The Fig. 14-19 stage table over radii (bench EXP-F14_19)."""
+    rows: List[Dict[str, object]] = []
+    for r in radii:
+        row = theorem6_row(r)
+        rows.append(
+            {
+                "r": r,
+                "t=floor(2r^2/3)": row.t,
+                "2t+1": row.threshold,
+                "first_nodes_support": row.initial_support,
+                "stage1_rows": row.stage1_rows_certified,
+                "paper_claim_r/sqrt6": row.paper_stage1_claim,
+                "corner_support": row.stage2_corner_support,
+                "remaining_support": row.stage2_remaining_support,
+                "holds": row.all_inequalities_hold,
+            }
+        )
+    return rows

@@ -1,0 +1,174 @@
+"""The staged crash-stop propagation argument of Theorem 5 (Figs. 9-10).
+
+The proof of Theorem 5 walks the broadcast from ``nbd(a, b)`` to
+``pnbd(a, b)`` in two stages:
+
+- **Stage 1** (Fig. 9): split the committed square ABCD by its horizontal
+  and vertical mid-axes.  Fewer than ``r(2r+1)`` faults total means one
+  half of each split has at most ``r^2 + r/2 < r(r+1)`` faults; every node
+  of the adjacent frontier segment (PQ above, VW left, plus the half
+  segments RR' and TT') has ``r(r+1)`` neighbors inside that half, so each
+  hears at least one correct committed node.
+- **Stage 2** (Fig. 10): the remaining frontier segments (U'U, S'S).  If
+  the shaded ``r x r`` quadrant next to such a segment has any correct
+  node, done; otherwise those ``r^2 + r`` faults leave fewer than ``r^2``
+  faults elsewhere in ``nbd((a, b-r-1))`` -- not enough to cut the
+  segment's nodes from the committed half, via the chain of regions
+  WH'T'T -> TT'J'J -> U'UK'K.
+
+This module exposes the proof's *quantities* (so the tests can check each
+inequality on arbitrary placements) and an executable inductive step
+(:func:`crash_inductive_step_holds`) that performs the localized
+reachability claim directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.geometry.coords import Coord
+from repro.geometry.regions import rect_from_extents
+from repro.grid.neighborhoods import nbd, pnbd_frontier
+
+
+@dataclass(frozen=True)
+class StageOneSplit:
+    """Fig. 9's four half-neighborhood fault tallies.
+
+    The proof needs: ``min(top, bottom) < r(r+1)`` and
+    ``min(left, right) < r(r+1)`` (both follow from the total being
+    ``< r(2r+1)``; rows on the split axes are excluded from both halves,
+    which only helps).
+    """
+
+    top: int
+    bottom: int
+    left: int
+    right: int
+    r: int
+
+    @property
+    def bound(self) -> int:
+        """The per-half budget the argument needs: ``r(r+1)``."""
+        return self.r * (self.r + 1)
+
+    @property
+    def horizontal_ok(self) -> bool:
+        """One of the top/bottom halves is under the budget."""
+        return min(self.top, self.bottom) < self.bound
+
+    @property
+    def vertical_ok(self) -> bool:
+        """One of the left/right halves is under the budget."""
+        return min(self.left, self.right) < self.bound
+
+
+def stage_one_split(
+    faulty: Iterable[Coord], a: int, b: int, r: int
+) -> StageOneSplit:
+    """Tally faults in the four open half-squares of ``nbd(a, b)``.
+
+    Nodes exactly on a split axis belong to neither half ("these nodes do
+    not play a role in the proof argument").
+    """
+    top = rect_from_extents(a - r, a + r, b + 1, b + r)
+    bottom = rect_from_extents(a - r, a + r, b - r, b - 1)
+    left = rect_from_extents(a - r, a - 1, b - r, b + r)
+    right = rect_from_extents(a + 1, a + r, b - r, b + r)
+    fs = set(faulty)
+    return StageOneSplit(
+        top=sum(1 for f in fs if f in top),
+        bottom=sum(1 for f in fs if f in bottom),
+        left=sum(1 for f in fs if f in left),
+        right=sum(1 for f in fs if f in right),
+        r=r,
+    )
+
+
+def frontier_segments(a: int, b: int, r: int) -> Dict[str, List[Coord]]:
+    """The frontier of ``pnbd(a, b)`` split into the proof's named
+    segments (Fig. 9): the full edges PQ/VW/RR'-style segments on each
+    side.  Keys: ``top``, ``bottom``, ``left``, ``right``."""
+    return {
+        "top": [(x, b + r + 1) for x in range(a - r, a + r + 1)],
+        "bottom": [(x, b - r - 1) for x in range(a - r, a + r + 1)],
+        "left": [(a - r - 1, y) for y in range(b - r, b + r + 1)],
+        "right": [(a + r + 1, y) for y in range(b - r, b + r + 1)],
+    }
+
+
+def neighbors_in_half(
+    node: Coord, a: int, b: int, r: int, half: str
+) -> List[Coord]:
+    """A frontier node's neighbors inside a named half of ``nbd(a, b)``.
+
+    The proof's counting claim: for a node on the top frontier segment,
+    the intersection with the *top* half is exactly ``r(r+1)`` nodes
+    (and symmetrically for the other sides).
+    """
+    halves = {
+        "top": rect_from_extents(a - r, a + r, b + 1, b + r),
+        "bottom": rect_from_extents(a - r, a + r, b - r, b - 1),
+        "left": rect_from_extents(a - r, a - 1, b - r, b + r),
+        "right": rect_from_extents(a + 1, a + r, b - r, b + r),
+    }
+    box = halves[half]
+    x0, y0 = node
+    return [
+        (x, y)
+        for (x, y) in box
+        if abs(x - x0) <= r and abs(y - y0) <= r
+    ]
+
+
+def crash_inductive_step_holds(
+    faulty: Iterable[Coord],
+    a: int,
+    b: int,
+    r: int,
+    metric="linf",
+) -> Tuple[bool, List[Coord]]:
+    """Executable form of Theorem 5's inductive step.
+
+    Assume every *correct* node of ``nbd(a, b)`` has the value.  Using
+    relays drawn only from the step's locality -- ``nbd(a, b)`` and the
+    frontier ring itself plus the stage-2 auxiliary neighborhoods (all
+    within L-infinity distance ``2r + 1`` of ``(a, b)``) -- can every
+    correct frontier node receive it?
+
+    Returns ``(holds, stuck_nodes)``.  The locality restriction matters:
+    this demonstrates the *inductive step*, not global reachability, which
+    is exactly the claim the proof makes (and the claim that fails at
+    ``t = r(2r+1)``).
+    """
+    fs = set(faulty)
+    committed: Set[Coord] = {
+        n for n in nbd((a, b), r, metric) + [(a, b)] if n not in fs
+    }
+    frontier = [n for n in pnbd_frontier((a, b), r, metric) if n not in fs]
+    # Locality: the proof only ever uses nodes within the perturbed
+    # neighborhoods' union and the stage-2 auxiliary neighborhood; a box of
+    # half-width 2r+1 around (a, b) contains all of them.
+    locality = rect_from_extents(
+        a - 2 * r - 1, a + 2 * r + 1, b - 2 * r - 1, b + 2 * r + 1
+    )
+    from repro.geometry.metrics import get_metric
+
+    m = get_metric(metric)
+    # BFS from the committed set over correct nodes inside the locality.
+    reached: Set[Coord] = set(committed)
+    frontier_wave: List[Coord] = list(committed)
+    while frontier_wave:
+        nxt: List[Coord] = []
+        for u in frontier_wave:
+            ux, uy = u
+            for dx, dy in m.offsets(r):
+                v = (ux + dx, uy + dy)
+                if v in reached or v in fs or v not in locality:
+                    continue
+                reached.add(v)
+                nxt.append(v)
+        frontier_wave = nxt
+    stuck = [n for n in frontier if n not in reached]
+    return (not stuck, stuck)

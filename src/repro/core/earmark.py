@@ -1,0 +1,211 @@
+"""Earmarked messages: the state-reduction the completeness proof enables.
+
+The paper (Section VI): "This state may be reduced further by earmarking
+exact messages that a node should lookout for, and this shall become clear
+from our constructive proof" -- i.e. with known topology, a frontier node
+``P`` need not track arbitrary HEARD traffic; the construction tells it
+*exactly* which relay chains to await for each of the ``r(2r+1)`` nodes it
+must determine.
+
+Two layers live here:
+
+- the *watch-list extraction* (:func:`earmarked_reports`,
+  :func:`family_watchlist`): turn a constructive witness into the chains
+  as the watching node receives them;
+- the *frame selection* (:func:`choose_frame`,
+  :func:`watchlist_for_node`): for an arbitrary node, pick which
+  neighborhood's inductive step it should ride (the L1-closest-to-source
+  one) and in which of the eight lattice orientations, then instantiate
+  the Fig. 7 construction there.  This is what the
+  :class:`~repro.protocols.bv_earmarked.BVEarmarkedProtocol` calls at
+  startup.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.paths import (
+    PathFamily,
+    arbitrary_p_connectivity,
+    corner_connectivity,
+)
+from repro.geometry.coords import Coord
+from repro.geometry.symmetry import DIHEDRAL_TRANSFORMS
+
+RelayChain = Tuple[Coord, ...]
+"""A relay chain as the watching node sees it: nearest relay first, the
+relay adjacent to the origin last.  Empty = direct hearing."""
+
+Transform = Callable[[Coord], Coord]
+
+
+def family_watchlist(family: PathFamily) -> List[RelayChain]:
+    """The relay chains of one family, oriented for the watcher ``P``.
+
+    A stored path reads ``(N, relay..., P)``; ``P`` receives the report
+    from the *last* relay, so the watch order is the reverse of the
+    relay segment.
+    """
+    chains: List[RelayChain] = []
+    for path in family.paths:
+        relays = path[1:-1]
+        chains.append(tuple(reversed(relays)))
+    return chains
+
+
+def earmarked_reports(
+    a: int, b: int, r: int, l: int = 0
+) -> Dict[Coord, List[RelayChain]]:
+    """The full watch-list for frontier node ``P_l = (a-r+l, b+r+1)``.
+
+    Maps each determinable origin ``N`` (the region-M nodes, shifted per
+    Fig. 7 when ``l > 0``) to its expected relay chains.  Memory footprint
+    of the earmarked protocol is the total number of chains:
+    ``r(2r+1)`` origins x ``r(2r+1)`` chains each in the corner case, as
+    opposed to tracking every HEARD in a four-hop halo.
+    """
+    families = (
+        corner_connectivity(a, b, r)
+        if l == 0
+        else arbitrary_p_connectivity(a, b, r, l)
+    )
+    return {n: family_watchlist(fam) for n, fam in families.items()}
+
+
+def watchlist_size(watchlist: Dict[Coord, List[RelayChain]]) -> int:
+    """Total chain count -- the earmarked node's state bound."""
+    return sum(len(chains) for chains in watchlist.values())
+
+
+# -- per-node frame selection (for the earmarked protocol) --------------------
+
+
+def _inverse_of(transform: Transform) -> Transform:
+    """Invert a D4 transform by probing (the inverse is in the group)."""
+    probes = ((1, 0), (0, 1))
+    for candidate in DIHEDRAL_TRANSFORMS.values():
+        if all(candidate(transform(p)) == p for p in probes):
+            return candidate
+    raise AssertionError("D4 transform without inverse (impossible)")
+
+
+def choose_frame(
+    dp: Coord, r: int
+) -> Optional[Tuple[Coord, Transform, Transform, int]]:
+    """Pick the induction frame for a node at displacement ``dp`` from
+    the source.
+
+    Returns ``(center, transform, inverse, l)``: ``center`` is the chosen
+    neighborhood center (source-relative); ``transform`` maps
+    center-relative coordinates into the canonical orientation in which
+    the node sits at the top-edge frontier position ``(-r+l, r+1)`` with
+    ``0 <= l <= r``; ``inverse`` undoes it.
+
+    Among all centers whose perturbed-neighborhood frontier contains the
+    node, the L1-closest-to-source one is chosen -- the executable form
+    of the paper's "one can cover the entire infinite grid by moving up,
+    down, left and right": the chosen neighborhood commits strictly
+    earlier in the commit wave.
+
+    Returns ``None`` for nodes within distance ``r`` of the source (they
+    hear the source directly and need no frame).
+    """
+    if max(abs(dp[0]), abs(dp[1])) <= r:
+        return None
+    best: Optional[Tuple[tuple, Coord, str, bool, int]] = None
+    for axis_name in ("identity", "rot90", "rot180", "rot270"):
+        g_axis = DIHEDRAL_TRANSFORMS[axis_name]
+        g_axis_inv = _inverse_of(g_axis)
+        qx, qy = g_axis(dp)
+        if qy < r + 1:
+            continue  # this rotation does not put the node above a center
+        for e in range(-r, r + 1):
+            # canonical frame: node at (e, r+1) relative to the center
+            center = g_axis_inv((qx - e, qy - (r + 1)))
+            tau = abs(center[0]) + abs(center[1])
+            if e <= 0:
+                mirror_needed = False
+                l = e + r
+            else:
+                # right half of the edge: mirror across the vertical axis
+                mirror_needed = True
+                l = r - e
+            key = (tau, axis_name, mirror_needed, e)
+            if best is None or key < best[0]:
+                best = (key, center, axis_name, mirror_needed, l)
+    if best is None:  # pragma: no cover - unreachable for |dp| > r
+        raise AssertionError(f"no frame found for dp={dp}, r={r}")
+    _, center, axis_name, mirror_needed, l = best
+    g_axis = DIHEDRAL_TRANSFORMS[axis_name]
+    if mirror_needed:
+        mirror = DIHEDRAL_TRANSFORMS["mirror_y"]
+
+        def transform(p: Coord) -> Coord:
+            return mirror(g_axis(p))
+
+    else:
+        transform = g_axis
+    return (center, transform, _inverse_of(transform), l)
+
+
+def watchlist_for_node(
+    node: Coord, source: Coord, r: int
+) -> Optional[Dict[Coord, List[RelayChain]]]:
+    """The earmarked watch-list for an arbitrary node, absolute coords.
+
+    Chooses the induction frame (:func:`choose_frame`), instantiates the
+    Fig. 7 construction in canonical orientation, and maps everything
+    back.  Returns ``None`` for the source and its direct neighbors.
+
+    The returned map sends each watched origin (a node of the chosen
+    committed neighborhood) to its expected relay chains, oriented
+    nearest-relay-first as the watcher receives them.  All origins lie
+    within the chosen single neighborhood, so the earmarked commit rule
+    needs no covering-center search.
+    """
+    dp = (node[0] - source[0], node[1] - source[1])
+    relative = _watchlist_relative(dp, r)
+    if relative is None:
+        return None
+    sx, sy = source
+    return {
+        (ox + sx, oy + sy): [
+            tuple((fx + sx, fy + sy) for fx, fy in chain)
+            for chain in chains
+        ]
+        for (ox, oy), chains in relative.items()
+    }
+
+
+from functools import lru_cache  # noqa: E402
+
+
+@lru_cache(maxsize=4096)
+def _watchlist_relative(
+    dp: Coord, r: int
+) -> Optional[Dict[Coord, List[RelayChain]]]:
+    """Watch-list in source-relative coordinates, memoized per (dp, r).
+
+    Every node at the same displacement from the source shares this
+    structure, so large simulations build each shape once.
+    """
+    frame = choose_frame(dp, r)
+    if frame is None:
+        return None
+    center, transform, inverse, l = frame
+    families = arbitrary_p_connectivity(0, 0, r, l)
+    cx, cy = center
+
+    def to_relative(p: Coord) -> Coord:
+        ix, iy = inverse(p)
+        return (ix + cx, iy + cy)
+
+    watchlist: Dict[Coord, List[RelayChain]] = {}
+    for origin, family in families.items():
+        chains = [
+            tuple(to_relative(f) for f in chain)
+            for chain in family_watchlist(family)
+        ]
+        watchlist[to_relative(origin)] = chains
+    return watchlist

@@ -1,0 +1,235 @@
+"""Explicit node-disjoint path constructions (Figs. 4-7).
+
+These functions *materialize* the proof of Theorem 3: for every node ``N``
+whose commitment the corner frontier node ``P`` must reliably determine,
+they emit the full family of ``r(2r+1)`` node-disjoint relay paths the
+paper constructs, together with the single neighborhood center containing
+them.  :mod:`repro.core.witnesses` then verifies every claimed property
+mechanically, and the "earmarked messages" protocol optimization reads the
+exact reports to watch for straight off these families.
+
+Path representation: a tuple of lattice points ``(N, relay..., P)`` --
+zero to three relays, matching the protocol's HEARD depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.regions import (
+    corner_P,
+    region_R,
+    region_S1,
+    region_S2,
+    region_U,
+    table1_S1_regions,
+    table1_U_regions,
+)
+from repro.geometry.coords import Coord
+
+Path = Tuple[Coord, ...]
+
+
+@dataclass(frozen=True)
+class PathFamily:
+    """A family of relay paths from ``n`` to ``p`` plus the neighborhood
+    center that the proof claims contains every path entirely.
+
+    ``direct`` families (N adjacent to P, Fig. 2's region R) have a single
+    two-node path and no containment obligation beyond adjacency; their
+    ``center`` is ``None``.
+    """
+
+    n: Coord
+    p: Coord
+    paths: Tuple[Path, ...]
+    center: Optional[Coord]
+    kind: str  # "direct" | "U" | "S1" | "S2"
+
+    @property
+    def count(self) -> int:
+        """Number of paths in the family."""
+        return len(self.paths)
+
+
+def direct_family(n: Coord, p: Coord) -> PathFamily:
+    """The trivial family for a directly-heard node (region R)."""
+    return PathFamily(n=n, p=p, paths=((n, p),), center=None, kind="direct")
+
+
+def u_node_paths(a: int, b: int, r: int, p: int, q: int) -> PathFamily:
+    """Fig. 5's construction: ``r(2r+1)`` node-disjoint paths between
+    ``N = (a+p, b+q)`` and ``P = (a-r, b+r+1)``, all inside
+    ``nbd((a, b+r+1))``.
+
+    - ``N -> A -> P`` (one relay) for every node of region A;
+    - ``N -> B1 -> B2 -> P`` pairing ``(x, y) <-> (x - r, y)``;
+    - ``N -> C1 -> C2 -> P`` pairing ``(x, y) <-> (x - r, y + r)``;
+    - ``N -> D1 -> D2 -> D3 -> P`` with an arbitrary D1/D2 bijection (every
+      cross pair is adjacent) and ``(x, y) <-> (x - r, y)`` into D3.
+    """
+    regions = table1_U_regions(a, b, r, p, q)
+    n: Coord = (a + p, b + q)
+    pt: Coord = corner_P(a, b, r)
+    paths: List[Path] = []
+    for node in regions["A"]:
+        paths.append((n, node, pt))
+    for x, y in regions["B1"]:
+        paths.append((n, (x, y), (x - r, y), pt))
+    for x, y in regions["C1"]:
+        paths.append((n, (x, y), (x - r, y + r), pt))
+    d1 = regions["D1"].points()
+    d2 = regions["D2"].points()
+    if len(d1) != len(d2):  # pragma: no cover - Table I guarantees this
+        raise AssertionError(
+            f"D1/D2 cardinality mismatch: {len(d1)} vs {len(d2)}"
+        )
+    for (x1, y1), (x2, y2) in zip(d1, d2):
+        paths.append((n, (x1, y1), (x2, y2), (x2 - r, y2), pt))
+    return PathFamily(
+        n=n, p=pt, paths=tuple(paths), center=(a, b + r + 1), kind="U"
+    )
+
+
+def s1_node_paths(a: int, b: int, r: int, p: int) -> PathFamily:
+    """Fig. 6's construction: ``r(2r+1)`` node-disjoint paths between
+    ``N = (a-r, b-p)`` and ``P``, all inside ``nbd((a-r, b+1))``.
+
+    - ``N -> J -> P`` for every node of region J (common neighbors);
+    - ``N -> K1 -> K2 -> P`` pairing ``(x, y) <-> (x, y + r)``.
+    """
+    regions = table1_S1_regions(a, b, r, p)
+    n: Coord = (a - r, b - p)
+    pt: Coord = corner_P(a, b, r)
+    paths: List[Path] = []
+    for node in regions["J"]:
+        paths.append((n, node, pt))
+    for x, y in regions["K1"]:
+        paths.append((n, (x, y), (x, y + r), pt))
+    return PathFamily(
+        n=n, p=pt, paths=tuple(paths), center=(a - r, b + 1), kind="S1"
+    )
+
+
+def _reflect_about_antidiagonal(pivot: Coord) -> Callable[[Coord], Coord]:
+    """The axial symmetry about OO' (Fig. 3): reflection across the
+    anti-diagonal line through ``pivot`` (displacement ``(dx, dy) ->
+    (-dy, -dx)``).  It fixes P and maps region U onto region S2."""
+    px, py = pivot
+
+    def reflect(z: Coord) -> Coord:
+        dx, dy = z[0] - px, z[1] - py
+        return (px - dy, py - dx)
+
+    return reflect
+
+
+def s2_node_paths(a: int, b: int, r: int, qq: int, pp: int) -> PathFamily:
+    """Paths for the S2 node ``N = (a - qq, b - pp)``
+    (``r-1 >= qq > pp >= 0``), obtained -- exactly as the paper argues --
+    by reflecting the U-node construction across the anti-diagonal through
+    P.
+
+    The S2 node ``(a-qq, b-pp)`` has the same position relative to P as
+    the U node ``(a + (pp+1), b + (qq+1))``; the reflection maps that
+    node's entire path family (paths and containing neighborhood alike)
+    onto a family for the S2 node, and lattice symmetry preserves
+    adjacency, disjointness and containment.
+    """
+    if not (r - 1 >= qq > pp >= 0):
+        raise ValueError(
+            f"S2 parameters must satisfy r-1 >= q > p >= 0, got "
+            f"q={qq}, p={pp}, r={r}"
+        )
+    base = u_node_paths(a, b, r, pp + 1, qq + 1)
+    reflect = _reflect_about_antidiagonal(corner_P(a, b, r))
+    n_expected: Coord = (a - qq, b - pp)
+    n_mapped = reflect(base.n)
+    if n_mapped != n_expected:  # pragma: no cover - algebra guarantees this
+        raise AssertionError(
+            f"reflection maps {base.n} to {n_mapped}, expected {n_expected}"
+        )
+    return PathFamily(
+        n=n_expected,
+        p=base.p,
+        paths=tuple(
+            tuple(reflect(z) for z in path) for path in base.paths
+        ),
+        center=reflect(base.center) if base.center else None,
+        kind="S2",
+    )
+
+
+def corner_connectivity(a: int, b: int, r: int) -> Dict[Coord, PathFamily]:
+    """The complete Theorem 3 witness for the corner node P: one
+    :class:`PathFamily` per node of region M (``r(2r+1)`` nodes total).
+
+    Region R nodes get direct families; U, S1 and S2 nodes get their
+    constructions.  Keys are the region-M node coordinates.
+    """
+    pt = corner_P(a, b, r)
+    families: Dict[Coord, PathFamily] = {}
+    for node in region_R(a, b, r):
+        families[node] = direct_family(node, pt)
+    for node in region_U(a, b, r):
+        p, q = node[0] - a, node[1] - b
+        families[node] = u_node_paths(a, b, r, p, q)
+    for node in region_S1(a, b, r):
+        families[node] = s1_node_paths(a, b, r, b - node[1])
+    for node in region_S2(a, b, r):
+        families[node] = s2_node_paths(a, b, r, a - node[0], b - node[1])
+    return families
+
+
+def translated_family(family: PathFamily, dx: int, dy: int) -> PathFamily:
+    """Translate a whole family (lattice translation preserves every
+    property the witness checks)."""
+    return PathFamily(
+        n=(family.n[0] + dx, family.n[1] + dy),
+        p=(family.p[0] + dx, family.p[1] + dy),
+        paths=tuple(
+            tuple((z[0] + dx, z[1] + dy) for z in path)
+            for path in family.paths
+        ),
+        center=(
+            (family.center[0] + dx, family.center[1] + dy)
+            if family.center
+            else None
+        ),
+        kind=family.kind,
+    )
+
+
+def arbitrary_p_connectivity(
+    a: int, b: int, r: int, l: int
+) -> Dict[Coord, PathFamily]:
+    """Fig. 7: connectivity for the non-corner top-edge frontier node
+    ``P_l = (a-r+l, b+r+1)`` with ``0 <= l <= r`` (all other positions
+    follow by symmetry; see :func:`frontier_connectivity`).
+
+    The construction translates the corner families right by ``l`` and
+    keeps those whose endpoint still lies in ``nbd(a, b)``; the direct
+    region R grows to ``r(r+l+1)`` nodes, over-compensating the
+    ``l(l-1)/2`` U-nodes that slide out (the paper's counting).  The
+    returned map covers at least ``r(2r+1)`` nodes of ``nbd(a, b)``.
+    """
+    if not 0 <= l <= r:
+        raise ValueError(f"l must satisfy 0 <= l <= r, got {l}")
+    pt: Coord = (a - r + l, b + r + 1)
+    families: Dict[Coord, PathFamily] = {}
+    # Direct block: everything in nbd(a,b) within distance r of P_l and
+    # above the row y=b (the paper's enlarged region R).
+    for x in range(a - r, min(a + l, a + r) + 1):
+        for y in range(b + 1, b + r + 1):
+            families[(x, y)] = direct_family((x, y), pt)
+    # Translated indirect families, endpoint still inside nbd(a,b).
+    base = corner_connectivity(a, b, r)
+    for node, fam in base.items():
+        if fam.kind == "direct":
+            continue
+        shifted = translated_family(fam, l, 0)
+        nx, ny = shifted.n
+        if abs(nx - a) <= r and abs(ny - b) <= r and shifted.n not in families:
+            families[shifted.n] = shifted
+    return families

@@ -1,0 +1,178 @@
+"""The region inventory of the Theorem 1/3 construction (Figs. 1-3, Table I).
+
+Setting: the inductive step assumes all honest nodes in ``nbd(a, b)`` have
+committed and must show the *corner* frontier node ``P = (a-r, b+r+1)``
+(the worst case) can reliably determine the commitments of ``r(2r+1)``
+nodes of ``nbd(a, b)``.
+
+The determinable set is the staircase region **M** (Fig. 1); it splits as
+
+- **R** (Fig. 2): ``r(r+1)`` nodes P hears directly;
+- **U** (Fig. 3): the upper triangle, ``r(r-1)/2`` nodes, each reached via
+  the Table I construction (regions A, B1/B2, C1/C2, D1/D2/D3, Figs 4-5);
+- **S1** (Fig. 3): ``r`` nodes on the column ``x = a-r``, each reached via
+  regions J, K1, K2 (Fig. 6);
+- **S2** (Fig. 3): the lower triangle, ``r(r-1)/2`` nodes, handled by the
+  axial symmetry about OO' (the anti-diagonal through P).
+
+Every region is produced exactly as the paper's Table I writes it, so the
+tests can check the claimed cardinalities, containments and disjointness
+verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.geometry.coords import Coord
+from repro.geometry.regions import Rect, rect_from_extents
+
+
+def _check_rpq(r: int, p: int, q: int) -> None:
+    if r < 1:
+        raise ValueError(f"radius must be >= 1, got {r}")
+    if not (r >= q > p >= 1):
+        raise ValueError(
+            f"U-region parameters must satisfy r >= q > p >= 1, got "
+            f"r={r}, p={p}, q={q}"
+        )
+
+
+# -- Figure 1-3 point sets ----------------------------------------------------
+
+
+def region_M(a: int, b: int, r: int) -> List[Coord]:
+    """Fig. 1's shaded staircase: ``{(a-r+p, b-r+q) | 2r >= q > p >= 0}``.
+
+    Exactly ``r(2r+1)`` nodes of ``nbd(a, b)`` -- the ``2t+1`` committed
+    nodes P taps when ``t`` is maximal.
+    """
+    if r < 1:
+        raise ValueError(f"radius must be >= 1, got {r}")
+    return [
+        (a - r + p, b - r + q)
+        for q in range(0, 2 * r + 1)
+        for p in range(0, q)
+    ]
+
+
+def region_R(a: int, b: int, r: int) -> Rect:
+    """Fig. 2's direct-hearing block: ``[a-r, a] x [b+1, b+r]``,
+    ``r(r+1)`` nodes all adjacent to P."""
+    return rect_from_extents(a - r, a, b + 1, b + r, name="R")
+
+
+def region_U(a: int, b: int, r: int) -> List[Coord]:
+    """Fig. 3's upper triangle ``{(a+p, b+q) | r >= q > p >= 1}``
+    (``r(r-1)/2`` nodes)."""
+    return [
+        (a + p, b + q) for q in range(1, r + 1) for p in range(1, q)
+    ]
+
+
+def region_S1(a: int, b: int, r: int) -> List[Coord]:
+    """Fig. 3's left column ``{(a-r, b-p) | 0 <= p <= r-1}`` (``r``
+    nodes)."""
+    return [(a - r, b - p) for p in range(0, r)]
+
+
+def region_S2(a: int, b: int, r: int) -> List[Coord]:
+    """Fig. 3's lower triangle ``{(a-q, b-p) | r-1 >= q > p >= 0}``
+    (``r(r-1)/2`` nodes)."""
+    return [
+        (a - q, b - p) for q in range(0, r) for p in range(0, q)
+    ]
+
+
+def corner_P(a: int, b: int, r: int) -> Coord:
+    """The worst-case frontier node ``P = (a-r, b+r+1)``."""
+    return (a - r, b + r + 1)
+
+
+# -- Table I ----------------------------------------------------------------------
+
+
+def table1_U_regions(
+    a: int, b: int, r: int, p: int, q: int
+) -> Dict[str, Rect]:
+    """Table I's rows for a U-region node ``N = (a+p, b+q)``
+    (``r >= q > p >= 1``): the relay regions of Figs. 4-5.
+
+    Keys: ``A, B1, B2, C1, C2, D1, D2, D3`` with extents copied verbatim
+    from the paper's table.
+    """
+    _check_rpq(r, p, q)
+    return {
+        "A": rect_from_extents(a + p - r, a, b + 1, b + q + r),
+        "B1": rect_from_extents(a + 1, a + p - 1, b + 1, b + q + r),
+        "B2": rect_from_extents(a + 1 - r, a + p - 1 - r, b + 1, b + q + r),
+        "C1": rect_from_extents(a + p + 1, a + r, b + q + 1, b + r + 1),
+        "C2": rect_from_extents(
+            a + p + 1 - r, a, b + q + 1 + r, b + 1 + 2 * r
+        ),
+        "D1": rect_from_extents(
+            a + p, a + p + r - q, b + r + q - p + 1, b + r + q
+        ),
+        "D2": rect_from_extents(a + 1, a + p, b + 1 + r + q, b + 1 + 2 * r),
+        "D3": rect_from_extents(
+            a + 1 - r, a + p - r, b + 1 + r + q, b + 1 + 2 * r
+        ),
+    }
+
+
+def table1_S1_regions(a: int, b: int, r: int, p: int) -> Dict[str, Rect]:
+    """Table I's rows for an S1 node ``N = (a-r, b-p)``
+    (``0 <= p <= r-1``): the relay regions of Fig. 6 (J, K1, K2)."""
+    if r < 1:
+        raise ValueError(f"radius must be >= 1, got {r}")
+    if not 0 <= p <= r - 1:
+        raise ValueError(
+            f"S1 parameter must satisfy 0 <= p <= r-1, got p={p}, r={r}"
+        )
+    return {
+        "J": rect_from_extents(a - 2 * r, a, b + 1, b - p + r),
+        "K1": rect_from_extents(a - 2 * r, a, b - p + 1, b),
+        "K2": rect_from_extents(a - 2 * r, a, b - p + r + 1, b + r),
+    }
+
+
+# -- claimed cardinalities (for the Table I bench) ------------------------------------
+
+
+def expected_U_path_counts(r: int, p: int, q: int) -> Dict[str, int]:
+    """The per-family path counts the proof claims for a U node.
+
+    ``A``: ``(r-p+1)(r+q)``; ``B``: ``(p-1)(r+q)``; ``C``:
+    ``(r-p)(r-q+1)``; ``D``: ``p(r-q+1)``; total ``r(2r+1)``.
+    """
+    _check_rpq(r, p, q)
+    counts = {
+        "A": (r - p + 1) * (r + q),
+        "B": (p - 1) * (r + q),
+        "C": (r - p) * (r - q + 1),
+        "D": p * (r - q + 1),
+    }
+    counts["total"] = sum(counts.values())
+    return counts
+
+
+def expected_S1_path_counts(r: int, p: int) -> Dict[str, int]:
+    """Fig. 6's claim: ``(r-p)(2r+1)`` one-relay paths via J plus
+    ``p(2r+1)`` two-relay paths via K1/K2, totalling ``r(2r+1)``."""
+    counts = {
+        "J": (r - p) * (2 * r + 1),
+        "K": p * (2 * r + 1),
+    }
+    counts["total"] = sum(counts.values())
+    return counts
+
+
+def expected_region_sizes(r: int) -> Dict[str, int]:
+    """Figure 1-3 cardinalities as stated in the prose."""
+    return {
+        "M": r * (2 * r + 1),
+        "R": r * (r + 1),
+        "U": r * (r - 1) // 2,
+        "S1": r,
+        "S2": r * (r - 1) // 2,
+    }

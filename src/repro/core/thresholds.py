@@ -1,0 +1,199 @@
+"""Every fault-tolerance bound stated in the paper.
+
+Real-valued *thresholds* are the exact expressions from the theorems;
+integer ``max_t`` helpers give the largest admissible fault budget, which
+is what simulations and benches actually instantiate.
+
+Summary (L-infinity unless noted):
+
+===============================  ==========================================
+Result                           Bound
+===============================  ==========================================
+Theorem 1 (BV achievability)     ``t < r(2r+1)/2``
+Koo impossibility (from [1])     ``t >= ceil(r(2r+1)/2)``
+Theorem 4 (crash impossibility)  ``t >= r(2r+1)``
+Theorem 5 (crash achievability)  ``t < r(2r+1)``
+Theorem 6 (CPA achievability)    ``t <= (2/3) r^2``
+Koo CPA achievability (from [1]) ``t < (r(r + sqrt(r/2) + 1))/2``
+Koo CPA achievability, L2        ``t < (r(r + sqrt(r/2) + 1))/4 - 2``
+Section VIII, Byzantine L2       achievable ~``t < 0.23 pi r^2``;
+                                 impossible ~``t >= 0.3 pi r^2``
+Section VIII, crash L2           achievable ~``t < 0.46 pi r^2``;
+                                 impossible ~``t >= 0.6 pi r^2``
+===============================  ==========================================
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.geometry.balls import linf_ball_size
+
+
+def _require_radius(r: int) -> None:
+    if r < 1:
+        raise ValueError(f"transmission radius must be >= 1, got {r}")
+
+
+def linf_nbd_size(r: int) -> int:
+    """L-infinity neighborhood population, ``(2r+1)^2 - 1``.
+
+    Useful context: the Byzantine threshold ``r(2r+1)/2`` is "slightly
+    less than one-fourth" of this, the crash threshold "slightly less
+    than half".
+    """
+    _require_radius(r)
+    return linf_ball_size(r)
+
+
+# -- Byzantine, L-infinity ---------------------------------------------------
+
+
+def byzantine_linf_threshold(r: int) -> float:
+    """Theorem 1's strict upper bound: broadcast achievable iff
+    ``t <`` this value (``r(2r+1)/2``)."""
+    _require_radius(r)
+    return r * (2 * r + 1) / 2
+
+
+def byzantine_linf_max_t(r: int) -> int:
+    """Largest integer ``t`` satisfying Theorem 1 (``t < r(2r+1)/2``)."""
+    _require_radius(r)
+    n = r * (2 * r + 1)
+    # strict bound at n/2: max integer below it
+    return (n - 1) // 2
+
+
+def koo_impossibility_bound(r: int) -> int:
+    """Koo's lower bound from [1]: broadcast impossible once
+    ``t >= ceil(r(2r+1)/2)``.  Matches Theorem 1 exactly: the threshold is
+    tight."""
+    _require_radius(r)
+    n = r * (2 * r + 1)
+    return -(-n // 2)  # ceil(n / 2)
+
+
+# -- crash-stop, L-infinity ----------------------------------------------------
+
+
+def crash_linf_threshold(r: int) -> int:
+    """Theorems 4/5: crash-stop broadcast achievable iff
+    ``t < r(2r+1)``."""
+    _require_radius(r)
+    return r * (2 * r + 1)
+
+
+def crash_linf_max_t(r: int) -> int:
+    """Largest tolerable crash budget, ``r(2r+1) - 1``."""
+    _require_radius(r)
+    return r * (2 * r + 1) - 1
+
+
+# -- the simple protocol (CPA), L-infinity --------------------------------------
+
+
+def koo_cpa_linf_bound(r: int) -> float:
+    """Koo's CPA achievability bound from [1] (L-infinity):
+    ``t < (r(r + sqrt(r/2) + 1))/2``."""
+    _require_radius(r)
+    return (r * (r + math.sqrt(r / 2) + 1)) / 2
+
+
+def koo_cpa_l2_bound(r: int) -> float:
+    """Koo's CPA achievability bound from [1] (L2):
+    ``t < (r(r + sqrt(r/2) + 1))/4 - 2``."""
+    _require_radius(r)
+    return (r * (r + math.sqrt(r / 2) + 1)) / 4 - 2
+
+
+def cpa_linf_bound(r: int) -> float:
+    """Theorem 6: CPA achieves broadcast for ``t <= (2/3) r^2``
+    (asymptotically dominating Koo's bound)."""
+    _require_radius(r)
+    return 2 * r * r / 3
+
+
+def cpa_linf_max_t(r: int) -> int:
+    """Largest integer budget Theorem 6 certifies for CPA:
+    ``floor(2 r^2 / 3)``.
+
+    Note Theorem 6's inequality is non-strict (``t <= 2r^2/3``), so the
+    floor is admissible.  For small ``r`` Koo's bound can exceed this (the
+    paper's claim is asymptotic domination); :func:`cpa_best_known_max_t`
+    takes the max of both.
+    """
+    _require_radius(r)
+    return (2 * r * r) // 3
+
+
+def cpa_best_known_max_t(r: int) -> int:
+    """The best fault budget either CPA analysis certifies.
+
+    The paper's ``2r^2/3`` dominates for all sufficiently large ``r``;
+    Koo's bound is better for ``r <= 4`` (the benches report the
+    crossover).  Koo's bound is strict, Theorem 6's is not.
+    """
+    _require_radius(r)
+    koo = koo_cpa_linf_bound(r)
+    koo_max = math.ceil(koo) - 1  # strict: largest integer < bound
+    return max(koo_max, cpa_linf_max_t(r))
+
+
+# -- Euclidean (Section VIII, informal) ----------------------------------------
+
+
+def l2_byzantine_achievable_estimate(r: int) -> float:
+    """Section VIII's working value: achievability argued for
+    ``t < 0.23 pi r^2`` (up to ``O(r)`` lattice corrections)."""
+    _require_radius(r)
+    return 0.23 * math.pi * r * r
+
+
+def l2_byzantine_impossible_estimate(r: int) -> float:
+    """Section VIII: impossibility argued around ``t >= 0.3 pi r^2``."""
+    _require_radius(r)
+    return 0.3 * math.pi * r * r
+
+
+def l2_crash_achievable_estimate(r: int) -> float:
+    """Section VIII: crash-stop tolerable up to ``2t = 0.46 pi r^2``."""
+    _require_radius(r)
+    return 0.46 * math.pi * r * r
+
+
+def l2_crash_impossible_estimate(r: int) -> float:
+    """Section VIII: around ``0.6 pi r^2`` crash failures per neighborhood
+    render broadcast impossible."""
+    _require_radius(r)
+    return 0.6 * math.pi * r * r
+
+
+# -- report helper ---------------------------------------------------------------
+
+
+def threshold_table(radii: List[int]) -> List[Dict[str, float]]:
+    """One row per radius with every bound -- the shape the paper's
+    abstract describes and the benches print."""
+    rows: List[Dict[str, float]] = []
+    for r in radii:
+        rows.append(
+            {
+                "r": r,
+                "nbd_size": linf_nbd_size(r),
+                "byz_linf_threshold": byzantine_linf_threshold(r),
+                "byz_linf_max_t": byzantine_linf_max_t(r),
+                "koo_impossibility": koo_impossibility_bound(r),
+                "crash_linf_threshold": crash_linf_threshold(r),
+                "crash_linf_max_t": crash_linf_max_t(r),
+                "koo_cpa_linf": koo_cpa_linf_bound(r),
+                "cpa_linf_bound": cpa_linf_bound(r),
+                "cpa_linf_max_t": cpa_linf_max_t(r),
+                "cpa_best_known_max_t": cpa_best_known_max_t(r),
+                "l2_byz_achievable": l2_byzantine_achievable_estimate(r),
+                "l2_byz_impossible": l2_byzantine_impossible_estimate(r),
+                "l2_crash_achievable": l2_crash_achievable_estimate(r),
+                "l2_crash_impossible": l2_crash_impossible_estimate(r),
+            }
+        )
+    return rows

@@ -1,0 +1,118 @@
+"""Mechanical verification of constructive witnesses.
+
+A :class:`~repro.core.paths.PathFamily` claims four properties; this
+module checks each one against the metric, raising
+:class:`~repro.errors.WitnessError` with a precise diagnosis on failure:
+
+1. **endpoints**: every path runs from ``n`` to ``p``;
+2. **adjacency**: consecutive path nodes are within distance ``r``;
+3. **internal disjointness**: no relay appears on two paths, and no relay
+   equals an endpoint (the paper's "node-disjoint paths" share only their
+   endpoints);
+4. **containment**: every node of every path -- endpoints included -- lies
+   within distance ``r`` of the family's declared neighborhood center.
+
+The verification is the executable form of Theorem 3's case analysis: if
+:func:`verify_family` passes for every node of region M (and the counts
+match ``r(2r+1)``), the inductive step's connectivity claim holds for that
+instance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.core.paths import PathFamily
+from repro.errors import WitnessError
+from repro.geometry.coords import Coord
+from repro.geometry.metrics import get_metric
+
+
+def verify_family(
+    family: PathFamily,
+    r: int,
+    metric="linf",
+    expected_count: Optional[int] = None,
+) -> None:
+    """Verify one path family; raise :class:`WitnessError` on any defect."""
+    m = get_metric(metric)
+    if expected_count is not None and family.count != expected_count:
+        raise WitnessError(
+            f"family {family.n}->{family.p} has {family.count} paths, "
+            f"expected {expected_count}"
+        )
+    seen_relays: Set[Coord] = set()
+    endpoints = {family.n, family.p}
+    for idx, path in enumerate(family.paths):
+        if len(path) < 2:
+            raise WitnessError(f"path #{idx} has fewer than two nodes: {path}")
+        if path[0] != family.n or path[-1] != family.p:
+            raise WitnessError(
+                f"path #{idx} endpoints {path[0]}..{path[-1]} do not match "
+                f"family endpoints {family.n}..{family.p}"
+            )
+        for u, v in zip(path, path[1:]):
+            if u == v:
+                raise WitnessError(f"path #{idx} repeats node {u}")
+            if not m.within(u, v, r):
+                raise WitnessError(
+                    f"path #{idx} hop {u}->{v} exceeds radius {r} "
+                    f"({m.name} distance {m.distance(u, v)})"
+                )
+        for relay in path[1:-1]:
+            if relay in endpoints:
+                raise WitnessError(
+                    f"path #{idx} uses endpoint {relay} as a relay"
+                )
+            if relay in seen_relays:
+                raise WitnessError(
+                    f"relay {relay} appears on two paths (family not "
+                    "node-disjoint)"
+                )
+            seen_relays.add(relay)
+        if family.center is not None:
+            for node in path:
+                if not m.within(node, family.center, r):
+                    raise WitnessError(
+                        f"path #{idx} node {node} lies outside the claimed "
+                        f"neighborhood nbd({family.center}, r={r})"
+                    )
+
+
+def verify_connectivity_map(
+    families: Dict[Coord, PathFamily],
+    r: int,
+    metric="linf",
+    required_nodes: Optional[int] = None,
+    required_paths_each: Optional[int] = None,
+) -> None:
+    """Verify a whole node -> family map (a Theorem 3 instance).
+
+    ``required_nodes`` checks the map's breadth (``r(2r+1)`` for the
+    inductive step); ``required_paths_each`` checks each *indirect*
+    family's path count (direct families always have exactly one path --
+    hearing the node itself needs no corroboration).
+    """
+    if required_nodes is not None and len(families) < required_nodes:
+        raise WitnessError(
+            f"connectivity map covers {len(families)} nodes, "
+            f"needs {required_nodes}"
+        )
+    for node, family in families.items():
+        if family.n != node:
+            raise WitnessError(
+                f"map key {node} does not match family endpoint {family.n}"
+            )
+        expected = (
+            None
+            if family.kind == "direct"
+            else required_paths_each
+        )
+        verify_family(family, r, metric=metric, expected_count=expected)
+
+
+def family_relay_population(family: PathFamily) -> Set[Coord]:
+    """All relay nodes a family uses (diagnostics / earmarking)."""
+    return {
+        relay for path in family.paths for relay in path[1:-1]
+    }

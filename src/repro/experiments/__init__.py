@@ -1,0 +1,26 @@
+"""Experiment harness: scenarios, the experiment registry, and reporting.
+
+- :mod:`repro.experiments.scenarios` -- declarative broadcast scenarios
+  (topology + protocol + fault placement + adversary strategy) with a
+  one-call ``run()``;
+- :mod:`repro.experiments.registry` -- the per-figure/table experiment
+  index mirroring DESIGN.md;
+- :mod:`repro.experiments.report` -- plain-text table rendering shared by
+  benches and examples.
+"""
+
+from repro.experiments.scenarios import (
+    BroadcastScenario,
+    byzantine_broadcast_scenario,
+    crash_broadcast_scenario,
+    mixed_broadcast_scenario,
+)
+from repro.experiments.report import format_table
+
+__all__ = [
+    "BroadcastScenario",
+    "byzantine_broadcast_scenario",
+    "crash_broadcast_scenario",
+    "mixed_broadcast_scenario",
+    "format_table",
+]

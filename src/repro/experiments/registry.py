@@ -1,0 +1,167 @@
+"""The experiment registry: paper figure/table id -> runner.
+
+Mirrors the per-experiment index in DESIGN.md; the benches iterate this
+registry so that *every* figure and table of the paper has exactly one
+regenerating entry, and EXPERIMENTS.md records each entry's paper-vs-
+measured comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.experiments import runners
+
+Runner = Callable[..., List[Dict[str, Any]]]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered reproduction target."""
+
+    exp_id: str
+    paper_ref: str
+    description: str
+    runner: Runner
+
+    def run(self, **kwargs: Any) -> List[Dict[str, Any]]:
+        """Execute with default (laptop-scale) parameters unless
+        overridden."""
+        return self.runner(**kwargs)
+
+
+_EXPERIMENTS: Tuple[Experiment, ...] = (
+    Experiment(
+        "EXP-T1",
+        "Table I",
+        "Region extents and per-family path counts for all (r, p, q)",
+        runners.run_table1_regions,
+    ),
+    Experiment(
+        "EXP-F1_3",
+        "Figures 1-3",
+        "Region cardinalities |M|, |R|, |U|, |S1|, |S2| and the partition",
+        runners.run_fig1_3_regions,
+    ),
+    Experiment(
+        "EXP-F4_6",
+        "Figures 4-6",
+        "r(2r+1) node-disjoint paths, mechanically verified",
+        runners.run_fig4_6_paths,
+    ),
+    Experiment(
+        "EXP-F7",
+        "Figure 7",
+        "Arbitrary position of P: connectivity for every top-edge offset",
+        runners.run_fig7_arbitrary_p,
+    ),
+    Experiment(
+        "EXP-F8",
+        "Figure 8 / Theorem 4",
+        "Crash-stop strip partition at t = r(2r+1)",
+        runners.run_fig8_crash_impossibility,
+    ),
+    Experiment(
+        "EXP-F9_10",
+        "Figures 9-10 / Theorem 5",
+        "Simulated crash-stop threshold sweep (staged propagation)",
+        runners.run_crash_threshold_sweep,
+    ),
+    Experiment(
+        "EXP-F11_12",
+        "Figures 11-12 / Section VIII",
+        "L2 disjoint-path connectivity vs the 0.47*pi*r^2 area argument",
+        runners.run_l2_argument,
+    ),
+    Experiment(
+        "EXP-F13",
+        "Figure 13 / Section VIII",
+        "L2 impossibility: half-density strip at ~0.3*pi*r^2",
+        runners.run_l2_impossibility,
+    ),
+    Experiment(
+        "EXP-F14_19",
+        "Figures 14-19 / Theorem 6",
+        "CPA stage inequalities over radii",
+        runners.run_cpa_stage_table,
+    ),
+    Experiment(
+        "EXP-THM1",
+        "Theorem 1",
+        "Byzantine L-inf threshold sweep (both sides, three adversaries)",
+        runners.run_byzantine_threshold_sweep,
+    ),
+    Experiment(
+        "EXP-THM45",
+        "Theorems 4-5",
+        "Crash-stop L-inf threshold sweep (simulated)",
+        runners.run_crash_threshold_sweep,
+    ),
+    Experiment(
+        "EXP-THM6",
+        "Theorem 6",
+        "CPA threshold sweep and bound comparison",
+        runners.run_cpa_threshold_sweep,
+    ),
+    Experiment(
+        "EXP-PERC",
+        "Section XI",
+        "Random failures: site-percolation coverage curve",
+        runners.run_percolation,
+    ),
+    Experiment(
+        "EXP-PROTO",
+        "Sections VI, VI-B, IX",
+        "Protocol cost comparison (rounds, messages)",
+        runners.run_protocol_costs,
+    ),
+    Experiment(
+        "EXP-THRESH",
+        "Abstract / all theorems",
+        "Threshold overview table (all bounds per radius)",
+        runners.run_threshold_overview,
+    ),
+    Experiment(
+        "EXP-SECX",
+        "Section X",
+        "Spoofing / jamming attacks and the retransmission counter-measure",
+        runners.run_section_x_attacks,
+    ),
+    Experiment(
+        "EXP-SHARP",
+        "Theorem 1 (random adversaries)",
+        "Threshold sharpness: success fraction vs budget, random placements",
+        runners.run_threshold_sharpness,
+    ),
+    Experiment(
+        "EXP-BOUNDARY",
+        "Section I (boundary anomalies)",
+        "Bounded grid vs torus: corner connectivity and crash tolerance",
+        runners.run_boundary_effects,
+    ),
+    Experiment(
+        "EXP-WAVE",
+        "Theorem 3 (commit wave)",
+        "Commit round vs distance from the source (latency profile)",
+        runners.run_commit_wave,
+    ),
+)
+
+REGISTRY: Dict[str, Experiment] = {e.exp_id: e for e in _EXPERIMENTS}
+"""All registered experiments, keyed by id."""
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    """Look up an experiment; raises ``KeyError`` with the known ids."""
+    try:
+        return REGISTRY[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; known: {sorted(REGISTRY)}"
+        ) from None
+
+
+def all_experiments() -> List[Experiment]:
+    """Registry contents in registration order."""
+    return list(_EXPERIMENTS)

@@ -1,0 +1,773 @@
+"""Experiment runners: one per paper figure/table (see DESIGN.md).
+
+Each runner returns a list of dict-rows; the benches call them with small
+default parameters (laptop-scale) and print them via
+:func:`repro.experiments.report.format_table`.  Runners are deterministic
+given their arguments.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Sequence
+
+from repro.analysis.percolation import percolation_curve
+from repro.analysis.reachability import crash_broadcast_coverage
+from repro.core.cpa_argument import theorem6_table
+from repro.core.l2_construction import l2_argument_table
+from repro.core.paths import arbitrary_p_connectivity, corner_connectivity
+from repro.core.regions import (
+    expected_region_sizes,
+    expected_U_path_counts,
+    region_M,
+    region_R,
+    region_S1,
+    region_S2,
+    region_U,
+    table1_U_regions,
+)
+from repro.core.thresholds import (
+    byzantine_linf_max_t,
+    crash_linf_max_t,
+    crash_linf_threshold,
+    cpa_best_known_max_t,
+    cpa_linf_max_t,
+    koo_cpa_linf_bound,
+    koo_impossibility_bound,
+    threshold_table,
+)
+from repro.core.witnesses import verify_connectivity_map
+from repro.errors import WitnessError
+from repro.experiments.scenarios import (
+    byzantine_broadcast_scenario,
+    crash_broadcast_scenario,
+    strip_torus,
+)
+from repro.faults.constructions import torus_byzantine_strip, torus_crash_partition
+from repro.faults.placement import max_faults_per_nbd
+
+
+# -- EXP-T1 / EXP-F1_3: regions ------------------------------------------------
+
+
+def run_table1_regions(radii: Sequence[int] = (1, 2, 3, 4, 5)) -> List[Dict[str, Any]]:
+    """EXP-T1: for each (r, p, q) the Table I region cardinalities vs the
+    proof's claimed per-family path counts."""
+    rows: List[Dict[str, Any]] = []
+    for r in radii:
+        for q in range(1, r + 1):
+            for p in range(1, q):
+                regions = table1_U_regions(0, 0, r, p, q)
+                claimed = expected_U_path_counts(r, p, q)
+                rows.append(
+                    {
+                        "r": r,
+                        "p": p,
+                        "q": q,
+                        "|A|": len(regions["A"]),
+                        "|B1|": len(regions["B1"]),
+                        "|C1|": len(regions["C1"]),
+                        "|D1|": len(regions["D1"]),
+                        "claimed_A": claimed["A"],
+                        "claimed_B": claimed["B"],
+                        "claimed_C": claimed["C"],
+                        "claimed_D": claimed["D"],
+                        "total": claimed["total"],
+                        "r(2r+1)": r * (2 * r + 1),
+                        "match": claimed["total"] == r * (2 * r + 1)
+                        and len(regions["A"]) == claimed["A"]
+                        and len(regions["B1"]) == claimed["B"]
+                        and len(regions["C1"]) == claimed["C"]
+                        and len(regions["D1"]) == claimed["D"],
+                    }
+                )
+    return rows
+
+
+def run_fig1_3_regions(radii: Sequence[int] = (1, 2, 3, 4, 5, 8, 12)) -> List[Dict[str, Any]]:
+    """EXP-F1_3: region cardinalities |M|, |R|, |U|, |S1|, |S2| vs the
+    prose claims, plus the partition check M = R + U + S1 + S2."""
+    rows = []
+    for r in radii:
+        m = set(region_M(0, 0, r))
+        rr = set(region_R(0, 0, r))
+        u = set(region_U(0, 0, r))
+        s1 = set(region_S1(0, 0, r))
+        s2 = set(region_S2(0, 0, r))
+        claim = expected_region_sizes(r)
+        partition_ok = (
+            m == (rr | u | s1 | s2)
+            and not (rr & u)
+            and not (rr & s1)
+            and not (rr & s2)
+            and not (u & s1)
+            and not (u & s2)
+            and not (s1 & s2)
+        )
+        rows.append(
+            {
+                "r": r,
+                "|M|": len(m),
+                "claimed_M": claim["M"],
+                "|R|": len(rr),
+                "claimed_R": claim["R"],
+                "|U|": len(u),
+                "|S1|": len(s1),
+                "|S2|": len(s2),
+                "partition_ok": partition_ok,
+                "match": len(m) == claim["M"]
+                and len(rr) == claim["R"]
+                and len(u) == claim["U"]
+                and len(s1) == claim["S1"]
+                and len(s2) == claim["S2"]
+                and partition_ok,
+            }
+        )
+    return rows
+
+
+# -- EXP-F4_6 / EXP-F7: path constructions ---------------------------------------
+
+
+def run_fig4_6_paths(radii: Sequence[int] = (1, 2, 3, 4, 5)) -> List[Dict[str, Any]]:
+    """EXP-F4_6: build and mechanically verify the corner-node witness for
+    each radius."""
+    rows = []
+    for r in radii:
+        families = corner_connectivity(0, 0, r)
+        expected = r * (2 * r + 1)
+        try:
+            verify_connectivity_map(
+                families,
+                r,
+                required_nodes=expected,
+                required_paths_each=expected,
+            )
+            verified = True
+            detail = ""
+        except WitnessError as exc:  # pragma: no cover - constructions hold
+            verified = False
+            detail = str(exc)
+        indirect = [f for f in families.values() if f.kind != "direct"]
+        rows.append(
+            {
+                "r": r,
+                "nodes_covered": len(families),
+                "required": expected,
+                "paths_per_indirect_node": expected,
+                "indirect_nodes": len(indirect),
+                "verified": verified,
+                "detail": detail,
+            }
+        )
+    return rows
+
+
+def run_fig7_arbitrary_p(radii: Sequence[int] = (1, 2, 3, 4)) -> List[Dict[str, Any]]:
+    """EXP-F7: the Fig. 7 claim for every top-edge offset ``l``."""
+    rows = []
+    for r in radii:
+        for l in range(0, r + 1):
+            families = arbitrary_p_connectivity(0, 0, r, l)
+            expected = r * (2 * r + 1)
+            try:
+                verify_connectivity_map(
+                    families,
+                    r,
+                    required_nodes=expected,
+                    required_paths_each=expected,
+                )
+                verified = True
+            except WitnessError:  # pragma: no cover
+                verified = False
+            direct = sum(1 for f in families.values() if f.kind == "direct")
+            rows.append(
+                {
+                    "r": r,
+                    "l": l,
+                    "nodes_covered": len(families),
+                    "required": expected,
+                    "direct_nodes": direct,
+                    "claimed_direct_r(r+l+1)": r * (r + l + 1),
+                    "verified": verified,
+                }
+            )
+    return rows
+
+
+# -- EXP-F8 / EXP-THM45: crash-stop threshold ---------------------------------------
+
+
+def run_fig8_crash_impossibility(
+    radii: Sequence[int] = (1, 2, 3)
+) -> List[Dict[str, Any]]:
+    """EXP-F8: the strip partition at ``t = r(2r+1)`` (analytic
+    reachability) versus the punctured strip at ``t - 1``."""
+    rows = []
+    for r in radii:
+        torus = strip_torus(r)
+        faults = torus_crash_partition(torus)
+        worst, _ = max_faults_per_nbd(
+            faults, r, metric=torus.metric, topology=torus
+        )
+        full = crash_broadcast_coverage(torus, (0, 0), faults)
+        # puncture: remove one fault from each strip column block
+        hole = sorted(faults)[0]
+        punctured = faults - {hole}
+        healed = crash_broadcast_coverage(torus, (0, 0), punctured)
+        rows.append(
+            {
+                "r": r,
+                "t_threshold_r(2r+1)": crash_linf_threshold(r),
+                "max_faults_per_nbd": worst,
+                "coverage_at_threshold": round(full.coverage, 3),
+                "partitioned": not full.complete,
+                "coverage_with_hole": round(healed.coverage, 3),
+                "healed_complete": healed.complete,
+            }
+        )
+    return rows
+
+
+def run_crash_threshold_sweep(
+    radii: Sequence[int] = (1, 2),
+    protocol: str = "crash-flood",
+) -> List[Dict[str, Any]]:
+    """EXP-THM45: simulated crash-flood around ``t = r(2r+1)``.
+
+    Below the threshold the strip is trimmed to the budget (holes open) and
+    the broadcast completes; at the threshold the untrimmed strip
+    partitions the far band.
+    """
+    rows = []
+    for r in radii:
+        for label, t, enforce in (
+            ("below", crash_linf_max_t(r), True),
+            ("at", crash_linf_threshold(r), False),
+        ):
+            sc = crash_broadcast_scenario(
+                r=r, t=t, enforce_budget=enforce, protocol=protocol
+            )
+            sc.validate()
+            out = sc.run()
+            rows.append(
+                {
+                    "r": r,
+                    "regime": label,
+                    "t": t,
+                    "faults": len(sc.faulty_nodes),
+                    "achieved": out.achieved,
+                    "safe": out.safe,
+                    "live": out.live,
+                    "undecided": len(out.undecided),
+                    "rounds": out.rounds,
+                    "messages": out.messages,
+                }
+            )
+    return rows
+
+
+# -- EXP-THM1: Byzantine threshold ---------------------------------------------------
+
+
+def run_byzantine_threshold_sweep(
+    radii: Sequence[int] = (1, 2),
+    protocol: str = "bv-two-hop",
+    strategies: Sequence[str] = ("silent", "liar", "fabricator"),
+) -> List[Dict[str, Any]]:
+    """EXP-THM1: the exact Byzantine threshold, both sides, per strategy.
+
+    Below (``t = byzantine_linf_max_t``) the protocol must achieve
+    broadcast against every strategy; at Koo's bound
+    (``t = ceil(r(2r+1)/2)``) the strip construction blocks liveness (and
+    safety must still hold).
+    """
+    rows = []
+    for r in radii:
+        for strategy in strategies:
+            for label, t, enforce in (
+                ("below", byzantine_linf_max_t(r), True),
+                ("at", koo_impossibility_bound(r), True),
+            ):
+                sc = byzantine_broadcast_scenario(
+                    r=r,
+                    t=t,
+                    protocol=protocol,
+                    strategy=strategy,
+                    enforce_budget=enforce,
+                )
+                sc.validate()
+                out = sc.run()
+                rows.append(
+                    {
+                        "r": r,
+                        "strategy": strategy,
+                        "regime": label,
+                        "t": t,
+                        "threshold_r(2r+1)/2": r * (2 * r + 1) / 2,
+                        "faults": len(sc.faulty_nodes),
+                        "achieved": out.achieved,
+                        "safe": out.safe,
+                        "live": out.live,
+                        "undecided": len(out.undecided),
+                        "rounds": out.rounds,
+                        "messages": out.messages,
+                    }
+                )
+    return rows
+
+
+# -- EXP-THM6: CPA -------------------------------------------------------------------
+
+
+def run_cpa_threshold_sweep(
+    radii: Sequence[int] = (2, 3),
+    strategies: Sequence[str] = ("liar",),
+) -> List[Dict[str, Any]]:
+    """EXP-THM6: CPA at Theorem 6's budget, at Koo's budget, and at the
+    impossibility bound; plus the bound comparison."""
+    rows = []
+    for r in radii:
+        budgets = {
+            "thm6_t=2r^2/3": (cpa_linf_max_t(r), True),
+            "best_known": (cpa_best_known_max_t(r), True),
+            "impossible": (koo_impossibility_bound(r), True),
+        }
+        for strategy in strategies:
+            for label, (t, enforce) in budgets.items():
+                sc = byzantine_broadcast_scenario(
+                    r=r,
+                    t=t,
+                    protocol="cpa",
+                    strategy=strategy,
+                    enforce_budget=enforce,
+                )
+                sc.validate()
+                out = sc.run()
+                rows.append(
+                    {
+                        "r": r,
+                        "strategy": strategy,
+                        "regime": label,
+                        "t": t,
+                        "koo_bound": round(koo_cpa_linf_bound(r), 2),
+                        "achieved": out.achieved,
+                        "safe": out.safe,
+                        "undecided": len(out.undecided),
+                        "rounds": out.rounds,
+                        "messages": out.messages,
+                    }
+                )
+    return rows
+
+
+# -- EXP-F11_12 / EXP-F13 / EXP-F14_19 --------------------------------------------------
+
+
+def run_l2_argument(radii: Sequence[int] = (2, 3, 4, 5, 6)) -> List[Dict[str, Any]]:
+    """EXP-F11_12: measured L2 disjoint-path connectivity vs the paper's
+    area argument (see :mod:`repro.core.l2_construction`)."""
+    return l2_argument_table(list(radii))
+
+
+def run_l2_impossibility(radii: Sequence[int] = (2, 3, 4)) -> List[Dict[str, Any]]:
+    """EXP-F13: the half-density strip under the L2 metric -- measured
+    worst per-neighborhood fault count vs ``0.3 pi r^2``, and the
+    simulated liveness failure."""
+    import math
+
+    rows = []
+    for r in radii:
+        torus = strip_torus(r, metric="l2")
+        faults = torus_byzantine_strip(torus)
+        worst, _ = max_faults_per_nbd(faults, r, metric="l2", topology=torus)
+        sc = byzantine_broadcast_scenario(
+            r=r,
+            t=worst,
+            protocol="bv-two-hop",
+            strategy="silent",
+            placement="strip",
+            metric="l2",
+            torus=torus,
+            enforce_budget=False,
+        )
+        sc.validate()
+        out = sc.run()
+        rows.append(
+            {
+                "r": r,
+                "worst_faults_per_nbd": worst,
+                "paper_0.3*pi*r^2": round(0.3 * math.pi * r * r, 1),
+                "achieved": out.achieved,
+                "safe": out.safe,
+                "undecided": len(out.undecided),
+            }
+        )
+    return rows
+
+
+def run_cpa_stage_table(
+    radii: Sequence[int] = (2, 3, 4, 6, 9, 12, 20, 50, 100)
+) -> List[Dict[str, Any]]:
+    """EXP-F14_19: Theorem 6's stage inequalities over radii."""
+    return theorem6_table(list(radii))
+
+
+# -- EXP-PERC: percolation ---------------------------------------------------------------
+
+
+def run_percolation(
+    r: int = 2,
+    side: int = 31,
+    probabilities: Sequence[float] = (0.05, 0.2, 0.4, 0.6, 0.8, 0.95),
+    trials: int = 10,
+    seed: int = 0,
+) -> List[Dict[str, Any]]:
+    """EXP-PERC: Section XI's random-failure model (site percolation)."""
+    from repro.grid.torus import Torus
+
+    torus = Torus.square(side, r)
+    points = percolation_curve(
+        torus, (0, 0), list(probabilities), trials=trials, seed=seed
+    )
+    return [
+        {
+            "p_fail": pt.p_fail,
+            "trials": pt.trials,
+            "mean_coverage": round(pt.mean_coverage, 3),
+            "stdev": round(pt.stdev_coverage, 3),
+            "always_complete": round(pt.all_reached_fraction, 3),
+        }
+        for pt in points
+    ]
+
+
+# -- EXP-PROTO: protocol costs ------------------------------------------------------------
+
+
+def run_protocol_costs(
+    r: int = 1,
+    protocols: Sequence[str] = (
+        "cpa",
+        "bv-two-hop",
+        "bv-indirect",
+        "bv-earmarked",
+    ),
+    strategy: str = "liar",
+) -> List[Dict[str, Any]]:
+    """EXP-PROTO: message/round cost comparison at each protocol's
+    per-protocol safe budget."""
+    rows = []
+    for name in protocols:
+        t = (
+            cpa_best_known_max_t(r)
+            if name == "cpa"
+            else byzantine_linf_max_t(r)
+        )
+        sc = byzantine_broadcast_scenario(
+            r=r, t=t, protocol=name, strategy=strategy
+        )
+        sc.validate()
+        out = sc.run()
+        state_sizes = [
+            proc.evidence_state_size()
+            for node, proc in out.result.processes.items()
+            if node in sc.correct_nodes
+            and hasattr(proc, "evidence_state_size")
+        ]
+        rows.append(
+            {
+                "protocol": name,
+                "r": r,
+                "t": t,
+                "achieved": out.achieved,
+                "rounds": out.rounds,
+                "messages": out.messages,
+                "deliveries": out.result.trace.deliveries,
+                "max_state": max(state_sizes) if state_sizes else 0,
+                "mean_state": round(
+                    sum(state_sizes) / len(state_sizes), 1
+                )
+                if state_sizes
+                else 0,
+            }
+        )
+    return rows
+
+
+def run_threshold_overview(radii: Sequence[int] = (1, 2, 3, 4, 5, 8, 10)) -> List[Dict[str, Any]]:
+    """The abstract's headline numbers: every bound per radius."""
+    return threshold_table(list(radii))
+
+
+# -- EXP-SECX: Section X attacks ---------------------------------------------------
+
+
+def run_section_x_attacks(r: int = 1) -> List[Dict[str, Any]]:
+    """EXP-SECX: what breaks when the channel assumptions fall.
+
+    One row per regime: the enforced (perfect) channel rejects the attack
+    outright; spoofing defeats safety with a single fault; unbounded
+    jamming defeats liveness with a single fault; bounded jamming plus
+    retransmission recovers; loss plus redundant copies recovers.
+    """
+    from repro.errors import SpoofingError
+    from repro.faults.channel_attacks import RoundJammer, SourceImpersonator
+    from repro.protocols.registry import correct_process_map
+    from repro.radio.channel import ChannelImperfections
+    from repro.radio.resilience import RetransmittingProcess
+    from repro.radio.run import run_broadcast
+    from repro.experiments.scenarios import recommended_torus
+
+    rows: List[Dict[str, Any]] = []
+    torus = recommended_torus(r)
+    attacker = (3 * r, 3 * r)
+    correct = set(torus.nodes()) - {attacker}
+
+    def row(regime, outcome=None, note=""):
+        entry: Dict[str, Any] = {"regime": regime, "faults": 1}
+        if outcome is None:
+            entry.update(
+                {"achieved": False, "safe": True, "undecided": "n/a"}
+            )
+        else:
+            entry.update(
+                {
+                    "achieved": outcome.achieved,
+                    "safe": outcome.safe,
+                    "undecided": len(outcome.undecided),
+                }
+            )
+        entry["note"] = note
+        return entry
+
+    # 1. enforced channel: the attack is rejected by the engine
+    processes = correct_process_map(torus, "cpa", 1, (0, 0), 1, correct)
+    processes[attacker] = SourceImpersonator(0, source=(0, 0))
+    try:
+        run_broadcast(torus, processes, 1, correct)
+        raise AssertionError("spoofing must be rejected")  # pragma: no cover
+    except SpoofingError:
+        rows.append(
+            row("spoofing, enforced channel", None, "SpoofingError raised")
+        )
+
+    # 2. spoofing allowed: one fault breaks safety
+    processes = correct_process_map(torus, "cpa", 1, (0, 0), 1, correct)
+    processes[attacker] = SourceImpersonator(0, source=(0, 0))
+    out = run_broadcast(
+        torus,
+        processes,
+        1,
+        correct,
+        channel=ChannelImperfections(allow_spoofing=True),
+    )
+    rows.append(row("spoofing allowed", out, "one fault poisons commits"))
+
+    # 3. unbounded jamming: one fault breaks liveness
+    processes = correct_process_map(
+        torus, "crash-flood", 0, (0, 0), 1, correct
+    )
+    processes[attacker] = RoundJammer()
+    out = run_broadcast(
+        torus,
+        processes,
+        1,
+        correct,
+        channel=ChannelImperfections(allow_jamming=True),
+        max_rounds=40,
+    )
+    rows.append(row("unbounded jamming", out, "jammer's nbd cut off"))
+
+    # 4. bounded jamming + retransmission: recovered
+    budget = 2
+    processes = {
+        node: RetransmittingProcess(proc, repeats=budget + 2)
+        for node, proc in correct_process_map(
+            torus, "crash-flood", 0, (0, 0), 1, correct
+        ).items()
+    }
+    processes[attacker] = RoundJammer()
+    out = run_broadcast(
+        torus,
+        processes,
+        1,
+        correct,
+        channel=ChannelImperfections(
+            allow_jamming=True, max_jam_rounds_per_node=budget
+        ),
+        max_rounds=60,
+    )
+    rows.append(
+        row(
+            f"jam budget {budget} + {budget + 2} repeats",
+            out,
+            "retransmission wins",
+        )
+    )
+
+    # 5. lossy channel + redundant copies: probabilistic local broadcast
+    all_nodes = set(torus.nodes())
+    processes = correct_process_map(
+        torus, "bv-two-hop", 0, (0, 0), 1, all_nodes
+    )
+    out = run_broadcast(
+        torus,
+        processes,
+        1,
+        all_nodes,
+        channel=ChannelImperfections(loss_rate=0.2, tx_copies=8, seed=3),
+        max_rounds=100,
+    )
+    rows.append(
+        row("20% loss + 8 copies", out, "1-p^k delivery suffices")
+    )
+    return rows
+
+
+# -- EXP-BOUNDARY: boundary anomalies on the non-toroidal grid ------------------------
+
+
+def run_boundary_effects(
+    radii: Sequence[int] = (1, 2), side: int = 11, trials: int = 4
+) -> List[Dict[str, Any]]:
+    """EXP-BOUNDARY: why the paper uses the torus.
+
+    Compares, per radius: the vertex connectivity from a central source
+    to a corner on the bounded grid vs an interior pair on the torus (the
+    crash-tolerance budget each supports), and the random-placement
+    success fraction at the torus-safe budget on both topologies.
+    """
+    import random as _random
+
+    from repro.analysis.flows import local_vertex_connectivity
+    from repro.faults.random_faults import random_bounded_placement
+    from repro.grid.bounded import BoundedGrid
+    from repro.grid.graphs import adjacency_map
+    from repro.grid.torus import Torus
+    from repro.protocols.registry import correct_process_map
+    from repro.radio.run import run_broadcast
+
+    rows: List[Dict[str, Any]] = []
+    for r in radii:
+        bounded = BoundedGrid.square(side, r)
+        torus = Torus.square(side, r)
+        center = (side // 2, side // 2)
+        corner_cut = local_vertex_connectivity(
+            adjacency_map(bounded), center, (0, 0)
+        )
+        torus_cut = local_vertex_connectivity(
+            adjacency_map(torus), center, (0, 0)
+        )
+        t = crash_linf_max_t(r)
+
+        def success_fraction(topology) -> float:
+            wins = 0
+            for trial in range(trials):
+                faults = random_bounded_placement(
+                    topology,
+                    t,
+                    rng=_random.Random(trial),
+                    protect=center,
+                )
+                correct = set(topology.nodes()) - faults
+                processes = correct_process_map(
+                    topology, "crash-flood", t, center, 1, correct
+                )
+                out = run_broadcast(
+                    topology,
+                    processes,
+                    1,
+                    correct,
+                    crash_round={f: 0 for f in faults},
+                )
+                wins += out.achieved
+            return wins / trials
+
+        rows.append(
+            {
+                "r": r,
+                "corner_cut_bounded": corner_cut,
+                "interior_cut_torus": torus_cut,
+                "crash_budget_torus_safe": t,
+                "success_torus": success_fraction(torus),
+                "success_bounded": success_fraction(bounded),
+            }
+        )
+    return rows
+
+
+# -- EXP-WAVE: commit-wave latency ------------------------------------------------------
+
+
+def run_commit_wave(
+    r: int = 1,
+    protocol: str = "bv-two-hop",
+    strategy: str = "silent",
+) -> List[Dict[str, Any]]:
+    """EXP-WAVE: commit round as a function of distance from the source.
+
+    The inductive proofs propagate commitment one perturbed neighborhood
+    per step; under synchronous (end-of-round) delivery the measured wave
+    is monotone in distance and roughly linear -- the protocol's latency
+    profile in protocol steps.
+    """
+    sc = byzantine_broadcast_scenario(
+        r=r, t=byzantine_linf_max_t(r), protocol=protocol, strategy=strategy
+    )
+    sc.delivery = "end-of-round"
+    sc.validate()
+    out = sc.run()
+    by_distance: Dict[int, List[int]] = {}
+    for node, proc in out.result.processes.items():
+        commit_round = getattr(proc, "commit_round", None)
+        if commit_round is None:
+            continue
+        d = int(sc.topology.distance(sc.source, node))
+        by_distance.setdefault(d, []).append(commit_round)
+    rows = []
+    for d in sorted(by_distance):
+        rounds = by_distance[d]
+        rows.append(
+            {
+                "distance": d,
+                "nodes": len(rounds),
+                "min_round": min(rounds),
+                "mean_round": round(sum(rounds) / len(rounds), 2),
+                "max_round": max(rounds),
+            }
+        )
+    return rows
+
+
+# -- EXP-SHARP: threshold sharpness under random adversaries -------------------------
+
+
+def run_threshold_sharpness(
+    r: int = 1,
+    protocol: str = "bv-two-hop",
+    strategy: str = "fabricator",
+    trials: int = 4,
+) -> List[Dict[str, Any]]:
+    """EXP-SHARP: success fraction vs budget under *random* placements.
+
+    Below the exact threshold the fraction must be 1.0 (worst-case
+    guarantee); above it, random placements may still succeed -- the
+    impossibility construction is special, and the table shows by how
+    much.
+    """
+    from repro.analysis.sweep import byzantine_sharpness_sweep
+
+    budgets = list(range(0, koo_impossibility_bound(r) + 2))
+    points = byzantine_sharpness_sweep(
+        r, budgets, protocol=protocol, strategy=strategy, trials=trials
+    )
+    threshold = byzantine_linf_max_t(r)
+    rows = []
+    for pt in points:
+        entry = pt.row()
+        entry["regime"] = (
+            "guaranteed" if pt.t <= threshold else "beyond threshold"
+        )
+        rows.append(entry)
+    return rows

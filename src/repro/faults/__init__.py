@@ -1,0 +1,70 @@
+"""The locally-bounded fault adversary (paper, Section II).
+
+"The adversary is allowed to place faults as long as no single
+neighborhood contains more than ``t`` faults.  Thus a correct node may
+have upto ``t`` faulty neighbors, while a faulty node may have upto
+``t - 1`` neighbors that are also faulty."
+
+- :mod:`repro.faults.placement` -- counting and validating placements
+  against the ``t``-per-neighborhood budget; random/greedy generators;
+- :mod:`repro.faults.byzantine` -- adversarial node processes (silent,
+  liars, report fabricators, duplicitous announcers);
+- :mod:`repro.faults.crash` -- crash-round schedules;
+- :mod:`repro.faults.constructions` -- the paper's impossibility
+  constructions (Fig. 8 crash strip; the half-density Byzantine strip
+  behind Koo's bound and Fig. 13);
+- :mod:`repro.faults.random_faults` -- i.i.d. random failures (Section
+  XI's percolation model) and budget-respecting random placements.
+"""
+
+from repro.faults.placement import (
+    fault_counts_per_nbd,
+    max_faults_per_nbd,
+    validate_placement,
+    is_valid_placement,
+    trim_to_budget,
+    greedy_random_placement,
+)
+from repro.faults.byzantine import (
+    SilentByzantine,
+    EagerLiarByzantine,
+    DuplicitousByzantine,
+    FabricatingByzantine,
+    RandomNoiseByzantine,
+    BYZANTINE_STRATEGIES,
+    make_byzantine,
+)
+from repro.faults.crash import dead_from_start, staggered_crashes
+from repro.faults.constructions import (
+    crash_strip,
+    torus_crash_partition,
+    half_density_strip,
+    torus_byzantine_strip,
+    puncture,
+)
+from repro.faults.random_faults import iid_failures, random_bounded_placement
+
+__all__ = [
+    "fault_counts_per_nbd",
+    "max_faults_per_nbd",
+    "validate_placement",
+    "is_valid_placement",
+    "trim_to_budget",
+    "greedy_random_placement",
+    "SilentByzantine",
+    "EagerLiarByzantine",
+    "DuplicitousByzantine",
+    "FabricatingByzantine",
+    "RandomNoiseByzantine",
+    "BYZANTINE_STRATEGIES",
+    "make_byzantine",
+    "dead_from_start",
+    "staggered_crashes",
+    "crash_strip",
+    "torus_crash_partition",
+    "half_density_strip",
+    "torus_byzantine_strip",
+    "puncture",
+    "iid_failures",
+    "random_bounded_placement",
+]

@@ -1,0 +1,212 @@
+"""Byzantine node strategies.
+
+A Byzantine node in this model can send *anything*, *whenever* its TDMA
+slot comes up -- but the broadcast channel denies it two classic weapons:
+it cannot spoof another node's identity (the engine stamps senders) and it
+cannot be duplicitous (every transmission reaches all neighbors
+identically).  What remains is lying: announcing values it never correctly
+derived and fabricating relay reports.
+
+Strategies provided (strongest first, for the protocols in this library):
+
+- :class:`FabricatingByzantine` -- announces the wrong value and floods
+  geometrically-plausible fake HEARD reports framing nearby nodes as
+  having committed the wrong value.  This is the strongest per-node attack
+  against the Bhandari-Vaidya commit rules: every fake chain it can make
+  passes the receivers' adjacency validation, so only the node-disjoint
+  counting defeats it.
+- :class:`EagerLiarByzantine` -- announces the wrong value immediately and
+  refuses to relay anything (lying *and* withholding).
+- :class:`SilentByzantine` -- pure withholding.  Sufficient to defeat
+  liveness at the impossibility threshold (the blocking argument is a
+  vertex cut, not deception).
+- :class:`DuplicitousByzantine` -- announces both values in order,
+  probing the "first announcement wins" duplicity rule.
+- :class:`RandomNoiseByzantine` -- seeded random mix of the above
+  behaviors, for property tests ("safety holds under *any* behavior").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Type
+
+from repro.errors import ConfigurationError
+from repro.geometry.metrics import get_metric
+from repro.protocols.base import CommittedMsg, HeardMsg, SourceMsg
+from repro.radio.messages import Envelope
+from repro.radio.node import Context, NodeProcess, SilentProcess
+
+
+class SilentByzantine(SilentProcess):
+    """Withholds all cooperation; transmits nothing, ever."""
+
+
+class EagerLiarByzantine(NodeProcess):
+    """Announces ``wrong_value`` in its first slot; relays nothing."""
+
+    def __init__(self, wrong_value: Any, metric="linf") -> None:
+        self.wrong_value = wrong_value
+        self.metric = get_metric(metric)
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.broadcast(CommittedMsg(self.wrong_value))
+
+
+class DuplicitousByzantine(NodeProcess):
+    """Attempts duplicity: announces ``first`` then ``second``.
+
+    On a broadcast channel every neighbor sees both, in the same order, so
+    honest protocols latch the first -- this strategy exists to *test*
+    that rule, not because it is strong.
+    """
+
+    def __init__(self, first: Any, second: Any, metric="linf") -> None:
+        self.first = first
+        self.second = second
+        self.metric = get_metric(metric)
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.broadcast(CommittedMsg(self.first))
+        ctx.broadcast(CommittedMsg(self.second))
+
+
+class FabricatingByzantine(NodeProcess):
+    """Wrong-value announcer plus plausible-report fabricator.
+
+    At start it announces ``wrong_value``; then it frames every node
+    within distance ``r`` as having announced ``wrong_value``
+    (one-relay reports), and -- when ``deep_fabrication`` -- frames nodes
+    within ``2r`` via invented two-relay chains whose intermediate hop is a
+    real grid point adjacent to both ends (so the report survives honest
+    adjacency validation).  It also re-frames every genuine announcement
+    it overhears, misreporting the announced value as ``wrong_value``.
+    """
+
+    def __init__(
+        self,
+        wrong_value: Any,
+        metric="linf",
+        deep_fabrication: bool = True,
+        max_fabrications_per_origin: int = 2,
+    ) -> None:
+        self.wrong_value = wrong_value
+        self.metric = get_metric(metric)
+        self.deep_fabrication = deep_fabrication
+        self.max_fabrications_per_origin = max_fabrications_per_origin
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.broadcast(CommittedMsg(self.wrong_value))
+        r = ctx.r
+        x, y = ctx.node
+        # Frame direct neighbors: "I heard them announce wrong_value".
+        for dx, dy in self.metric.offsets(r):
+            ctx.broadcast(
+                HeardMsg(origin=(x + dx, y + dy), value=self.wrong_value)
+            )
+        if not self.deep_fabrication:
+            return
+        # Frame the 2r-annulus via invented intermediate relays.  The
+        # receiver reconstructs the chain (me, relay) and checks me~relay,
+        # relay~origin; we pick relays making both hold.
+        for dx, dy in self.metric.offsets(2 * r):
+            if self.metric.within((0, 0), (dx, dy), r):
+                continue  # already framed directly
+            origin = (x + dx, y + dy)
+            fabricated = 0
+            for rx, ry in self.metric.offsets(r):
+                relay = (x + rx, y + ry)
+                if relay == origin:
+                    continue
+                if not self.metric.within(relay, origin, r):
+                    continue
+                ctx.broadcast(
+                    HeardMsg(
+                        origin=origin,
+                        value=self.wrong_value,
+                        relays=(relay,),
+                    )
+                )
+                fabricated += 1
+                if fabricated >= self.max_fabrications_per_origin:
+                    break
+
+    def on_receive(self, ctx: Context, env: Envelope) -> None:
+        # Misreport real announcements with the flipped value.
+        if isinstance(env.payload, CommittedMsg):
+            ctx.broadcast(
+                HeardMsg(origin=env.sender, value=self.wrong_value)
+            )
+
+
+class RandomNoiseByzantine(NodeProcess):
+    """Seeded random adversary for property tests.
+
+    Each round it may announce a random value, frame a random neighbor, or
+    stay silent.  Determinism: behavior is fully fixed by ``seed`` and the
+    node's own observation order.
+    """
+
+    def __init__(
+        self, wrong_value: Any, seed: int = 0, metric="linf", rate: float = 0.5
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(f"rate must be in [0,1], got {rate}")
+        self.wrong_value = wrong_value
+        self.metric = get_metric(metric)
+        self.rate = rate
+        self._rng = random.Random(seed)
+
+    def on_round(self, ctx: Context) -> None:
+        if ctx.round > 8:  # bounded nuisance: keep runs finite
+            return
+        if self._rng.random() > self.rate:
+            return
+        r = ctx.r
+        x, y = ctx.node
+        roll = self._rng.random()
+        if roll < 0.4:
+            ctx.broadcast(CommittedMsg(self.wrong_value))
+        elif roll < 0.8:
+            offs = self.metric.offsets(r)
+            dx, dy = offs[self._rng.randrange(len(offs))]
+            ctx.broadcast(
+                HeardMsg(origin=(x + dx, y + dy), value=self.wrong_value)
+            )
+        else:
+            ctx.broadcast(SourceMsg(self.wrong_value))  # fake source (ignored)
+
+
+BYZANTINE_STRATEGIES: Dict[str, Type[NodeProcess]] = {
+    "silent": SilentByzantine,
+    "liar": EagerLiarByzantine,
+    "duplicitous": DuplicitousByzantine,
+    "fabricator": FabricatingByzantine,
+    "noise": RandomNoiseByzantine,
+}
+"""Registry of strategy names for the scenario builders."""
+
+
+def make_byzantine(
+    strategy: str,
+    wrong_value: Any,
+    metric="linf",
+    seed: int = 0,
+) -> NodeProcess:
+    """Instantiate a Byzantine strategy by name with sensible defaults."""
+    if strategy == "silent":
+        return SilentByzantine()
+    if strategy == "liar":
+        return EagerLiarByzantine(wrong_value, metric=metric)
+    if strategy == "duplicitous":
+        return DuplicitousByzantine(wrong_value, 1 - wrong_value
+                                    if isinstance(wrong_value, int) else None,
+                                    metric=metric)
+    if strategy == "fabricator":
+        return FabricatingByzantine(wrong_value, metric=metric)
+    if strategy == "noise":
+        return RandomNoiseByzantine(wrong_value, seed=seed, metric=metric)
+    raise ConfigurationError(
+        f"unknown Byzantine strategy {strategy!r}; known: "
+        f"{sorted(BYZANTINE_STRATEGIES)}"
+    )

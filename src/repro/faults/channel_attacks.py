@@ -1,0 +1,91 @@
+"""Section X attacks: spoofing and deliberate collisions, as strategies.
+
+"The presence of a broadcast channel introduces numerous difficulties by
+way of the possibility of a malicious node spoofing another node's
+address ... as well as the possibility of disruption of communication
+via deliberate collisions."  (Paper, Section X.)
+
+These strategies only function on an engine configured with the matching
+:class:`~repro.radio.channel.ChannelImperfections`; on the default
+(perfect) channel the engine raises, which is itself the test that the
+model enforcement works.
+
+What the experiments show (bench EXP-SECX):
+
+- :class:`SourceImpersonator` -- with spoofing allowed, a *single*
+  Byzantine node adjacent to undecided nodes forges the source's initial
+  broadcast and poisons them: reliable broadcast becomes impossible with
+  even one fault ("any malicious node may attempt to impersonate any
+  honest node").
+- :class:`NeighborFramer` -- forges ``COMMITTED`` announcements in other
+  nodes' names, attacking the protocols' strongest evidence class.
+- :class:`RoundJammer` -- jams its neighborhood every round.  Unbounded,
+  it cuts its neighbors out of the network (broadcast impossible);
+  bounded by the channel's jam budget, retransmission-by-rounds
+  eventually gets every message through ("If the adversary uses
+  collisions to merely disrupt communication, the problem is trivially
+  solved by re-transmitting").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.geometry.coords import Coord
+from repro.geometry.metrics import get_metric
+from repro.protocols.base import CommittedMsg, SourceMsg
+from repro.radio.node import Context, NodeProcess
+
+
+class SourceImpersonator(NodeProcess):
+    """Forges the designated source's initial broadcast.
+
+    Transmits ``SourceMsg(wrong_value)`` stamped with the source's
+    address.  Every neighbor that has not yet committed and believes the
+    (forged) sender accepts the wrong value -- the paper's argument that
+    spoofing makes reliable broadcast unachievable.
+    """
+
+    def __init__(self, wrong_value: Any, source: Coord = (0, 0)) -> None:
+        self.wrong_value = wrong_value
+        self.source = source
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.broadcast_as(self.source, SourceMsg(self.wrong_value))
+
+
+class NeighborFramer(NodeProcess):
+    """Forges ``COMMITTED(wrong_value)`` in every neighbor's name.
+
+    Against CPA this manufactures up to ``nbd`` fake announcements from
+    *distinct* (forged) senders -- enough to cross any ``t + 1`` bar.
+    """
+
+    def __init__(self, wrong_value: Any, metric="linf") -> None:
+        self.wrong_value = wrong_value
+        self.metric = get_metric(metric)
+
+    def on_start(self, ctx: Context) -> None:
+        x, y = ctx.node
+        for dx, dy in self.metric.offsets(ctx.r):
+            ctx.broadcast_as(
+                (x + dx, y + dy), CommittedMsg(self.wrong_value)
+            )
+
+
+class RoundJammer(NodeProcess):
+    """Jams its neighborhood each round (optionally only the first
+    ``rounds_to_jam`` rounds; the engine's jam budget also applies)."""
+
+    def __init__(self, rounds_to_jam: Optional[int] = None) -> None:
+        self.rounds_to_jam = rounds_to_jam
+        self.jams_effective = 0
+
+    def on_round(self, ctx: Context) -> None:
+        if (
+            self.rounds_to_jam is not None
+            and ctx.round >= self.rounds_to_jam
+        ):
+            return
+        if ctx.jam():
+            self.jams_effective += 1

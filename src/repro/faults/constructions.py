@@ -1,0 +1,140 @@
+"""The paper's impossibility constructions, as placement generators.
+
+Two constructions carry all of the paper's lower bounds:
+
+- **The full strip** (Fig. 8): every node in an ``r``-column-wide,
+  full-height strip is faulty.  Any neighborhood sees at most
+  ``r(2r+1)`` strip nodes (L-infinity), so the placement respects
+  ``t = r(2r+1)``; yet it disconnects the half-plane beyond the strip.
+  This proves Theorem 4 (crash-stop impossibility at ``t >= r(2r+1)``).
+
+- **The half-density strip** (Koo's construction; Fig. 13 shows its L2
+  form with separate ``r`` odd / ``r`` even parities): the same strip but
+  only alternate nodes (a checkerboard) are faulty.  Any neighborhood now
+  sees at most ``ceil(r(2r+1)/2)`` faults, and the *correct* strip nodes
+  -- at most ``floor(r(2r+1)/2)`` per neighborhood -- form a vertex cut
+  too thin to carry ``t + 1`` node-disjoint evidence chains through any
+  single neighborhood.  Even a *silent* adversary therefore kills
+  liveness at ``t = ceil(r(2r+1)/2)``, matching Koo's impossibility bound
+  that Theorem 1 meets.
+
+On a torus a single strip does not partition anything (the world wraps),
+so the torus builders place **two** strips far enough apart that no
+neighborhood sees both; the band between them containing the source plays
+the half-plane's role.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.geometry.coords import Coord
+from repro.grid.torus import Torus
+
+
+def crash_strip(
+    x_start: int,
+    r: int,
+    y_range: Iterable[int],
+) -> Set[Coord]:
+    """Fig. 8's strip: all nodes with ``x_start <= x < x_start + r``.
+
+    ``y_range`` bounds the strip vertically (finite substrates); on the
+    infinite grid pass whatever span the analysis touches.
+    """
+    return {
+        (x, y)
+        for x in range(x_start, x_start + r)
+        for y in y_range
+    }
+
+
+def half_density_strip(
+    x_start: int,
+    r: int,
+    y_range: Iterable[int],
+    parity: int = 0,
+) -> Set[Coord]:
+    """Koo's half-density strip: checkerboard faults inside the strip.
+
+    A node ``(x, y)`` of the strip is faulty iff ``(x + y) % 2 == parity``.
+    Under L-infinity any closed ball intersects the strip in ``r`` columns
+    by ``2r+1`` rows, and a checkerboard fills at most
+    ``ceil(r(2r+1)/2)`` of those cells.
+    """
+    if parity not in (0, 1):
+        raise ConfigurationError(f"parity must be 0 or 1, got {parity}")
+    return {
+        (x, y)
+        for x in range(x_start, x_start + r)
+        for y in y_range
+        if (x + y) % 2 == parity
+    }
+
+
+def _torus_strip_columns(torus: Torus, source_x: int) -> Tuple[int, int]:
+    """Pick the two strip x-origins for a torus construction.
+
+    Placed symmetrically about the source column, at least ``2r + 1``
+    apart on both sides so no neighborhood sees both strips and the source
+    band is non-trivial.
+    """
+    w, r = torus.width, torus.r
+    min_width = 2 * (r + 2 * r + 1)  # two strips plus clearance bands
+    if w < min_width:
+        raise ConfigurationError(
+            f"torus width {w} too small for a two-strip construction with "
+            f"r={r}; need at least {min_width}"
+        )
+    right = (source_x + w // 4) % w
+    left = (source_x - w // 4 - r + 1) % w
+    return (left, right)
+
+
+def torus_crash_partition(
+    torus: Torus, source: Coord = (0, 0)
+) -> Set[Coord]:
+    """Two full strips that cut the torus into a source band and a far
+    band, realizing Theorem 4's partition at ``t = r(2r+1)``."""
+    left, right = _torus_strip_columns(torus, torus.canonical(source)[0])
+    ys = range(torus.height)
+    faults = crash_strip(left, torus.r, ys) | crash_strip(right, torus.r, ys)
+    return {torus.canonical(f) for f in faults}
+
+
+def torus_byzantine_strip(
+    torus: Torus, source: Coord = (0, 0), parity: int = 0
+) -> Set[Coord]:
+    """Two half-density strips: the Byzantine liveness blocker at
+    ``t = ceil(r(2r+1)/2)`` (Koo's impossibility bound)."""
+    left, right = _torus_strip_columns(torus, torus.canonical(source)[0])
+    ys = range(torus.height)
+    faults = half_density_strip(left, torus.r, ys, parity) | half_density_strip(
+        right, torus.r, ys, parity
+    )
+    return {torus.canonical(f) for f in faults}
+
+
+def far_side_nodes(torus: Torus, source: Coord = (0, 0)) -> Set[Coord]:
+    """Correct-side diagnostic: the nodes the two-strip constructions aim
+    to cut off (the band antipodal to the source)."""
+    left, right = _torus_strip_columns(torus, torus.canonical(source)[0])
+    w, r = torus.width, torus.r
+    blocked_cols: Set[int] = set()
+    # walk from just past the right strip around to just before the left
+    x = (right + r) % w
+    while x != left:
+        blocked_cols.add(x)
+        x = (x + 1) % w
+    return {
+        (x, y) for x in blocked_cols for y in range(torus.height)
+    }
+
+
+def puncture(
+    faults: Set[Coord], holes: Iterable[Coord]
+) -> Set[Coord]:
+    """Remove specific faults (open a hole in a strip) -- the standard way
+    to turn an at-threshold construction into a below-threshold one."""
+    return faults - set(holes)

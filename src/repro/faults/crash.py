@@ -1,0 +1,38 @@
+"""Crash-stop fault schedules.
+
+The engine consumes a ``node -> crash round`` map; these helpers build the
+two schedules the experiments need:
+
+- :func:`dead_from_start` -- every faulty node crashes before round 0.
+  For pure reachability questions this is the adversary's strongest move
+  (a node that crashes later can only have helped in the meantime), so the
+  impossibility construction and the threshold sweeps use it.
+- :func:`staggered_crashes` -- random mid-run crash rounds, exercising the
+  "crash after partial participation" behaviors (a node may crash after
+  relaying, which never hurts; the tests confirm monotonicity).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Optional
+
+from repro.geometry.coords import Coord
+
+
+def dead_from_start(faulty: Iterable[Coord]) -> Dict[Coord, int]:
+    """All faulty nodes crash before executing anything."""
+    return {f: 0 for f in faulty}
+
+
+def staggered_crashes(
+    faulty: Iterable[Coord],
+    max_round: int,
+    rng: Optional[random.Random] = None,
+) -> Dict[Coord, int]:
+    """Each faulty node crashes at an independent uniform round in
+    ``[0, max_round]``."""
+    if max_round < 0:
+        raise ValueError(f"max_round must be >= 0, got {max_round}")
+    rng = rng or random.Random(0)
+    return {f: rng.randint(0, max_round) for f in faulty}

@@ -1,0 +1,180 @@
+"""Counting and validating locally-bounded fault placements.
+
+The adversary's constraint is *per neighborhood*: for every grid point
+``c`` (whether or not a fault sits there), the closed radius-``r`` ball
+around ``c`` may contain at most ``t`` faulty nodes.  Counting over
+*closed* balls matches the paper's accounting ("a faulty node may have
+upto ``t - 1`` neighbors that are also faulty": the faulty node plus its
+faulty neighbors stay within ``t``).
+
+All functions work either on the infinite grid (plain coordinates) or on a
+finite topology (pass ``topology=`` and coordinates are wrapped).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import InvalidPlacementError
+from repro.geometry.coords import Coord
+from repro.geometry.metrics import get_metric
+from repro.grid.topology import Topology
+
+
+def _closed_ball(
+    p: Coord, r: int, metric, topology: Optional[Topology]
+) -> List[Coord]:
+    """Closed metric ball around ``p``; wrapped when a topology is given."""
+    m = get_metric(metric)
+    px, py = p
+    pts = [(px + dx, py + dy) for dx, dy in m.offsets(r)]
+    pts.append((px, py))
+    if topology is not None:
+        pts = [topology.canonical(q) for q in pts]
+    return pts
+
+
+def fault_counts_per_nbd(
+    faulty: Iterable[Coord],
+    r: int,
+    metric="linf",
+    topology: Optional[Topology] = None,
+) -> Dict[Coord, int]:
+    """Faults per closed neighborhood, for every center that sees any.
+
+    Centers whose neighborhood contains no fault are omitted (on the
+    infinite grid there are infinitely many).  Each faulty node contributes
+    to every center within distance ``r`` of it -- the ball is symmetric,
+    so "centers covering f" equals "ball around f".
+    """
+    counts: Dict[Coord, int] = {}
+    seen: Set[Coord] = set()
+    for f in faulty:
+        cf = topology.canonical(f) if topology is not None else (f[0], f[1])
+        if cf in seen:
+            continue
+        seen.add(cf)
+        for center in _closed_ball(cf, r, metric, topology):
+            counts[center] = counts.get(center, 0) + 1
+    return counts
+
+
+def max_faults_per_nbd(
+    faulty: Iterable[Coord],
+    r: int,
+    metric="linf",
+    topology: Optional[Topology] = None,
+) -> Tuple[int, Optional[Coord]]:
+    """``(max count, witness center)``; ``(0, None)`` for no faults."""
+    counts = fault_counts_per_nbd(faulty, r, metric, topology)
+    if not counts:
+        return (0, None)
+    center = max(counts, key=lambda c: (counts[c], (-c[0], -c[1])))
+    return (counts[center], center)
+
+
+def is_valid_placement(
+    faulty: Iterable[Coord],
+    t: int,
+    r: int,
+    metric="linf",
+    topology: Optional[Topology] = None,
+) -> bool:
+    """Whether no neighborhood contains more than ``t`` faults."""
+    worst, _ = max_faults_per_nbd(faulty, r, metric, topology)
+    return worst <= t
+
+
+def validate_placement(
+    faulty: Iterable[Coord],
+    t: int,
+    r: int,
+    metric="linf",
+    topology: Optional[Topology] = None,
+) -> None:
+    """Raise :class:`~repro.errors.InvalidPlacementError` on violation."""
+    worst, center = max_faults_per_nbd(faulty, r, metric, topology)
+    if worst > t:
+        raise InvalidPlacementError(
+            f"placement puts {worst} faults in the neighborhood of {center} "
+            f"but the budget is t={t} (r={r}, metric={get_metric(metric).name})"
+        )
+
+
+def trim_to_budget(
+    faulty: Iterable[Coord],
+    t: int,
+    r: int,
+    metric="linf",
+    topology: Optional[Topology] = None,
+    rng: Optional[random.Random] = None,
+) -> Set[Coord]:
+    """Remove as few faults as needed (greedily) to respect the budget.
+
+    Repeatedly finds the most-violating neighborhood and removes from it
+    the fault that participates in the most violating neighborhoods
+    (deterministic unless an ``rng`` breaks ties).  Greedy is not optimal
+    in general but the constructions only ever need a handful of removals.
+    """
+    m = get_metric(metric)
+    current: Set[Coord] = {
+        topology.canonical(f) if topology is not None else (f[0], f[1])
+        for f in faulty
+    }
+    while True:
+        counts = fault_counts_per_nbd(current, r, m, topology)
+        violating = {c for c, n in counts.items() if n > t}
+        if not violating:
+            return current
+        # Score each fault by how many violating neighborhoods it sits in.
+        def score(f: Coord) -> int:
+            return sum(
+                1 for c in _closed_ball(f, r, m, topology) if c in violating
+            )
+
+        ranked = sorted(current, key=lambda f: (-score(f), f))
+        if rng is not None:
+            top = score(ranked[0])
+            ties = [f for f in ranked if score(f) == top]
+            current.discard(rng.choice(ties))
+        else:
+            current.discard(ranked[0])
+
+
+def greedy_random_placement(
+    candidates: Sequence[Coord],
+    t: int,
+    r: int,
+    metric="linf",
+    topology: Optional[Topology] = None,
+    rng: Optional[random.Random] = None,
+    target_count: Optional[int] = None,
+) -> Set[Coord]:
+    """A random maximal (or ``target_count``-sized) valid placement.
+
+    Visits ``candidates`` in random order and keeps each fault that does
+    not break the budget.  Incremental counting makes this
+    ``O(|candidates| * |ball|)``.
+    """
+    m = get_metric(metric)
+    rng = rng or random.Random(0)
+    order = list(candidates)
+    rng.shuffle(order)
+    counts: Dict[Coord, int] = {}
+    chosen: Set[Coord] = set()
+    for cand in order:
+        node = (
+            topology.canonical(cand) if topology is not None else (cand[0], cand[1])
+        )
+        if node in chosen:
+            continue
+        ball = _closed_ball(node, r, m, topology)
+        if any(counts.get(c, 0) + 1 > t for c in ball):
+            continue
+        chosen.add(node)
+        for c in ball:
+            counts[c] = counts.get(c, 0) + 1
+        if target_count is not None and len(chosen) >= target_count:
+            break
+    return chosen

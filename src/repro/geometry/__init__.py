@@ -1,0 +1,84 @@
+"""Integer-lattice geometry substrate.
+
+The paper's network model places one node on every point of the integer
+lattice (each grid unit is a 1x1 square).  Everything above this package
+speaks in lattice coordinates; this package owns the primitive vocabulary:
+
+- :mod:`repro.geometry.coords` -- points and vector arithmetic;
+- :mod:`repro.geometry.metrics` -- the L1, L2 and L-infinity metrics and
+  lattice-ball enumeration;
+- :mod:`repro.geometry.balls` -- cardinality formulas and half-plane /
+  annulus helpers used by the threshold arguments;
+- :mod:`repro.geometry.regions` -- axis-aligned integer rectangles (the
+  shape every region in the paper's Table I takes);
+- :mod:`repro.geometry.symmetry` -- the dihedral symmetries of the lattice,
+  used to extend "corner node" arguments to all positions.
+"""
+
+from repro.geometry.coords import Point, add, sub, neg, scale, manhattan
+from repro.geometry.metrics import (
+    Metric,
+    L1Metric,
+    L2Metric,
+    LInfMetric,
+    L1,
+    L2,
+    LINF,
+    get_metric,
+)
+from repro.geometry.balls import (
+    ball_offsets,
+    ball_size,
+    linf_ball_size,
+    l2_ball_size,
+    l1_ball_size,
+    half_ball_points,
+)
+from repro.geometry.regions import Rect, rect_from_extents
+from repro.geometry.symmetry import (
+    DIHEDRAL_TRANSFORMS,
+    identity,
+    rot90,
+    rot180,
+    rot270,
+    mirror_x,
+    mirror_y,
+    mirror_diag,
+    mirror_anti,
+    transform_point,
+)
+
+__all__ = [
+    "Point",
+    "add",
+    "sub",
+    "neg",
+    "scale",
+    "manhattan",
+    "Metric",
+    "L1Metric",
+    "L2Metric",
+    "LInfMetric",
+    "L1",
+    "L2",
+    "LINF",
+    "get_metric",
+    "ball_offsets",
+    "ball_size",
+    "linf_ball_size",
+    "l2_ball_size",
+    "l1_ball_size",
+    "half_ball_points",
+    "Rect",
+    "rect_from_extents",
+    "DIHEDRAL_TRANSFORMS",
+    "identity",
+    "rot90",
+    "rot180",
+    "rot270",
+    "mirror_x",
+    "mirror_y",
+    "mirror_diag",
+    "mirror_anti",
+    "transform_point",
+]

@@ -1,0 +1,70 @@
+"""Lattice points and elementary vector arithmetic.
+
+Nodes in the paper are identified by their grid location ``(x, y)``.  We
+represent a location as a plain 2-tuple of ints.  :class:`Point` is a
+``NamedTuple`` that *is* such a tuple (it compares and hashes equal to the
+bare tuple), so library code may construct ``Point`` values for readability
+while hot paths and user code may use plain tuples interchangeably.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Tuple
+
+Coord = Tuple[int, int]
+"""Type alias for a lattice coordinate; any ``(int, int)`` tuple qualifies."""
+
+
+class Point(NamedTuple):
+    """A lattice point.
+
+    ``Point(3, -1)`` is equal (and hashes equal) to the tuple ``(3, -1)``,
+    so the two spellings are interchangeable everywhere in the library.
+    """
+
+    x: int
+    y: int
+
+    def __add__(self, other: Coord) -> "Point":  # type: ignore[override]
+        """Translate this point by ``other`` (vector addition)."""
+        return Point(self.x + other[0], self.y + other[1])
+
+    def __sub__(self, other: Coord) -> "Point":
+        """Vector from ``other`` to this point."""
+        return Point(self.x - other[0], self.y - other[1])
+
+    def __neg__(self) -> "Point":
+        return Point(-self.x, -self.y)
+
+
+def add(a: Coord, b: Coord) -> Coord:
+    """Component-wise sum of two coordinates."""
+    return (a[0] + b[0], a[1] + b[1])
+
+
+def sub(a: Coord, b: Coord) -> Coord:
+    """Component-wise difference ``a - b``."""
+    return (a[0] - b[0], a[1] - b[1])
+
+
+def neg(a: Coord) -> Coord:
+    """Component-wise negation."""
+    return (-a[0], -a[1])
+
+
+def scale(a: Coord, k: int) -> Coord:
+    """Scalar multiple ``k * a``."""
+    return (a[0] * k, a[1] * k)
+
+
+def manhattan(a: Coord, b: Coord) -> int:
+    """The L1 (Manhattan) distance between ``a`` and ``b``."""
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+ORIGIN = Point(0, 0)
+"""The designated source location (w.l.o.g. per the paper, Section II)."""
+
+UNIT_STEPS: Tuple[Coord, ...] = ((1, 0), (-1, 0), (0, 1), (0, -1))
+"""The four axial unit steps; ``pnbd`` perturbs a neighborhood center by
+one of these (paper, Section IV)."""

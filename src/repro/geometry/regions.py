@@ -1,0 +1,128 @@
+"""Axis-aligned integer rectangles.
+
+Every region in the paper's constructions (Table I and Figures 1-7, 9-10,
+14-19) is an axis-aligned rectangle of lattice points, described by x- and
+y-extents like ``(a+1) <= x <= (a+p-1), (b+1) <= y <= (b+q+r)``.
+:class:`Rect` models exactly that: a closed integer box ``[x_min, x_max] x
+[y_min, y_max]``.  An *empty* rectangle (some ``min > max``) is legal and
+contains no points -- the paper's regions degenerate to empty for boundary
+parameter values (e.g. region B1 when ``p = 1``), and the path-counting
+arithmetic still works out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.geometry.coords import Coord
+
+
+@dataclass(frozen=True)
+class Rect:
+    """A closed axis-aligned box of lattice points.
+
+    ``Rect(0, 2, 0, 1)`` contains the 6 points with ``0 <= x <= 2`` and
+    ``0 <= y <= 1``.  Boxes with ``x_min > x_max`` or ``y_min > y_max`` are
+    empty.
+    """
+
+    x_min: int
+    x_max: int
+    y_min: int
+    y_max: int
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the box contains no lattice points."""
+        return self.x_min > self.x_max or self.y_min > self.y_max
+
+    @property
+    def width(self) -> int:
+        """Number of distinct x values (0 if empty)."""
+        return max(0, self.x_max - self.x_min + 1)
+
+    @property
+    def height(self) -> int:
+        """Number of distinct y values (0 if empty)."""
+        return max(0, self.y_max - self.y_min + 1)
+
+    def __len__(self) -> int:
+        return self.width * self.height
+
+    def __contains__(self, p: Coord) -> bool:
+        return (
+            self.x_min <= p[0] <= self.x_max and self.y_min <= p[1] <= self.y_max
+        )
+
+    def __iter__(self) -> Iterator[Coord]:
+        """Iterate points in row-major order (y outer, x inner)."""
+        for y in range(self.y_min, self.y_max + 1):
+            for x in range(self.x_min, self.x_max + 1):
+                yield (x, y)
+
+    def points(self) -> List[Coord]:
+        """Materialize all points (row-major)."""
+        return list(self)
+
+    def translate(self, dx: int, dy: int) -> "Rect":
+        """The box shifted by ``(dx, dy)``.
+
+        The paper's pairings between regions (e.g. B1 <-> B2) are exactly
+        such translations.
+        """
+        return Rect(
+            self.x_min + dx, self.x_max + dx, self.y_min + dy, self.y_max + dy
+        )
+
+    def intersect(self, other: "Rect") -> "Rect":
+        """The (possibly empty) intersection box."""
+        return Rect(
+            max(self.x_min, other.x_min),
+            min(self.x_max, other.x_max),
+            max(self.y_min, other.y_min),
+            min(self.y_max, other.y_max),
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """Whether the two boxes share at least one lattice point."""
+        return not self.intersect(other).is_empty
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """Whether ``other`` (if non-empty) lies entirely inside this box."""
+        if other.is_empty:
+            return True
+        return (
+            self.x_min <= other.x_min
+            and other.x_max <= self.x_max
+            and self.y_min <= other.y_min
+            and other.y_max <= self.y_max
+        )
+
+    def corners(self) -> Tuple[Coord, Coord, Coord, Coord]:
+        """The four corner points (SW, SE, NW, NE); undefined if empty."""
+        return (
+            (self.x_min, self.y_min),
+            (self.x_max, self.y_min),
+            (self.x_min, self.y_max),
+            (self.x_max, self.y_max),
+        )
+
+    @staticmethod
+    def ball_linf(center: Coord, r: int) -> "Rect":
+        """The L-infinity ball of radius ``r`` around ``center`` as a box
+        (this box *includes* the center point)."""
+        cx, cy = center
+        return Rect(cx - r, cx + r, cy - r, cy + r)
+
+
+def rect_from_extents(
+    x_lo: int, x_hi: int, y_lo: int, y_hi: int, name: Optional[str] = None
+) -> Rect:
+    """Build a :class:`Rect` from paper-style extents.
+
+    Table I in the paper writes extents as ``lo <= x <= hi``; this helper
+    keeps call sites visually close to the paper's table.  ``name`` is
+    accepted for call-site documentation and ignored.
+    """
+    return Rect(x_lo, x_hi, y_lo, y_hi)

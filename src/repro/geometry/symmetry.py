@@ -1,0 +1,104 @@
+"""Dihedral symmetries of the square lattice.
+
+The paper repeatedly argues "for all other positions the argument holds by
+symmetry" (Section VI-A, and the S2-region argument which uses the axial
+symmetry about the axis OO').  This module makes those arguments
+executable: the eight symmetries of the square (the dihedral group D4) act
+on lattice points, and both the L-infinity and L2 metrics are invariant
+under all of them, so any verified construction can be transported to the
+other seven orientations and re-verified.
+
+Each transform is a function ``Coord -> Coord`` fixing the origin; compose
+with translations to pivot around an arbitrary center.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from repro.geometry.coords import Coord
+
+Transform = Callable[[Coord], Coord]
+
+
+def identity(p: Coord) -> Coord:
+    """The identity transform."""
+    return (p[0], p[1])
+
+
+def rot90(p: Coord) -> Coord:
+    """Rotation by 90 degrees counterclockwise about the origin."""
+    return (-p[1], p[0])
+
+
+def rot180(p: Coord) -> Coord:
+    """Rotation by 180 degrees about the origin."""
+    return (-p[0], -p[1])
+
+
+def rot270(p: Coord) -> Coord:
+    """Rotation by 270 degrees counterclockwise about the origin."""
+    return (p[1], -p[0])
+
+
+def mirror_x(p: Coord) -> Coord:
+    """Reflection across the x-axis (y -> -y)."""
+    return (p[0], -p[1])
+
+
+def mirror_y(p: Coord) -> Coord:
+    """Reflection across the y-axis (x -> -x)."""
+    return (-p[0], p[1])
+
+
+def mirror_diag(p: Coord) -> Coord:
+    """Reflection across the main diagonal y = x (swap coordinates).
+
+    This is the symmetry the paper's S2 argument uses: the axis OO' in
+    Fig. 3 / Fig. 7 is a diagonal of the construction.
+    """
+    return (p[1], p[0])
+
+
+def mirror_anti(p: Coord) -> Coord:
+    """Reflection across the anti-diagonal y = -x."""
+    return (-p[1], -p[0])
+
+
+DIHEDRAL_TRANSFORMS: Dict[str, Transform] = {
+    "identity": identity,
+    "rot90": rot90,
+    "rot180": rot180,
+    "rot270": rot270,
+    "mirror_x": mirror_x,
+    "mirror_y": mirror_y,
+    "mirror_diag": mirror_diag,
+    "mirror_anti": mirror_anti,
+}
+"""All eight elements of D4, keyed by name."""
+
+
+def transform_point(
+    transform: Transform, p: Coord, center: Coord = (0, 0)
+) -> Coord:
+    """Apply ``transform`` to ``p`` pivoting about ``center``.
+
+    Conjugates the origin-fixing ``transform`` by the translation taking
+    ``center`` to the origin.
+    """
+    tx, ty = transform((p[0] - center[0], p[1] - center[1]))
+    return (tx + center[0], ty + center[1])
+
+
+def transform_points(
+    transform: Transform, points: Iterable[Coord], center: Coord = (0, 0)
+) -> List[Coord]:
+    """Apply :func:`transform_point` to every point of an iterable."""
+    return [transform_point(transform, p, center) for p in points]
+
+
+def transform_path(
+    transform: Transform, path: Sequence[Coord], center: Coord = (0, 0)
+) -> Tuple[Coord, ...]:
+    """Apply a symmetry to a path (sequence of lattice points)."""
+    return tuple(transform_point(transform, p, center) for p in path)

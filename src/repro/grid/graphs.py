@@ -1,0 +1,95 @@
+"""Adjacency-structure exports for the analysis layer.
+
+The analysis modules (reachability, vertex-disjoint paths, percolation)
+work on plain adjacency maps -- ``dict`` mapping each node to a tuple of
+neighbors -- rather than on :class:`~repro.grid.topology.Topology` objects,
+so they can also operate on *subgraphs* (e.g. a neighborhood with its
+faulty nodes removed, or the graph formed by a set of reported relay
+paths).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.geometry.coords import Coord
+from repro.grid.topology import Topology
+
+AdjacencyMap = Dict[Coord, Tuple[Coord, ...]]
+"""A graph as a node -> neighbors mapping.  Undirected graphs store each
+edge in both endpoint lists."""
+
+
+def adjacency_map(topology: Topology) -> AdjacencyMap:
+    """The full radio graph of a finite topology."""
+    return {node: topology.neighbors(node) for node in topology.nodes()}
+
+
+def induced_adjacency(
+    topology: Topology, nodes: Iterable[Coord]
+) -> AdjacencyMap:
+    """The radio graph induced on ``nodes`` (canonicalized).
+
+    Only edges with both endpoints in ``nodes`` survive.  Useful for
+    restricting attention to a single neighborhood, or to the correct
+    (non-faulty) portion of the network.
+    """
+    canon: Set[Coord] = {topology.canonical(p) for p in nodes}
+    return {
+        node: tuple(nb for nb in topology.neighbors(node) if nb in canon)
+        for node in sorted(canon)
+    }
+
+
+def remove_nodes(adj: AdjacencyMap, removed: Iterable[Coord]) -> AdjacencyMap:
+    """A copy of ``adj`` with ``removed`` nodes (and incident edges) deleted."""
+    gone = set(removed)
+    return {
+        node: tuple(nb for nb in nbs if nb not in gone)
+        for node, nbs in adj.items()
+        if node not in gone
+    }
+
+
+def connected_components(adj: AdjacencyMap) -> List[Set[Coord]]:
+    """Connected components of an undirected adjacency map.
+
+    Iterative BFS (no recursion limits on big tori).  Components are
+    returned largest-first.
+    """
+    seen: Set[Coord] = set()
+    components: List[Set[Coord]] = []
+    for start in adj:
+        if start in seen:
+            continue
+        comp: Set[Coord] = {start}
+        frontier = [start]
+        while frontier:
+            nxt: List[Coord] = []
+            for u in frontier:
+                for v in adj.get(u, ()):
+                    if v not in comp:
+                        comp.add(v)
+                        nxt.append(v)
+            frontier = nxt
+        seen |= comp
+        components.append(comp)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def component_of(adj: AdjacencyMap, start: Coord) -> Set[Coord]:
+    """The connected component containing ``start``."""
+    if start not in adj:
+        raise KeyError(f"node {start} not in graph")
+    comp: Set[Coord] = {start}
+    frontier = [start]
+    while frontier:
+        nxt: List[Coord] = []
+        for u in frontier:
+            for v in adj.get(u, ()):
+                if v not in comp:
+                    comp.add(v)
+                    nxt.append(v)
+        frontier = nxt
+    return comp

@@ -1,0 +1,159 @@
+"""Collision-free TDMA schedules for grid radio networks.
+
+The paper assumes (Section II) "a pre-determined TDMA schedule that all
+nodes follow", noting such schedules "are easily determined for the grid
+network under consideration (so long as time-optimality is not a concern)".
+This module constructs them.
+
+Two transmissions collide at a receiver that hears both, which can only
+happen when the two senders are within distance ``2r`` of each other.  A
+schedule is therefore *collision-free* when any two nodes sharing a slot
+are at distance at least ``2r + 1``.
+
+Constructions
+-------------
+
+- :func:`grid_coloring_schedule`: color node ``(x, y)`` with
+  ``(x mod k, y mod k)`` where ``k = 2r + 1``.  Two same-colored nodes
+  differ by a nonzero multiple of ``k`` in some axis, hence are at
+  L-infinity distance >= ``2r + 1`` -- and L1/L2 distance is never smaller
+  than L-infinity distance, so the schedule is valid under every metric in
+  this library.  ``(2r+1)^2`` slots per frame.  On a torus both sides must
+  be divisible by ``k`` for the congruence argument to survive the wrap.
+- :func:`sequential_schedule`: one slot per node.  Trivially valid on any
+  finite topology; used when the coloring divisibility condition fails.
+
+:func:`make_schedule` picks the best applicable construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.geometry.coords import Coord
+from repro.grid.topology import Topology
+from repro.grid.torus import Torus
+
+
+@dataclass(frozen=True)
+class TDMASchedule:
+    """An assignment of every node to a slot within a repeating frame.
+
+    ``slots[i]`` is the tuple of nodes that transmit in slot ``i``; a frame
+    is one pass over all slots.  The simulation engine runs one frame per
+    round, firing slots in order, which fixes a deterministic global
+    transmission order while preserving the paper's collision-freedom.
+    """
+
+    slots: Tuple[Tuple[Coord, ...], ...]
+    name: str = "custom"
+    _slot_of: Dict[Coord, int] = field(
+        default_factory=dict, repr=False, compare=False, hash=False
+    )
+
+    def __post_init__(self) -> None:
+        mapping: Dict[Coord, int] = {}
+        for i, group in enumerate(self.slots):
+            for node in group:
+                if node in mapping:
+                    raise ConfigurationError(
+                        f"node {node} appears in slots {mapping[node]} and {i}"
+                    )
+                mapping[node] = i
+        object.__setattr__(self, "_slot_of", mapping)
+
+    @property
+    def frame_length(self) -> int:
+        """Number of slots in one frame."""
+        return len(self.slots)
+
+    def slot_of(self, node: Coord) -> int:
+        """The slot index assigned to ``node``."""
+        try:
+            return self._slot_of[node]
+        except KeyError:
+            raise KeyError(f"node {node} has no slot in this schedule") from None
+
+    def __contains__(self, node: Coord) -> bool:
+        return node in self._slot_of
+
+    def __len__(self) -> int:
+        return len(self._slot_of)
+
+
+def grid_coloring_schedule(topology: Torus) -> TDMASchedule:
+    """The ``(x mod 2r+1, y mod 2r+1)`` coloring schedule on a torus.
+
+    :raises ConfigurationError: if either torus side is not divisible by
+        ``2r + 1`` (the wrap would break the spacing guarantee).
+    """
+    k = 2 * topology.r + 1
+    if topology.width % k or topology.height % k:
+        raise ConfigurationError(
+            f"grid coloring needs both torus sides divisible by 2r+1={k}; "
+            f"got {topology.width}x{topology.height}"
+        )
+    groups: Dict[Tuple[int, int], List[Coord]] = {
+        (cx, cy): [] for cx in range(k) for cy in range(k)
+    }
+    for node in topology.nodes():
+        groups[(node[0] % k, node[1] % k)].append(node)
+    ordered = [
+        tuple(sorted(groups[(cx, cy)]))
+        for cx in range(k)
+        for cy in range(k)
+    ]
+    return TDMASchedule(tuple(ordered), name=f"coloring(k={k})")
+
+
+def sequential_schedule(topology: Topology) -> TDMASchedule:
+    """One slot per node, in row-major order.  Always collision-free."""
+    if not topology.is_finite:
+        raise ConfigurationError("sequential schedule requires a finite topology")
+    return TDMASchedule(
+        tuple((node,) for node in sorted(topology.nodes())), name="sequential"
+    )
+
+
+def make_schedule(topology: Topology) -> TDMASchedule:
+    """Best applicable schedule: grid coloring when valid, else sequential."""
+    if isinstance(topology, Torus):
+        k = 2 * topology.r + 1
+        if topology.width % k == 0 and topology.height % k == 0:
+            return grid_coloring_schedule(topology)
+    return sequential_schedule(topology)
+
+
+def validate_schedule(schedule: TDMASchedule, topology: Topology) -> None:
+    """Check collision-freedom of a schedule on a finite topology.
+
+    Two nodes sharing a slot must have no common potential receiver, i.e.
+    no third node within distance ``r`` of both.  Equivalently (and this is
+    what we check, since it is the standard interference condition), nodes
+    sharing a slot must not be within distance ``2r`` of each other.
+
+    :raises ConfigurationError: if the schedule misses a node or two
+        co-slotted nodes interfere.
+    """
+    if not topology.is_finite:
+        raise ConfigurationError("can only validate schedules on finite topologies")
+    nodes = list(topology.nodes())
+    for node in nodes:
+        if node not in schedule:
+            raise ConfigurationError(f"schedule assigns no slot to node {node}")
+    two_r = 2 * topology.r
+    for group in schedule.slots:
+        for i, a in enumerate(group):
+            for b in group[i + 1 :]:
+                if isinstance(topology, Torus):
+                    d = topology.distance(a, b)
+                else:
+                    d = topology.metric.distance(a, b)
+                if d <= two_r:
+                    raise ConfigurationError(
+                        f"nodes {a} and {b} share a slot but are at distance "
+                        f"{d} <= 2r = {two_r}; their transmissions could "
+                        "collide at a common receiver"
+                    )

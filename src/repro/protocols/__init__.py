@@ -1,0 +1,51 @@
+"""Broadcast protocols from the paper.
+
+Four protocols, in increasing sophistication:
+
+- :class:`~repro.protocols.crash_flood.CrashFloodProtocol` -- Section VII:
+  under crash-stop faults "no special protocol is required"; commit on
+  first receipt, relay once.
+- :class:`~repro.protocols.cpa.CPAProtocol` -- the simple protocol of Koo
+  (PODC'04), called the Certified Propagation Algorithm by Pelc & Peleg:
+  commit when ``t+1`` *neighbors* have announced the same value (Section
+  IX analyzes it, proving ``t <= (2/3) r^2`` suffices).
+- :class:`~repro.protocols.bv_two_hop.BVTwoHopProtocol` -- the simplified
+  Bhandari-Vaidya protocol (Section VI-B): only direct neighbors of a
+  committing node report it, and the commit rule packs node-disjoint
+  two-hop evidence chains inside a single neighborhood.
+- :class:`~repro.protocols.bv_indirect.BVIndirectProtocol` -- the full
+  protocol of Section VI: HEARD reports relay up to three intermediate
+  hops, and commitment uses the two-level rule (reliably determine
+  individual nodes' commitments via ``t+1`` node-disjoint report paths in
+  a single neighborhood, then commit when ``t+1`` determined nodes in a
+  single neighborhood agree).  Both BV protocols achieve the paper's exact
+  threshold ``t < r(2r+1)/2``.
+"""
+
+from repro.protocols.base import (
+    SourceMsg,
+    CommittedMsg,
+    HeardMsg,
+    BroadcastProtocolNode,
+)
+from repro.protocols.crash_flood import CrashFloodProtocol
+from repro.protocols.cpa import CPAProtocol
+from repro.protocols.bv_two_hop import BVTwoHopProtocol
+from repro.protocols.bv_indirect import BVIndirectProtocol
+from repro.protocols.bv_earmarked import BVEarmarkedProtocol
+from repro.protocols.registry import PROTOCOLS, make_protocol, protocol_names
+
+__all__ = [
+    "SourceMsg",
+    "CommittedMsg",
+    "HeardMsg",
+    "BroadcastProtocolNode",
+    "CrashFloodProtocol",
+    "CPAProtocol",
+    "BVTwoHopProtocol",
+    "BVIndirectProtocol",
+    "BVEarmarkedProtocol",
+    "PROTOCOLS",
+    "make_protocol",
+    "protocol_names",
+]

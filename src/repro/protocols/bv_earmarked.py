@@ -1,0 +1,194 @@
+"""The earmarked Bhandari-Vaidya protocol: topology-known optimization.
+
+Section VI of the paper twice points out that the constructive
+completeness proof licenses a leaner implementation: "This state may be
+reduced further by earmarking exact messages that a node should lookout
+for", and the related-work section contrasts algorithms "that work with
+knowledge of topology".  This protocol is that variant, built directly on
+the verified constructions:
+
+- at startup each node derives its induction frame
+  (:func:`repro.core.earmark.watchlist_for_node`): one already-committed
+  neighborhood ``nbd(c)`` plus, for each of its ``r(2r+1)`` member nodes,
+  the exact node-disjoint relay chains of Figs. 4-7;
+- it then ignores all HEARD traffic except reports arriving along a
+  watched chain (and still *forwards* reports like any honest node --
+  other nodes' constructions route through it);
+- **determination**: a watched origin is determined to value ``v`` once
+  ``t + 1`` of its (pairwise node-disjoint, single-neighborhood-confined)
+  watched chains deliver matching reports -- no set packing needed, the
+  construction already is a packing;
+- **commitment**: ``t + 1`` watched origins determined to the same value
+  (they all lie in the one chosen neighborhood) -- no covering-center
+  search needed.
+
+Same exact threshold ``t < r(2r+1)/2``; strictly less state and no
+NP-ish packing at runtime.  The trade-off is the model assumption the
+paper names: nodes must know the topology and the source location.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.earmark import RelayChain, watchlist_for_node
+from repro.geometry.coords import Coord
+from repro.protocols.base import HeardMsg
+from repro.protocols.bv_indirect import BVIndirectProtocol
+from repro.radio.messages import Envelope
+from repro.radio.node import Context
+
+
+class BVEarmarkedProtocol(BVIndirectProtocol):
+    """Indirect-report protocol with construction-derived watch-lists.
+
+    Inherits the honest *transmission* behavior (HEARD relaying with
+    plausibility validation) from :class:`BVIndirectProtocol` and replaces
+    the evidence bookkeeping with exact chain matching.
+    """
+
+    def __init__(
+        self,
+        t,
+        source,
+        source_value=None,
+        metric="linf",
+        max_relays: int = 3,
+        locality_filter: bool = True,
+    ) -> None:
+        super().__init__(
+            t,
+            source,
+            source_value=source_value,
+            metric=metric,
+            max_relays=max_relays,
+            locality_filter=locality_filter,
+        )
+        #: origin -> list of watched chains (set at start; None = direct
+        #: source neighbor, no watch-list needed)
+        self._watch: Optional[Dict[Coord, List[RelayChain]]] = None
+        #: (origin, value) -> set of matched chain indices
+        self._chain_hits: Dict[Tuple[Coord, Any], Set[int]] = {}
+        #: per-value tally of determined *watched* origins
+        self._value_support: Dict[Any, Set[Coord]] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def on_start(self, ctx: Context) -> None:
+        super().on_start(ctx)
+        src = ctx.localize(self.source)
+        self._watch = watchlist_for_node(ctx.node, src, ctx.r)
+
+    # -- evidence --------------------------------------------------------------
+
+    def _on_heard(self, ctx: Context, env: Envelope, msg: HeardMsg) -> None:
+        relays_canonical = (env.sender,) + tuple(msg.relays)
+        if len(relays_canonical) > self.max_relays:
+            return
+        chain = tuple(ctx.localize(f) for f in relays_canonical)
+        origin = ctx.localize(msg.origin)
+        if not self._plausible_chain(ctx, chain, origin):
+            return
+        if self._committed is None:
+            self._match_chain(ctx, origin, msg.value, chain)
+        if len(chain) < self.max_relays and self._local_enough(
+            ctx, chain, origin
+        ):
+            ctx.broadcast(
+                HeardMsg(
+                    origin=msg.origin,
+                    value=msg.value,
+                    relays=relays_canonical,
+                )
+            )
+
+    def _match_chain(
+        self, ctx: Context, origin: Coord, value: Any, chain: RelayChain
+    ) -> None:
+        """Record a report iff it travelled a watched chain."""
+        if self._watch is None or origin in self._determined:
+            return
+        expected = self._watch.get(origin)
+        if not expected:
+            return
+        try:
+            idx = expected.index(tuple(chain))
+        except ValueError:
+            return  # not an earmarked chain: ignored entirely
+        hits = self._chain_hits.setdefault((origin, value), set())
+        hits.add(idx)
+        if len(hits) >= self.t + 1:
+            self._determine(ctx, origin, value)
+
+    # -- determination / commitment -----------------------------------------------
+
+    def _determine(self, ctx: Context, node: Coord, value: Any) -> None:
+        """Record a truthful determination; commit on ``t + 1`` watched
+        origins agreeing.
+
+        Direct hearings of non-watched neighbors are recorded (they are
+        reliable) but only *watched* origins count toward commitment --
+        they are guaranteed to share a neighborhood, which is what the
+        commit rule requires.
+        """
+        if node in self._determined:
+            return
+        self._determined[node] = value
+        if self._committed is not None:
+            return
+        watched = self._watch is not None and node in self._watch
+        direct_neighbor = self.metric.within(node, ctx.node, ctx.r)
+        if not (watched or direct_neighbor):
+            return
+        support = self._value_support.setdefault(value, set())
+        support.add(node)
+        if len(support) >= self.t + 1 and self._support_in_one_nbd(
+            ctx, support
+        ):
+            self.commit(ctx, value)
+
+    def _support_in_one_nbd(self, ctx: Context, support: Set[Coord]) -> bool:
+        """Whether ``t + 1`` supporters fit a single neighborhood.
+
+        Watched origins always do (they share the frame's neighborhood);
+        mixing in directly-heard neighbors can exceed one neighborhood, so
+        we check the covering condition on the cheap: if all supporters
+        are watched, accept immediately, else fall back to the geometric
+        test restricted to any ``t + 1``-subset... in practice the watched
+        set alone crosses the bar, so the fallback just scans once.
+        """
+        if self._watch is not None:
+            watched_support = [n for n in support if n in self._watch]
+            if len(watched_support) >= self.t + 1:
+                return True
+        from repro.protocols.evidence import covering_centers
+
+        pts = sorted(support)
+        # any t+1 subset suffices; test the full set first, then prune
+        if covering_centers(pts, ctx.r, self.metric):
+            return True
+        if len(pts) > self.t + 1:
+            for drop in range(len(pts)):
+                subset = pts[:drop] + pts[drop + 1 :]
+                if len(subset) >= self.t + 1 and covering_centers(
+                    subset[: self.t + 1], ctx.r, self.metric
+                ):
+                    return True
+        return False
+
+    def on_round_end(self, ctx: Context) -> None:
+        """Earmarked matching is immediate; nothing batched."""
+
+    # -- introspection -----------------------------------------------------------
+
+    def evidence_state_size(self) -> int:
+        """Matched chain hits plus determinations (the watch-list itself
+        is static topology knowledge, reported separately)."""
+        hits = sum(len(s) for s in self._chain_hits.values())
+        return len(self._announced) + len(self._determined) + hits
+
+    def watchlist_chain_count(self) -> int:
+        """Total watched chains (the protocol's evidence-state bound)."""
+        if self._watch is None:
+            return 0
+        return sum(len(chains) for chains in self._watch.values())

@@ -1,0 +1,66 @@
+"""The simple Byzantine-tolerant protocol of Koo (paper, Section IX).
+
+Pelc & Peleg later named it the *Certified Propagation Algorithm* (CPA):
+
+"initially the source transmits the value, and its immediate neighbors are
+able to commit to that value instantly.  They then re-broadcast the value
+committed to and terminate protocol operation.  Any other node that has
+heard the same value reported by at least ``t+1`` neighbors, commits to
+it, re-broadcasts it, and then terminates."
+
+Safety is immediate: a correct node has at most ``t`` faulty neighbors, so
+``t+1`` *matching* announcements always include a correct one, and (by
+induction on commit order) correct nodes only announce the source value.
+Liveness is the content of the paper's Theorem 6: CPA succeeds whenever
+``t <= (2/3) r^2`` in the L-infinity metric.
+
+Duplicity handling: the broadcast channel lets neighbors detect a node
+announcing two different values; per the paper (Section V), "accept only
+the first message, and ignore the rest" -- implemented by keeping only the
+first ``COMMITTED`` per sender.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.geometry.coords import Coord
+from repro.protocols.base import BroadcastProtocolNode, CommittedMsg, SourceMsg
+from repro.radio.messages import Envelope
+from repro.radio.node import Context
+
+
+class CPAProtocol(BroadcastProtocolNode):
+    """Commit on ``t+1`` matching neighbor announcements (or direct source
+    receipt); announce once; terminate."""
+
+    def __init__(self, t, source, source_value=None, metric="linf") -> None:
+        super().__init__(t, source, source_value, metric)
+        #: first announced value per (localized) neighbor
+        self._announced: Dict[Coord, Any] = {}
+        #: announcement tallies per value
+        self._tally: Dict[Any, int] = {}
+
+    def on_receive(self, ctx: Context, env: Envelope) -> None:
+        if self._committed is not None:
+            return
+        payload = env.payload
+        if isinstance(payload, SourceMsg):
+            self.handle_source_msg(ctx, env)
+            return
+        if not isinstance(payload, CommittedMsg):
+            return  # HEARD or garbage: CPA ignores everything else
+        sender = self.note_announcement(ctx, env, self._announced)
+        if sender is None:
+            return  # duplicity or re-announcement: first one counts
+        count = self._tally.get(payload.value, 0) + 1
+        self._tally[payload.value] = count
+        if count >= self.t + 1:
+            self.commit(ctx, payload.value)
+
+    def on_commit(self, ctx: Context, value) -> None:
+        ctx.halt()  # re-broadcast is queued; protocol operation terminates
+
+    def evidence_state_size(self) -> int:
+        """One unit per recorded neighbor announcement."""
+        return len(self._announced)

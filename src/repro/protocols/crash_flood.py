@@ -1,0 +1,39 @@
+"""The crash-stop broadcast protocol (paper, Section VII).
+
+"When only crash-stop failures are admissible, no special protocol is
+required.  Each node that receives a value, commits to it, re-broadcasts
+it once for the benefit of others, and then may terminate local execution
+of the protocol.  Thus the sole criterion for achievability is
+reachability."
+
+The implementation commits on the first value heard from *any* neighbor
+(every sender is honest in the crash-stop model -- it may only die, not
+lie), relays it once via the shared ``COMMITTED`` broadcast, and halts.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.base import BroadcastProtocolNode, CommittedMsg, SourceMsg
+from repro.radio.messages import Envelope
+from repro.radio.node import Context
+
+
+class CrashFloodProtocol(BroadcastProtocolNode):
+    """Commit-on-first-receipt flooding; correct only without Byzantine
+    faults (a single liar defeats it, which the Byzantine tests exhibit)."""
+
+    def on_receive(self, ctx: Context, env: Envelope) -> None:
+        if self._committed is not None:
+            return
+        payload = env.payload
+        if isinstance(payload, SourceMsg):
+            # Trust SourceMsg only from the true source; under a pure
+            # crash-stop adversary nobody else ever sends one, but keeping
+            # the check makes the protocol safe to reuse in mixed setups.
+            self.handle_source_msg(ctx, env)
+        elif isinstance(payload, CommittedMsg):
+            self.commit(ctx, payload.value)
+
+    def on_commit(self, ctx: Context, value) -> None:
+        # Re-broadcast happened in commit(); local execution may end.
+        ctx.halt()

@@ -1,0 +1,114 @@
+"""Evidence bookkeeping shared by the Bhandari-Vaidya protocols.
+
+Both protocols must answer questions of the form "do enough node-disjoint
+evidence chains exist *inside some single neighborhood*?".  The
+:class:`CenterIndex` keeps, per candidate neighborhood center, the chains
+fully contained in that neighborhood, so each new report touches only the
+handful of centers that cover it and commit evaluation only revisits
+centers whose evidence actually changed.
+
+All coordinates here live in the owning node's unwrapped local frame.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, List, Sequence, Set, Tuple
+
+from repro.geometry.coords import Coord
+from repro.geometry.metrics import Metric
+
+
+def covering_centers(
+    points: Sequence[Coord], r: int, metric: Metric
+) -> List[Coord]:
+    """All centers whose radius-``r`` neighborhood contains every point.
+
+    Same contract as :func:`repro.grid.neighborhoods.nbd_centers_covering`
+    but takes a resolved metric and works in a local frame (no topology).
+
+    Under L-infinity the answer has a closed form (the intersection of
+    axis-aligned boxes), which matters: this is the protocols' hottest
+    path -- every evidence chain is indexed under its covering centers.
+    """
+    if metric.name == "linf":
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        x_lo, x_hi = max(xs) - r, min(xs) + r
+        y_lo, y_hi = max(ys) - r, min(ys) + r
+        return [
+            (x, y)
+            for x in range(x_lo, x_hi + 1)
+            for y in range(y_lo, y_hi + 1)
+        ]
+    base = points[0]
+    bx, by = base
+    out: List[Coord] = []
+    for dx in range(-r, r + 1):
+        for dy in range(-r, r + 1):
+            c = (bx + dx, by + dy)
+            if metric.within(c, base, r) and all(
+                metric.within(c, p, r) for p in points[1:]
+            ):
+                out.append(c)
+    return out
+
+
+class CenterIndex:
+    """Per-center, per-key lists of evidence chains.
+
+    ``key`` is protocol-specific (a value for the two-hop rule; an
+    ``(origin, value)`` pair for the four-hop determination rule).  A chain
+    is a frozenset of local-frame coordinates; it is registered under every
+    center whose neighborhood contains all of ``anchor_points`` plus the
+    chain itself.
+    """
+
+    def __init__(self, r: int, metric: Metric) -> None:
+        self._r = r
+        self._metric = metric
+        self._chains: Dict[Hashable, Dict[Coord, List[FrozenSet[Coord]]]] = {}
+        self._seen: Dict[Hashable, Set[FrozenSet[Coord]]] = {}
+        self._dirty: Set[Tuple[Hashable, Coord]] = set()
+
+    def add(
+        self,
+        key: Hashable,
+        chain: FrozenSet[Coord],
+        anchor_points: Sequence[Coord] = (),
+    ) -> bool:
+        """Register ``chain`` under ``key``; returns ``False`` on duplicate.
+
+        ``anchor_points`` are additional points the covering neighborhood
+        must contain (e.g. the report's origin and the evaluating node for
+        the four-hop rule).
+        """
+        seen = self._seen.setdefault(key, set())
+        if chain in seen:
+            return False
+        seen.add(chain)
+        pts = list(chain) + list(anchor_points)
+        per_center = self._chains.setdefault(key, {})
+        for center in covering_centers(pts, self._r, self._metric):
+            per_center.setdefault(center, []).append(chain)
+            self._dirty.add((key, center))
+        return True
+
+    def pop_dirty(self) -> List[Tuple[Hashable, Coord]]:
+        """Drain the set of (key, center) pairs with new evidence."""
+        dirty = sorted(self._dirty, key=repr)
+        self._dirty.clear()
+        return dirty
+
+    def chains_at(self, key: Hashable, center: Coord) -> List[FrozenSet[Coord]]:
+        """Chains registered under ``key`` whose covering set includes
+        ``center``."""
+        return self._chains.get(key, {}).get(center, [])
+
+    def keys(self) -> List[Hashable]:
+        """All keys with registered evidence."""
+        return list(self._chains)
+
+    def distinct_chain_count(self) -> int:
+        """Total distinct chains stored across all keys (the index's
+        memory footprint in chain units)."""
+        return sum(len(chains) for chains in self._seen.values())

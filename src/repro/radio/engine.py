@@ -1,0 +1,390 @@
+"""The synchronous TDMA simulation engine.
+
+One engine ``run()`` simulates the paper's channel model to quiescence:
+
+1. every process gets ``on_start`` (round -1, before any transmission);
+2. each round executes one TDMA frame: slots fire in order, and each node
+   scheduled in the firing slot drains its outbox, one envelope at a time;
+3. every transmission is delivered *atomically* to the transmitter's whole
+   neighborhood, in global transmission order (reliable local broadcast);
+4. the run ends when a round completes with every outbox empty
+   (quiescence) or a safety valve (``max_rounds`` / ``max_messages``)
+   trips.
+
+Determinism: given the same topology, schedule, processes and crash map,
+two runs produce identical traces.  Randomized adversaries draw from their
+own seeded generators, never from global state.
+
+Crash-stop faults live here: a node with ``crash_round[v] = k`` executes
+correctly during rounds ``0 .. k-1`` and is inert from round ``k`` on (it
+neither transmits -- its outbox is discarded -- nor processes receptions).
+``k = 0`` models a node that was dead from the start.  Because the channel
+is atomic, there is no "partial broadcast" failure mode to model: each
+transmission reaches all neighbors or (if the sender crashed before its
+slot) none, which is exactly the paper's crash-stop semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import ConfigurationError, SimulationLimitError
+from repro.radio.channel import PERFECT_CHANNEL, ChannelImperfections
+from repro.geometry.coords import Coord
+from repro.grid.tdma import TDMASchedule, make_schedule
+from repro.grid.topology import Topology
+from repro.radio.messages import Envelope
+from repro.radio.node import Context, NodeProcess, SilentProcess
+from repro.radio.trace import Trace
+
+_INFINITY = float("inf")
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of an engine run.
+
+    ``processes`` and ``contexts`` give post-mortem access to final node
+    state; ``quiescent`` distinguishes a clean finish from a safety-valve
+    stop.
+    """
+
+    rounds: int
+    quiescent: bool
+    hit_round_limit: bool
+    hit_message_limit: bool
+    trace: Trace
+    processes: Dict[Coord, NodeProcess]
+    crash_round: Dict[Coord, int] = field(default_factory=dict)
+
+    def committed(self) -> Dict[Coord, Any]:
+        """Map of node -> committed value, for nodes that decided."""
+        out: Dict[Coord, Any] = {}
+        for node, proc in self.processes.items():
+            value = proc.committed_value()
+            if value is not None:
+                out[node] = value
+        return out
+
+    def decided_nodes(self) -> List[Coord]:
+        """Nodes that committed to some value."""
+        return sorted(n for n, p in self.processes.items() if p.is_decided())
+
+    def undecided_nodes(self) -> List[Coord]:
+        """Nodes that never committed."""
+        return sorted(n for n, p in self.processes.items() if not p.is_decided())
+
+
+class Engine:
+    """Deterministic synchronous-round radio network simulator."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        processes: Mapping[Coord, NodeProcess],
+        *,
+        schedule: Optional[TDMASchedule] = None,
+        crash_round: Optional[Mapping[Coord, int]] = None,
+        max_rounds: int = 10_000,
+        max_messages: Optional[int] = None,
+        record_events: bool = False,
+        on_limit: str = "stop",
+        channel: Optional["ChannelImperfections"] = None,
+        quiescent_after_idle_rounds: int = 1,
+        delivery: str = "immediate",
+    ) -> None:
+        """Configure a simulation.
+
+        Parameters
+        ----------
+        topology:
+            A finite topology (typically :class:`~repro.grid.torus.Torus`).
+        processes:
+            Node -> program.  Nodes of the topology absent from the mapping
+            run :class:`~repro.radio.node.SilentProcess` (useful for
+            analytic setups); keys not on the topology are an error.
+        schedule:
+            TDMA schedule; defaults to
+            :func:`repro.grid.tdma.make_schedule`.
+        crash_round:
+            Crash-stop fault map (see module docstring).
+        max_rounds / max_messages:
+            Safety valves.  With ``on_limit="stop"`` (default) a tripped
+            valve ends the run with the corresponding flag set on the
+            result; with ``on_limit="raise"`` it raises
+            :class:`~repro.errors.SimulationLimitError`.
+        record_events:
+            Keep a full per-transmission event log in the trace.
+        channel:
+            Channel-model deviations (spoofing, jamming, loss,
+            retransmission); defaults to the paper's perfect channel.  See
+            :mod:`repro.radio.channel`.
+        quiescent_after_idle_rounds:
+            How many consecutive silent rounds (zero transmissions, all
+            live outboxes empty) end the run.  The default (1) suits
+            message-driven protocols; raise it when processes schedule
+            transmissions for future rounds.
+        delivery:
+            ``"immediate"`` (default): a transmission is processed by
+            receivers within its own slot, so reactions can cascade
+            through one TDMA frame (the realistic channel timing).
+            ``"end-of-round"``: receptions are buffered and processed at
+            the start of the next round -- the classic synchronous-rounds
+            model, under which wave/latency measurements count protocol
+            *steps* (one pnbd hop per round).  Both modes satisfy every
+            ordering/atomicity invariant; only timing granularity differs.
+        """
+        if not topology.is_finite:
+            raise ConfigurationError("the engine requires a finite topology")
+        if on_limit not in ("stop", "raise"):
+            raise ConfigurationError(
+                f'on_limit must be "stop" or "raise", got {on_limit!r}'
+            )
+        if max_rounds < 1:
+            raise ConfigurationError(f"max_rounds must be >= 1, got {max_rounds}")
+        self.topology = topology
+        self._all_nodes: List[Coord] = sorted(topology.nodes())
+        node_set = set(self._all_nodes)
+        for node in processes:
+            if topology.canonical(node) not in node_set:
+                raise ConfigurationError(f"process given for non-node {node}")
+        self.processes: Dict[Coord, NodeProcess] = {
+            node: processes.get(node, None) or SilentProcess()
+            for node in self._all_nodes
+        }
+        # accept processes keyed by non-canonical coordinates
+        for node, proc in processes.items():
+            self.processes[topology.canonical(node)] = proc
+        self.schedule = schedule or make_schedule(topology)
+        for node in self._all_nodes:
+            if node not in self.schedule:
+                raise ConfigurationError(f"schedule misses node {node}")
+        self.crash_round: Dict[Coord, int] = {}
+        for node, rnd in (crash_round or {}).items():
+            if rnd < 0:
+                raise ConfigurationError(
+                    f"crash round for {node} must be >= 0, got {rnd}"
+                )
+            self.crash_round[topology.canonical(node)] = int(rnd)
+        self.max_rounds = max_rounds
+        self.max_messages = max_messages
+        self._on_limit = on_limit
+        if quiescent_after_idle_rounds < 1:
+            raise ConfigurationError(
+                "quiescent_after_idle_rounds must be >= 1, got "
+                f"{quiescent_after_idle_rounds}"
+            )
+        if delivery not in ("immediate", "end-of-round"):
+            raise ConfigurationError(
+                f'delivery must be "immediate" or "end-of-round", '
+                f"got {delivery!r}"
+            )
+        self.delivery = delivery
+        self._pending_deliveries: List[Tuple[Envelope, Tuple[Coord, ...]]] = []
+        self.quiescent_after_idle_rounds = quiescent_after_idle_rounds
+        self.channel = channel or PERFECT_CHANNEL
+        self._loss_rng = (
+            self.channel.make_rng() if self.channel.loss_rate > 0 else None
+        )
+        self._jammers_this_round: Set[Coord] = set()
+        self._jam_counts: Dict[Coord, int] = {}
+        self.trace = Trace(record_events=record_events)
+        self.round = -1  # on_start happens "before time"
+        self._seq = 0
+        self._neighbors: Dict[Coord, Tuple[Coord, ...]] = {
+            node: topology.neighbors(node) for node in self._all_nodes
+        }
+        self._contexts: Dict[Coord, Context] = {
+            node: Context(node, self) for node in self._all_nodes
+        }
+        self._started = False
+
+    # ------------------------------------------------------------------
+
+    def context_of(self, node: Coord) -> Context:
+        """The context object of a node (post-mortem inspection)."""
+        return self._contexts[self.topology.canonical(node)]
+
+    def _is_crashed(self, node: Coord, at_round: int) -> bool:
+        rnd = self.crash_round.get(node)
+        return rnd is not None and at_round >= rnd
+
+    def _start(self) -> None:
+        self._started = True
+        for node in self._all_nodes:
+            if self._is_crashed(node, 0):
+                # dead from the start: never runs a single instruction
+                self.trace.on_crash(node, 0)
+                continue
+            self.processes[node].on_start(self._contexts[node])
+
+    def _register_jam(self, node: Coord) -> bool:
+        """Activate ``node``'s jammer for the current round (within the
+        configured per-node budget).  Returns whether the jam is live."""
+        budget = self.channel.max_jam_rounds_per_node
+        spent = self._jam_counts.get(node, 0)
+        if budget is not None and spent >= budget:
+            return False
+        if node not in self._jammers_this_round:
+            self._jammers_this_round.add(node)
+            self._jam_counts[node] = spent + 1
+        return True
+
+    def _is_jammed(self, receiver: Coord) -> bool:
+        """Whether a receiver is inside any active jammer's radius (or is
+        itself jamming -- a transmitting radio cannot listen)."""
+        if not self._jammers_this_round:
+            return False
+        if receiver in self._jammers_this_round:
+            return True
+        return any(
+            receiver in self._neighbors[j] for j in self._jammers_this_round
+        )
+
+    def _transmit(self, node: Coord, slot: int) -> bool:
+        """Drain ``node``'s outbox in its slot.  Returns False when the
+        message budget tripped."""
+        ctx = self._contexts[node]
+        outbox = ctx._outbox
+        copies = self.channel.tx_copies
+        while outbox:
+            if (
+                self.max_messages is not None
+                and self.trace.transmissions >= self.max_messages
+            ):
+                return False
+            payload, claimed = outbox.pop(0)
+            sender = node if claimed is None else claimed
+            receivers = self._neighbors[node]
+            for _copy in range(copies):
+                env = Envelope(
+                    sender=sender,
+                    payload=payload,
+                    seq=self._seq,
+                    round=self.round,
+                    slot=slot,
+                )
+                self._seq += 1
+                self.trace.on_transmission(env, len(receivers))
+                survivors = []
+                for nb in receivers:
+                    if self._is_crashed(nb, self.round):
+                        continue
+                    if self._is_jammed(nb):
+                        continue
+                    if (
+                        self._loss_rng is not None
+                        and self._loss_rng.random() < self.channel.loss_rate
+                    ):
+                        continue
+                    survivors.append(nb)
+                if self.delivery == "end-of-round":
+                    self._pending_deliveries.append((env, tuple(survivors)))
+                    continue
+                for nb in survivors:
+                    nb_ctx = self._contexts[nb]
+                    if nb_ctx.halted:
+                        continue
+                    self.processes[nb].on_receive(nb_ctx, env)
+        return True
+
+    def _flush_pending_deliveries(self) -> None:
+        """End-of-round mode: hand last round's receptions to receivers
+        (in global transmission order) before this round's hooks run."""
+        pending, self._pending_deliveries = self._pending_deliveries, []
+        for env, receivers in pending:
+            for nb in receivers:
+                if self._is_crashed(nb, self.round):
+                    continue
+                nb_ctx = self._contexts[nb]
+                if nb_ctx.halted:
+                    continue
+                self.processes[nb].on_receive(nb_ctx, env)
+
+    def _run_round(self) -> bool:
+        """Execute one TDMA frame.  Returns False if a message-budget stop
+        occurred mid-frame."""
+        self._jammers_this_round.clear()
+        if self._pending_deliveries:
+            self._flush_pending_deliveries()
+        for node in self._all_nodes:
+            if self._is_crashed(node, self.round):
+                if self.crash_round.get(node) == self.round:
+                    self.trace.on_crash(node, self.round)
+                    self._contexts[node]._outbox.clear()
+                continue
+            ctx = self._contexts[node]
+            if not ctx.halted:
+                self.processes[node].on_round(ctx)
+        for slot, group in enumerate(self.schedule.slots):
+            for node in group:
+                if self._is_crashed(node, self.round):
+                    self._contexts[node]._outbox.clear()
+                    continue
+                if not self._transmit(node, slot):
+                    return False
+        for node in self._all_nodes:
+            if self._is_crashed(node, self.round):
+                continue
+            ctx = self._contexts[node]
+            if not ctx.halted:
+                self.processes[node].on_round_end(ctx)
+        self.trace.on_round_end(self.round)
+        return True
+
+    def _quiescent(self, tx_this_round: int) -> bool:
+        """A run is quiescent after a round that transmitted nothing and
+        left every live outbox empty.  Requiring zero transmissions (not
+        just empty outboxes) keeps timer-driven processes (``on_round``
+        producers) running: they get re-invoked until a whole round passes
+        in silence."""
+        if tx_this_round or self._pending_deliveries:
+            return False
+        return all(
+            not ctx._outbox or self._is_crashed(node, self.round + 1)
+            for node, ctx in self._contexts.items()
+        )
+
+    def run(self) -> SimulationResult:
+        """Run to quiescence (or a safety valve) and return the result."""
+        if not self._started:
+            self._start()
+        hit_rounds = False
+        hit_messages = False
+        quiescent = False
+        idle_streak = 0
+        while True:
+            self.round += 1
+            if self.round >= self.max_rounds:
+                hit_rounds = True
+                self.round -= 1
+                break
+            tx_before = self.trace.transmissions
+            budget_ok = self._run_round()
+            if not budget_ok:
+                hit_messages = True
+                break
+            if self._quiescent(self.trace.transmissions - tx_before):
+                idle_streak += 1
+                if idle_streak >= self.quiescent_after_idle_rounds:
+                    quiescent = True
+                    break
+            else:
+                idle_streak = 0
+        if (hit_rounds or hit_messages) and self._on_limit == "raise":
+            what = "round" if hit_rounds else "message"
+            raise SimulationLimitError(
+                f"simulation exceeded its {what} budget "
+                f"(rounds={self.round + 1}, "
+                f"messages={self.trace.transmissions})"
+            )
+        return SimulationResult(
+            rounds=self.trace.rounds,
+            quiescent=quiescent,
+            hit_round_limit=hit_rounds,
+            hit_message_limit=hit_messages,
+            trace=self.trace,
+            processes=dict(self.processes),
+            crash_round=dict(self.crash_round),
+        )

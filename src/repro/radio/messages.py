@@ -1,0 +1,52 @@
+"""The on-air message envelope.
+
+The engine wraps every payload a process transmits in an
+:class:`Envelope` stamping the true sender identity and a global sequence
+number.  Receivers see envelopes; the sender field is trustworthy by the
+paper's no-spoofing assumption (Section II), which the engine enforces by
+construction -- process code never builds envelopes itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.geometry.coords import Coord
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A single on-air transmission.
+
+    Attributes
+    ----------
+    sender:
+        Canonical coordinate of the transmitting node (engine-stamped;
+        unforgeable in this model).
+    payload:
+        The protocol-level message.  Protocols define their own payload
+        types (see :mod:`repro.protocols.base`); the engine treats payloads
+        as opaque.
+    seq:
+        Global transmission sequence number, strictly increasing in
+        transmission order.  Because the channel preserves per-sender
+        order and delivers atomically, ``seq`` totally orders all
+        transmissions as every receiver observes them.
+    round:
+        Index of the round (TDMA frame) in which the transmission was made.
+    slot:
+        Index of the TDMA slot within the frame.
+    """
+
+    sender: Coord
+    payload: Any
+    seq: int
+    round: int
+    slot: int
+
+    def __repr__(self) -> str:  # compact, log-friendly
+        return (
+            f"Envelope(#{self.seq} r{self.round}s{self.slot} "
+            f"from {self.sender}: {self.payload!r})"
+        )

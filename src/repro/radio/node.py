@@ -1,0 +1,229 @@
+"""Node processes and their interface to the engine.
+
+A :class:`NodeProcess` is the program a node runs.  The engine calls its
+hooks and hands each a :class:`Context`, through which the process can
+broadcast (enqueue a payload for transmission in its next TDMA slot) and
+inspect local information.  Processes never see the engine or other nodes
+directly -- all interaction flows through the radio channel, exactly as in
+the paper's model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, TYPE_CHECKING
+
+from repro.geometry.coords import Coord
+from repro.radio.messages import Envelope
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.radio.engine import Engine
+
+
+class Context:
+    """A node's handle on the simulated world.
+
+    One context exists per node per simulation.  It exposes exactly what
+    the model allows a node to know and do: its own identity, the current
+    time (round/slot), the radio parameters, and a ``broadcast`` primitive.
+    """
+
+    __slots__ = ("node", "_engine", "_outbox", "halted")
+
+    def __init__(self, node: Coord, engine: "Engine") -> None:
+        self.node = node
+        self._engine = engine
+        self._outbox: List[Any] = []
+        #: set True by a process that has terminated its local execution;
+        #: the engine stops delivering to it (pure optimization -- a halted
+        #: process ignores input by definition).
+        self.halted = False
+
+    @property
+    def r(self) -> int:
+        """The transmission radius."""
+        return self._engine.topology.r
+
+    @property
+    def metric_name(self) -> str:
+        """Name of the distance metric in force."""
+        return self._engine.topology.metric.name
+
+    @property
+    def round(self) -> int:
+        """Current round (TDMA frame) index."""
+        return self._engine.round
+
+    @property
+    def pending(self) -> int:
+        """Number of payloads queued in this node's outbox."""
+        return len(self._outbox)
+
+    def localize(self, other: Coord) -> Coord:
+        """Map another node's canonical coordinate into this node's
+        unwrapped local frame.
+
+        Nodes know the network topology (the paper's model: nodes are
+        identified by grid location).  On a torus the canonical coordinate
+        of a nearby node may sit across the wrap; this helper returns the
+        representative of ``other`` nearest to this node, so protocol
+        geometry (balls, adjacency, covering centers) can be computed in
+        plain infinite-grid arithmetic.
+        """
+        topo = self._engine.topology
+        delta = getattr(topo, "toroidal_delta", None)
+        if delta is None:
+            return (other[0], other[1])
+        dx, dy = delta(self.node, other)
+        return (self.node[0] + dx, self.node[1] + dy)
+
+    def broadcast(self, payload: Any) -> None:
+        """Queue ``payload`` for local broadcast in this node's next slot.
+
+        Queued payloads are transmitted in FIFO order; the channel
+        preserves that order at every receiver (reliable local broadcast,
+        paper Section II).
+        """
+        self._outbox.append((payload, None))
+
+    def broadcast_as(self, claimed_sender: Coord, payload: Any) -> None:
+        """ATTACK PRIMITIVE: queue a transmission with a forged sender.
+
+        The paper's model forbids address spoofing; unless the engine was
+        explicitly configured with
+        :class:`~repro.radio.channel.ChannelImperfections`
+        (``allow_spoofing=True``) this raises
+        :class:`~repro.errors.SpoofingError` -- the engine *enforces* the
+        assumption rather than trusting node code.  Section X experiments
+        enable it to demonstrate how broadcast breaks.
+        """
+        from repro.errors import SpoofingError
+
+        if not self._engine.channel.allow_spoofing:
+            raise SpoofingError(
+                f"node {self.node} attempted to transmit as "
+                f"{claimed_sender}, but the channel model forbids address "
+                "spoofing (enable it via ChannelImperfections)"
+            )
+        canonical = self._engine.topology.canonical(claimed_sender)
+        self._outbox.append((payload, canonical))
+
+    def jam(self) -> bool:
+        """ATTACK PRIMITIVE: emit noise for the rest of this round.
+
+        Every receiver within this node's radius hears collisions (i.e.
+        nothing) for the round.  Requires ``allow_jamming`` in the
+        engine's :class:`~repro.radio.channel.ChannelImperfections`
+        (otherwise :class:`~repro.errors.ProtocolViolationError`); when a
+        per-node jam budget is configured, returns ``False`` once the
+        budget is spent (the jam has no effect).
+        """
+        from repro.errors import ProtocolViolationError
+
+        if not self._engine.channel.allow_jamming:
+            raise ProtocolViolationError(
+                f"node {self.node} attempted to jam, but the channel model "
+                "forbids deliberate collisions (enable via "
+                "ChannelImperfections)"
+            )
+        return self._engine._register_jam(self.node)
+
+    def halt(self) -> None:
+        """Terminate local protocol execution.
+
+        Already-queued payloads are still transmitted (the node finishes
+        its sends, then goes quiet) -- this matches the paper's protocols,
+        which "re-broadcast once ... and then may terminate local
+        execution".
+        """
+        self.halted = True
+
+
+class NodeProcess:
+    """Base class for node programs.
+
+    Subclasses override the hooks they need.  The default implementation
+    does nothing (a correct but mute node).
+
+    Hooks
+    -----
+    ``on_start(ctx)``
+        Called once before round 0.
+    ``on_receive(ctx, env)``
+        Called for every envelope transmitted by a neighbor.
+    ``on_round(ctx)``
+        Called at the start of every round (before any slot fires).
+    """
+
+    def on_start(self, ctx: Context) -> None:
+        """One-time initialization hook."""
+
+    def on_receive(self, ctx: Context, env: Envelope) -> None:
+        """Handle a received envelope."""
+
+    def on_round(self, ctx: Context) -> None:
+        """Per-round hook (timers, retries, ...)."""
+
+    def on_round_end(self, ctx: Context) -> None:
+        """Hook run after all of a round's slots have fired.
+
+        Protocols with expensive commit rules batch their evaluation here:
+        everything delivered during the round is visible, and any commit
+        enqueues its ``COMMITTED`` broadcast before the engine's quiescence
+        check, so the run cannot end with a decidable node undecided.
+        """
+
+    # -- introspection used by the harness / experiments ------------------
+
+    def committed_value(self) -> Optional[Any]:
+        """The value this node has committed to, or ``None``.
+
+        Protocol processes override this; the harness polls it to decide
+        success, safety and liveness of a broadcast run.
+        """
+        return None
+
+    def is_decided(self) -> bool:
+        """Whether the node has committed to some value."""
+        return self.committed_value() is not None
+
+
+class SilentProcess(NodeProcess):
+    """A node that never transmits and ignores all input.
+
+    Doubles as the simplest Byzantine strategy (a mute adversary) and as a
+    placeholder for crashed-from-the-start nodes in analytical setups.
+    """
+
+
+class FunctionProcess(NodeProcess):
+    """Adapt a plain receive-function into a :class:`NodeProcess`.
+
+    Convenient in tests::
+
+        def echo(ctx, env):
+            ctx.broadcast(("echo", env.payload))
+
+        proc = FunctionProcess(on_receive=echo)
+    """
+
+    def __init__(
+        self,
+        on_start: Optional[Callable[[Context], None]] = None,
+        on_receive: Optional[Callable[[Context, Envelope], None]] = None,
+        on_round: Optional[Callable[[Context], None]] = None,
+    ) -> None:
+        self._start = on_start
+        self._receive = on_receive
+        self._round = on_round
+
+    def on_start(self, ctx: Context) -> None:
+        if self._start:
+            self._start(ctx)
+
+    def on_receive(self, ctx: Context, env: Envelope) -> None:
+        if self._receive:
+            self._receive(ctx, env)
+
+    def on_round(self, ctx: Context) -> None:
+        if self._round:
+            self._round(ctx)

@@ -1,0 +1,97 @@
+"""Retransmission: the paper's counter-measure to disruption.
+
+Section X: "If the adversary uses collisions to merely disrupt
+communication, the problem is trivially solved by re-transmitting
+messages a sufficient number of times."  Likewise Section II sketches a
+probabilistic local-broadcast primitive for lossy channels.
+
+:class:`RetransmittingProcess` wraps any protocol process and repeats
+each of its broadcasts over ``repeats`` consecutive rounds.  Receivers
+need no changes: every protocol in this library already de-duplicates
+(first announcement per sender wins; evidence chains are sets).  A halt
+requested by the inner protocol is deferred until all scheduled repeats
+have been transmitted, so the final ``COMMITTED`` survives jamming too.
+
+With a jam budget of ``B`` rounds per attacker (or i.i.d. loss ``p``),
+``repeats = B + 1`` (resp. enough copies that ``p**repeats`` is
+negligible) restores delivery -- bench EXP-SECX demonstrates both.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.radio.messages import Envelope
+from repro.radio.node import Context, NodeProcess
+
+
+class _RepeatingContext:
+    """Context proxy: records broadcasts for repetition, defers halt."""
+
+    def __init__(self, ctx: Context, owner: "RetransmittingProcess") -> None:
+        self._ctx = ctx
+        self._owner = owner
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._ctx, name)
+
+    @property
+    def node(self):
+        return self._ctx.node
+
+    def broadcast(self, payload: Any) -> None:
+        self._ctx.broadcast(payload)
+        if self._owner.repeats > 1:
+            self._owner._pending.append((payload, self._owner.repeats - 1))
+
+    def halt(self) -> None:
+        self._owner._halt_requested = True
+        # real halt happens once every repeat has been queued
+
+
+class RetransmittingProcess(NodeProcess):
+    """Wrap ``inner`` so each broadcast is repeated across rounds."""
+
+    def __init__(self, inner: NodeProcess, repeats: int = 2) -> None:
+        if repeats < 1:
+            raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+        self.inner = inner
+        self.repeats = repeats
+        self._pending: List[Tuple[Any, int]] = []
+        self._halt_requested = False
+
+    # -- delegation --------------------------------------------------------
+
+    def _wrap(self, ctx: Context) -> _RepeatingContext:
+        return _RepeatingContext(ctx, self)
+
+    def on_start(self, ctx: Context) -> None:
+        self.inner.on_start(self._wrap(ctx))
+
+    def on_receive(self, ctx: Context, env: Envelope) -> None:
+        self.inner.on_receive(self._wrap(ctx), env)
+
+    def on_round(self, ctx: Context) -> None:
+        # queue this round's repeats first, then let the inner run
+        still_pending: List[Tuple[Any, int]] = []
+        for payload, remaining in self._pending:
+            ctx.broadcast(payload)
+            if remaining > 1:
+                still_pending.append((payload, remaining - 1))
+        self._pending = still_pending
+        self.inner.on_round(self._wrap(ctx))
+        self._maybe_halt(ctx)
+
+    def on_round_end(self, ctx: Context) -> None:
+        self.inner.on_round_end(self._wrap(ctx))
+        self._maybe_halt(ctx)
+
+    def _maybe_halt(self, ctx: Context) -> None:
+        if self._halt_requested and not self._pending:
+            ctx.halt()
+
+    # -- introspection -------------------------------------------------------
+
+    def committed_value(self) -> Optional[Any]:
+        return self.inner.committed_value()

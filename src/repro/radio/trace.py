@@ -1,0 +1,97 @@
+"""Simulation tracing.
+
+A :class:`Trace` records what happened on the air: every transmission,
+optionally every delivery, plus per-round aggregates.  Traces power the
+protocol-cost benchmarks (message and round complexity) and make failed
+runs debuggable; they are off by default because full delivery logs are
+large (every transmission fans out to a whole neighborhood).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.geometry.coords import Coord
+from repro.radio.messages import Envelope
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One logged channel event.
+
+    ``kind`` is ``"tx"`` for a transmission or ``"crash"`` for a node
+    crash becoming effective.  Deliveries are not logged individually
+    (derivable: a tx is delivered to the sender's whole neighborhood) but
+    are counted in the aggregates.
+    """
+
+    kind: str
+    round: int
+    slot: int
+    node: Coord
+    payload: Any = None
+    seq: Optional[int] = None
+
+
+@dataclass
+class Trace:
+    """Accumulates events and aggregates during a simulation run."""
+
+    record_events: bool = False
+    events: List[TraceEvent] = field(default_factory=list)
+    transmissions: int = 0
+    deliveries: int = 0
+    rounds: int = 0
+    tx_by_node: Dict[Coord, int] = field(default_factory=dict)
+    tx_by_round: Dict[int, int] = field(default_factory=dict)
+
+    def on_transmission(self, env: Envelope, fanout: int) -> None:
+        """Record a transmission delivered to ``fanout`` receivers."""
+        self.transmissions += 1
+        self.deliveries += fanout
+        self.tx_by_node[env.sender] = self.tx_by_node.get(env.sender, 0) + 1
+        self.tx_by_round[env.round] = self.tx_by_round.get(env.round, 0) + 1
+        if self.record_events:
+            self.events.append(
+                TraceEvent(
+                    kind="tx",
+                    round=env.round,
+                    slot=env.slot,
+                    node=env.sender,
+                    payload=env.payload,
+                    seq=env.seq,
+                )
+            )
+
+    def on_crash(self, node: Coord, round_: int) -> None:
+        """Record a crash taking effect at the start of ``round_``."""
+        if self.record_events:
+            self.events.append(
+                TraceEvent(kind="crash", round=round_, slot=-1, node=node)
+            )
+
+    def on_round_end(self, round_: int) -> None:
+        """Mark a completed round."""
+        self.rounds = max(self.rounds, round_ + 1)
+
+    def transmissions_of(self, node: Coord) -> int:
+        """Total transmissions made by ``node``."""
+        return self.tx_by_node.get(node, 0)
+
+    def busiest_round(self) -> Tuple[int, int]:
+        """``(round, tx_count)`` of the round with the most transmissions;
+        ``(-1, 0)`` if nothing was transmitted."""
+        if not self.tx_by_round:
+            return (-1, 0)
+        rd = max(self.tx_by_round, key=lambda k: (self.tx_by_round[k], -k))
+        return (rd, self.tx_by_round[rd])
+
+    def summary(self) -> Dict[str, int]:
+        """Aggregate counters as a plain dict (stable keys, log-friendly)."""
+        return {
+            "rounds": self.rounds,
+            "transmissions": self.transmissions,
+            "deliveries": self.deliveries,
+            "transmitting_nodes": len(self.tx_by_node),
+        }

@@ -1,0 +1,18 @@
+"""ASCII visualization of grids, fault maps, commit waves and the paper's
+proof constructions."""
+
+from repro.viz.ascii_art import render_grid, render_fault_map, render_commit_wave
+from repro.viz.regions_art import (
+    render_m_decomposition,
+    render_s1_construction,
+    render_u_construction,
+)
+
+__all__ = [
+    "render_grid",
+    "render_fault_map",
+    "render_commit_wave",
+    "render_m_decomposition",
+    "render_s1_construction",
+    "render_u_construction",
+]

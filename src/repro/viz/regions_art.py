@@ -1,0 +1,119 @@
+"""ASCII rendering of the paper's proof constructions.
+
+Draws the Table I relay regions exactly as Figs. 4-6 lay them out, so a
+reader can see the construction rather than decode coordinates:
+
+- ``render_u_construction``: the A/B/C/D regions around a U node with the
+  committed neighborhood square and the frontier node P (Fig. 5);
+- ``render_s1_construction``: the J/K regions for an S1 node (Fig. 6);
+- ``render_m_decomposition``: the M = R + U + S1 + S2 partition (Fig. 3).
+
+Legend: region letters mark member lattice points; ``N`` the determined
+node, ``P`` the frontier node, ``*`` the containing-neighborhood center,
+``.`` everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from repro.core.paths import corner_P
+from repro.core.regions import (
+    region_R,
+    region_S1,
+    region_S2,
+    region_U,
+    table1_S1_regions,
+    table1_U_regions,
+)
+from repro.geometry.coords import Coord
+
+
+def _render_points(
+    marks: Mapping[Coord, str],
+    highlight: Mapping[Coord, str],
+) -> str:
+    """Grid-render marks (region letters) with highlights on top."""
+    pts = list(marks) + list(highlight)
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    lines: List[str] = []
+    for y in range(max(ys), min(ys) - 1, -1):
+        row = []
+        for x in range(min(xs), max(xs) + 1):
+            p = (x, y)
+            row.append(highlight.get(p) or marks.get(p, "."))
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def render_u_construction(a: int, b: int, r: int, p: int, q: int) -> str:
+    """Fig. 5 as text: the relay regions for U node ``N = (a+p, b+q)``."""
+    regions = table1_U_regions(a, b, r, p, q)
+    marks: Dict[Coord, str] = {}
+    letter = {
+        "A": "A",
+        "B1": "b",
+        "B2": "B",
+        "C1": "c",
+        "C2": "C",
+        "D1": "d",
+        "D2": "e",
+        "D3": "D",
+    }
+    for name, rect in regions.items():
+        for pt in rect:
+            marks[pt] = letter[name]
+    highlight = {
+        (a + p, b + q): "N",
+        corner_P(a, b, r): "P",
+        (a, b + r + 1): "*",
+        (a, b): "o",  # the committed neighborhood's center
+    }
+    legend = (
+        "A direct relays | b/B = B1->B2 | c/C = C1->C2 | d/e/D = D1->D2->D3\n"
+        "N determined node, P frontier node, * containing-nbd center, "
+        "o nbd(a,b) center"
+    )
+    return _render_points(marks, highlight) + "\n" + legend
+
+
+def render_s1_construction(a: int, b: int, r: int, p: int) -> str:
+    """Fig. 6 as text: the J/K regions for S1 node ``N = (a-r, b-p)``."""
+    regions = table1_S1_regions(a, b, r, p)
+    marks: Dict[Coord, str] = {}
+    letter = {"J": "J", "K1": "k", "K2": "K"}
+    for name, rect in regions.items():
+        for pt in rect:
+            marks[pt] = letter[name]
+    highlight = {
+        (a - r, b - p): "N",
+        corner_P(a, b, r): "P",
+        (a - r, b + 1): "*",
+        (a, b): "o",
+    }
+    legend = (
+        "J common neighbors | k/K = K1->K2 pairs\n"
+        "N determined node, P frontier node, * containing-nbd center"
+    )
+    return _render_points(marks, highlight) + "\n" + legend
+
+
+def render_m_decomposition(a: int, b: int, r: int) -> str:
+    """Fig. 3 as text: M = R + U + S1 + S2 inside nbd(a, b)."""
+    marks: Dict[Coord, str] = {}
+    for pt in region_R(a, b, r):
+        marks[pt] = "R"
+    for pt in region_U(a, b, r):
+        marks[pt] = "U"
+    for pt in region_S1(a, b, r):
+        marks[pt] = "1"
+    for pt in region_S2(a, b, r):
+        marks[pt] = "2"
+    # frame: the rest of nbd(a, b)
+    for x in range(a - r, a + r + 1):
+        for y in range(b - r, b + r + 1):
+            marks.setdefault((x, y), "-")
+    highlight = {corner_P(a, b, r): "P", (a, b): "o"}
+    legend = "R direct | U upper triangle | 1 = S1 | 2 = S2 | - rest of nbd"
+    return _render_points(marks, highlight) + "\n" + legend

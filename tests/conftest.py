@@ -1,0 +1,25 @@
+"""Shared fixtures and hypothesis settings for the repro test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+# CI-friendly profile: bounded examples, no deadline (simulation-backed
+# properties vary in runtime), suppress the fixture health check (we pass
+# function-scoped fixtures into properties deliberately and safely).
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG per test."""
+    return random.Random(0xC0FFEE)

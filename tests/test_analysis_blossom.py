@@ -1,0 +1,162 @@
+"""Tests for the blossom maximum-matching engine, cross-checked against
+networkx, plus the small-set packing reduction."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.blossom import (
+    matching_size,
+    max_cardinality_matching,
+    max_small_set_packing,
+)
+
+
+class TestKnownGraphs:
+    def test_empty(self):
+        assert max_cardinality_matching([]) == {}
+
+    def test_single_edge(self):
+        m = max_cardinality_matching([(1, 2)])
+        assert m == {1: 2, 2: 1}
+
+    def test_path_three(self):
+        assert matching_size([(1, 2), (2, 3)]) == 1
+
+    def test_path_four(self):
+        assert matching_size([(1, 2), (2, 3), (3, 4)]) == 2
+
+    def test_triangle(self):
+        assert matching_size([(1, 2), (2, 3), (3, 1)]) == 1
+
+    def test_odd_cycle_five(self):
+        edges = [(i, (i + 1) % 5) for i in range(5)]
+        assert matching_size(edges) == 2
+
+    def test_blossom_with_stem(self):
+        """The canonical blossom case: an odd cycle hanging off a path.
+
+        Vertices 0-1, then the 5-cycle 1-2-3-4-5-1: maximum matching 3.
+        """
+        edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 1)]
+        assert matching_size(edges) == 3
+
+    def test_petersen_graph(self):
+        g = nx.petersen_graph()
+        assert matching_size(g.edges()) == 5  # perfect matching
+
+    def test_self_loops_ignored(self):
+        assert matching_size([(1, 1), (1, 2)]) == 1
+
+    def test_symmetric_result(self):
+        m = max_cardinality_matching([(1, 2), (3, 4)])
+        for u, v in m.items():
+            assert m[v] == u
+
+    def test_hashable_node_labels(self):
+        m = max_cardinality_matching([(("a", 1), ("b", 2))])
+        assert len(m) == 2
+
+
+class TestAgainstNetworkx:
+    @given(
+        seed=st.integers(min_value=0, max_value=300),
+        n=st.integers(min_value=2, max_value=14),
+        p=st.floats(min_value=0.1, max_value=0.9),
+    )
+    @settings(max_examples=40)
+    def test_random_graphs(self, seed, n, p):
+        g = nx.gnp_random_graph(n, p, seed=seed)
+        ours = matching_size(g.edges())
+        theirs = len(nx.max_weight_matching(g, maxcardinality=True))
+        assert ours == theirs
+
+    @given(seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=20)
+    def test_random_regular_ish(self, seed):
+        rng = random.Random(seed)
+        n = 12
+        edges = [
+            (i, j)
+            for i in range(n)
+            for j in range(i + 1, n)
+            if rng.random() < 0.3
+        ]
+        g = nx.Graph(edges)
+        assert matching_size(edges) == len(
+            nx.max_weight_matching(g, maxcardinality=True)
+        )
+
+
+class TestSmallSetPacking:
+    def test_rejects_large_sets(self):
+        with pytest.raises(ValueError):
+            max_small_set_packing([frozenset({1, 2, 3})])
+
+    def test_singletons(self):
+        sets = [frozenset({i}) for i in range(5)]
+        assert len(max_small_set_packing(sets)) == 5
+
+    def test_conflicting_pairs(self):
+        sets = [frozenset({1, 2}), frozenset({2, 3}), frozenset({3, 4})]
+        assert len(max_small_set_packing(sets)) == 2
+
+    def test_singleton_vs_pair_tradeoff(self):
+        """{a} and {b} beat {a,b}."""
+        sets = [frozenset({1}), frozenset({2}), frozenset({1, 2})]
+        packing = max_small_set_packing(sets)
+        assert len(packing) == 2
+
+    def test_blossom_shaped_packing(self):
+        """Odd-cycle conflicts need the blossom machinery to solve
+        exactly: 5 pairs forming a 5-cycle pack 2, plus a free singleton."""
+        sets = [frozenset({i, (i + 1) % 5}) for i in range(5)]
+        sets.append(frozenset({99}))
+        assert len(max_small_set_packing(sets)) == 3
+
+    def test_packing_is_disjoint(self):
+        rng = random.Random(0)
+        universe = list(range(10))
+        sets = {
+            frozenset(rng.sample(universe, rng.choice([1, 2])))
+            for _ in range(25)
+        }
+        packing = max_small_set_packing(sorted(sets, key=repr))
+        used = set()
+        for s in packing:
+            assert used.isdisjoint(s)
+            used |= s
+
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=30)
+    def test_matches_branch_and_bound(self, seed):
+        """The matching reduction and the generic B&B agree exactly."""
+        from repro.analysis.packing import _greedy, _preprocess
+
+        rng = random.Random(seed)
+        universe = list(range(8))
+        sets = sorted(
+            {
+                frozenset(rng.sample(universe, rng.choice([1, 2])))
+                for _ in range(rng.randint(0, 12))
+            },
+            key=repr,
+        )
+        via_matching = len(max_small_set_packing(sets))
+        # brute force oracle
+        from itertools import combinations
+
+        brute = 0
+        for k in range(len(sets), 0, -1):
+            for combo in combinations(sets, k):
+                total = sum(len(s) for s in combo)
+                union = set().union(*combo)
+                if len(union) == total:
+                    brute = k
+                    break
+            if brute:
+                break
+        assert via_matching == brute

@@ -1,0 +1,123 @@
+"""Tests for repro.analysis.flows, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.flows import (
+    local_vertex_connectivity,
+    max_vertex_disjoint_paths,
+    vertex_disjoint_paths,
+)
+from repro.grid.graphs import adjacency_map
+from repro.grid.torus import Torus
+
+
+def undirected_adj(edges):
+    adj = {}
+    for u, v in edges:
+        adj.setdefault(u, []).append(v)
+        adj.setdefault(v, []).append(u)
+    return {k: tuple(vs) for k, vs in adj.items()}
+
+
+class TestKnownGraphs:
+    def test_path_graph(self):
+        adj = undirected_adj([(0, 1), (1, 2), (2, 3)])
+        assert max_vertex_disjoint_paths(adj, 0, 3) == 1
+
+    def test_direct_edge_counts(self):
+        adj = undirected_adj([(0, 1)])
+        assert max_vertex_disjoint_paths(adj, 0, 1) == 1
+
+    def test_cycle(self):
+        adj = undirected_adj([(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert max_vertex_disjoint_paths(adj, 0, 2) == 2
+
+    def test_complete_graph(self):
+        n = 6
+        edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        adj = undirected_adj(edges)
+        # direct edge + (n-2) one-relay paths
+        assert max_vertex_disjoint_paths(adj, 0, 1) == n - 1
+
+    def test_disconnected(self):
+        adj = undirected_adj([(0, 1), (2, 3)])
+        assert max_vertex_disjoint_paths(adj, 0, 3) == 0
+
+    def test_bottleneck(self):
+        # two diamonds joined by one cut vertex
+        adj = undirected_adj(
+            [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5), (4, 6), (5, 6)]
+        )
+        assert max_vertex_disjoint_paths(adj, 0, 6) == 1
+
+    def test_same_node_raises(self):
+        with pytest.raises(ValueError):
+            max_vertex_disjoint_paths({0: (1,)}, 0, 0)
+
+    def test_cap_limits(self):
+        n = 6
+        edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        adj = undirected_adj(edges)
+        assert max_vertex_disjoint_paths(adj, 0, 1, cap=2) == 2
+
+    def test_allowed_restriction(self):
+        adj = undirected_adj([(0, 1), (1, 2), (0, 3), (3, 2)])
+        assert max_vertex_disjoint_paths(adj, 0, 2) == 2
+        assert (
+            max_vertex_disjoint_paths(adj, 0, 2, allowed={0, 1, 2}) == 1
+        )
+        assert max_vertex_disjoint_paths(adj, 0, 2, allowed={0, 2}) == 0
+        # endpoints outside the allowed set: no paths
+        assert max_vertex_disjoint_paths(adj, 0, 2, allowed={1}) == 0
+
+
+class TestAgainstNetworkx:
+    @given(st.integers(min_value=0, max_value=100))
+    def test_random_graphs(self, seed):
+        g = nx.gnp_random_graph(10, 0.4, seed=seed)
+        if g.number_of_edges() == 0:
+            return
+        adj = {n: tuple(g.neighbors(n)) for n in g.nodes}
+        nodes = sorted(g.nodes)
+        s, t = nodes[0], nodes[-1]
+        expected = nx.node_connectivity(g, s, t) if s in g and t in g else 0
+        assert local_vertex_connectivity(adj, s, t) == expected
+
+    def test_radio_graph_menger(self):
+        torus = Torus.square(7, 1)
+        adj = adjacency_map(torus)
+        g = nx.Graph()
+        for u, nbrs in adj.items():
+            for v in nbrs:
+                g.add_edge(u, v)
+        assert local_vertex_connectivity(
+            adj, (0, 0), (3, 3)
+        ) == nx.node_connectivity(g, (0, 0), (3, 3))
+
+
+class TestPathMaterialization:
+    def test_paths_are_disjoint_and_valid(self):
+        torus = Torus.square(9, 1)
+        adj = adjacency_map(torus)
+        paths = vertex_disjoint_paths(adj, (0, 0), (4, 4))
+        assert len(paths) == max_vertex_disjoint_paths(adj, (0, 0), (4, 4))
+        seen = set()
+        for path in paths:
+            assert path[0] == (0, 0) and path[-1] == (4, 4)
+            for u, v in zip(path, path[1:]):
+                assert v in adj[u]
+            for internal in path[1:-1]:
+                assert internal not in seen
+                seen.add(internal)
+
+    def test_paths_respect_allowed(self):
+        adj = undirected_adj([(0, 1), (1, 2), (0, 3), (3, 2)])
+        paths = vertex_disjoint_paths(adj, 0, 2, allowed={0, 1, 2})
+        assert paths == [[0, 1, 2]]
+
+    def test_empty_when_endpoint_excluded(self):
+        adj = undirected_adj([(0, 1)])
+        assert vertex_disjoint_paths(adj, 0, 1, allowed={0}) == []

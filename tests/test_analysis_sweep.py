@@ -1,0 +1,46 @@
+"""Tests for repro.analysis.sweep (threshold sharpness curves)."""
+
+from repro.analysis.sweep import (
+    SweepPoint,
+    byzantine_sharpness_sweep,
+    crash_sharpness_sweep,
+)
+from repro.core.thresholds import byzantine_linf_max_t, crash_linf_max_t
+
+
+class TestByzantineSweep:
+    def test_guaranteed_region_always_succeeds(self):
+        pts = byzantine_sharpness_sweep(
+            1, budgets=[0, 1], protocol="bv-two-hop", trials=3
+        )
+        for pt in pts:
+            assert pt.t <= byzantine_linf_max_t(1)
+            assert pt.success_fraction == 1.0
+            assert pt.safety_fraction == 1.0
+
+    def test_rows_shape(self):
+        pts = byzantine_sharpness_sweep(1, budgets=[1], trials=2)
+        row = pts[0].row()
+        assert set(row) == {
+            "t",
+            "trials",
+            "success_fraction",
+            "safety_fraction",
+            "mean_undecided",
+        }
+
+    def test_deterministic(self):
+        a = byzantine_sharpness_sweep(1, budgets=[1], trials=2, seed=5)
+        b = byzantine_sharpness_sweep(1, budgets=[1], trials=2, seed=5)
+        assert a == b
+
+
+class TestCrashSweep:
+    def test_guaranteed_region(self):
+        t_max = crash_linf_max_t(1)
+        pts = crash_sharpness_sweep(1, budgets=[0, t_max], trials=3)
+        assert all(pt.success_fraction == 1.0 for pt in pts)
+
+    def test_safety_trivially_one(self):
+        pts = crash_sharpness_sweep(1, budgets=[2], trials=2)
+        assert pts[0].safety_fraction == 1.0

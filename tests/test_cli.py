@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.protocol == "bv-two-hop"
+        assert args.r == 2 and args.t == 4
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--protocol", "gossip"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "EXP-THM1" in out
+        assert "Table I" in out
+
+    def test_thresholds(self, capsys):
+        assert main(["thresholds", "--radii", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "byz_linf_max_t" in out
+
+    def test_run_analytic_experiment(self, capsys):
+        assert main(["run", "EXP-F1_3", "--radii", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "partition_ok" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "EXP-UNKNOWN"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_demo_safe_run_exit_zero(self, capsys):
+        code = main(
+            [
+                "demo",
+                "--r",
+                "1",
+                "--t",
+                "1",
+                "--protocol",
+                "cpa",
+                "--strategy",
+                "liar",
+                "--map",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "achieved" in out
+        assert "S" in out  # the map was printed

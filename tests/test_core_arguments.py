@@ -1,0 +1,225 @@
+"""Tests for repro.core.crash_argument, .l2_construction, .cpa_argument
+and .earmark."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cpa_argument import (
+    commit_threshold,
+    paper_stage1_claim,
+    stage1_initial_support,
+    stage1_max_row,
+    stage1_row_commits,
+    stage1_row_support,
+    stage2_corner_support,
+    stage2_remaining_support,
+    theorem6_row,
+    theorem6_table,
+)
+from repro.core.crash_argument import (
+    crash_inductive_step_holds,
+    frontier_segments,
+    neighbors_in_half,
+    stage_one_split,
+)
+from repro.core.earmark import earmarked_reports, family_watchlist, watchlist_size
+from repro.core.l2_construction import (
+    disc_points,
+    l2_argument_row,
+    l2_disjoint_path_count,
+    worst_case_pq,
+)
+from repro.core.paths import u_node_paths
+from repro.core.thresholds import crash_linf_threshold
+from repro.faults.placement import greedy_random_placement
+
+
+class TestCrashArgument:
+    def test_stage_one_split_counts(self):
+        faults = [(0, 1), (0, -1), (1, 0), (0, 0)]  # one on each axis+center
+        split = stage_one_split(faults, 0, 0, 2)
+        assert split.top == 1 and split.bottom == 1
+        assert split.left == 0 and split.right == 1
+        assert split.bound == 6
+
+    def test_split_inequalities_for_valid_placement(self, rng):
+        """With < r(2r+1) faults total in the neighborhood, one half of
+        each split is strictly under r(r+1) -- the proof's pigeonhole."""
+        r = 2
+        box = [(x, y) for x in range(-r, r + 1) for y in range(-r, r + 1)]
+        for _ in range(10):
+            k = rng.randint(0, crash_linf_threshold(r) - 1)
+            faults = rng.sample(box, k)
+            split = stage_one_split(faults, 0, 0, r)
+            assert split.horizontal_ok
+            assert split.vertical_ok
+
+    def test_frontier_segments_shape(self):
+        segs = frontier_segments(0, 0, 2)
+        assert len(segs["top"]) == 5
+        assert all(y == 3 for _, y in segs["top"])
+        assert len(segs["left"]) == 5
+        assert all(x == -3 for x, _ in segs["left"])
+
+    def test_neighbors_in_half_count(self):
+        """The proof's claim: each top-frontier node has exactly r(r+1)
+        neighbors in the top half."""
+        r = 2
+        for x in range(-r, r + 1):
+            nbrs = neighbors_in_half((x, r + 1), 0, 0, r, "top")
+            assert len(nbrs) >= r * (r + 1)
+
+    def test_corner_frontier_node_exact_count(self):
+        r = 3
+        nbrs = neighbors_in_half((-r, r + 1), 0, 0, r, "top")
+        assert len(nbrs) == r * (r + 1)
+
+    @given(st.integers(min_value=0, max_value=40), st.integers(1, 2))
+    @settings(max_examples=15)
+    def test_inductive_step_holds_below_threshold(self, seed, r):
+        """Theorem 5 executable: any budget-respecting placement lets the
+        frontier hear the broadcast."""
+        rng = random.Random(seed)
+        box = [
+            (x, y)
+            for x in range(-3 * r, 3 * r + 1)
+            for y in range(-3 * r, 3 * r + 1)
+        ]
+        faults = greedy_random_placement(
+            box, crash_linf_threshold(r) - 1, r, rng=rng
+        )
+        holds, stuck = crash_inductive_step_holds(faults, 0, 0, r)
+        assert holds, stuck
+
+    def test_inductive_step_fails_at_threshold_strip(self):
+        r = 2
+        strip = {
+            (x, y) for x in range(1, 1 + r) for y in range(-9, 10)
+        }
+        holds, stuck = crash_inductive_step_holds(strip, 0, 0, r)
+        assert not holds
+        assert all(x == r + 1 for x, _ in stuck)  # the cut-off right edge
+
+
+class TestL2Construction:
+    def test_worst_case_pq_distance(self):
+        for r in (2, 5, 9):
+            p, q, m = worst_case_pq(r)
+            d = math.hypot(q[0] - p[0], q[1] - p[1])
+            assert d <= r * math.sqrt(2) < d + 1
+
+    def test_disc_points_count(self):
+        pts = disc_points((0, 0), 2)
+        assert len(pts) == 13
+
+    def test_endpoints_inside_disc(self):
+        for r in (2, 4, 6):
+            p, q, m = worst_case_pq(r)
+            pts = set(disc_points(m, r))
+            assert p in pts and q in pts
+
+    @pytest.mark.parametrize("r", [2, 3, 4, 5])
+    def test_argument_holds(self, r):
+        row = l2_argument_row(r)
+        assert row.argument_holds, row
+
+    def test_count_grows_quadratically(self):
+        c3 = l2_disjoint_path_count(3)
+        c6 = l2_disjoint_path_count(6)
+        assert c6 >= 3 * c3  # ~4x expected; 3x is a safe floor
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            worst_case_pq(0)
+
+
+class TestCPAArgument:
+    @pytest.mark.parametrize("r", [2, 3, 5, 8, 13, 21, 50])
+    def test_all_inequalities_hold(self, r):
+        assert theorem6_row(r).all_inequalities_hold
+
+    def test_initial_support_beats_2t_plus_1(self):
+        for r in range(2, 60):
+            assert stage1_initial_support(r) >= commit_threshold(r)
+
+    def test_stage1_monotone_decreasing_support(self):
+        r = 20
+        supports = [stage1_row_support(r, i) for i in range(1, 8)]
+        assert supports == sorted(supports, reverse=True)
+
+    def test_stage1_max_row_meets_claims(self):
+        for r in range(2, 80):
+            rows = stage1_max_row(r)
+            assert rows >= paper_stage1_claim(r)
+            assert rows >= r // 3
+
+    def test_stage1_row1_always_commits(self):
+        for r in range(2, 40):
+            assert stage1_row_commits(r, 1)
+
+    def test_stage2_supports(self):
+        for r in range(2, 40):
+            assert stage2_corner_support(r) >= commit_threshold(r)
+            assert stage2_remaining_support(r) > 4 * r * r / 3
+
+    def test_paper_11r2_over_6_bound(self):
+        """Fig. 17's explicit inequality for the corner support."""
+        for r in range(2, 40):
+            assert stage2_corner_support(r) >= 11 * r * r / 6
+
+    def test_table_shape(self):
+        rows = theorem6_table([2, 3])
+        assert len(rows) == 2
+        assert rows[0]["holds"]
+
+    def test_row_index_validation(self):
+        with pytest.raises(ValueError):
+            stage1_row_support(5, 0)
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            commit_threshold(0)
+
+
+class TestEarmark:
+    def test_corner_watchlist_shape(self):
+        r = 2
+        wl = earmarked_reports(0, 0, r)
+        assert len(wl) == r * (2 * r + 1)
+        # direct entries (region R) have a single empty chain
+        direct = [chains for chains in wl.values() if chains == [()]]
+        assert len(direct) == r * (r + 1)
+
+    def test_indirect_chains_oriented_for_watcher(self):
+        """The first relay of each earmarked chain must be adjacent to P
+        (it is the node P physically hears)."""
+        from repro.core.paths import corner_P
+        from repro.geometry.metrics import LINF
+
+        r = 2
+        p = corner_P(0, 0, r)
+        wl = earmarked_reports(0, 0, r)
+        for chains in wl.values():
+            for chain in chains:
+                if chain:
+                    assert LINF.within(chain[0], p, r)
+
+    def test_watchlist_size(self):
+        wl = earmarked_reports(0, 0, 1)
+        # 3 origins: 2 direct (1 chain) + 1 indirect (3 chains)
+        assert watchlist_size(wl) == 2 * 1 + 1 * 3
+
+    def test_family_watchlist_reverses_relays(self):
+        fam = u_node_paths(0, 0, 2, 1, 2)
+        chains = family_watchlist(fam)
+        assert len(chains) == 10
+        for path, chain in zip(fam.paths, chains):
+            assert chain == tuple(reversed(path[1:-1]))
+
+    def test_offset_positions(self):
+        wl = earmarked_reports(0, 0, 2, l=1)
+        assert len(wl) >= 10

@@ -1,0 +1,257 @@
+"""Tests for repro.core.regions and repro.core.paths: the Table I /
+Figures 1-7 constructions, mechanically checked."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.paths import (
+    arbitrary_p_connectivity,
+    corner_connectivity,
+    corner_P,
+    direct_family,
+    s1_node_paths,
+    s2_node_paths,
+    translated_family,
+    u_node_paths,
+)
+from repro.core.regions import (
+    expected_region_sizes,
+    expected_S1_path_counts,
+    expected_U_path_counts,
+    region_M,
+    region_R,
+    region_S1,
+    region_S2,
+    region_U,
+    table1_S1_regions,
+    table1_U_regions,
+)
+from repro.core.witnesses import verify_connectivity_map, verify_family
+from repro.geometry.metrics import LINF
+
+radii = st.integers(min_value=1, max_value=6)
+centers = st.tuples(
+    st.integers(min_value=-5, max_value=5), st.integers(min_value=-5, max_value=5)
+)
+
+
+def upq(draw_r):
+    """Strategy for valid (r, p, q) triples with r >= q > p >= 1."""
+    return draw_r.flatmap(
+        lambda r: st.tuples(
+            st.just(r),
+            st.integers(min_value=1, max_value=max(1, r - 1)),
+            st.integers(min_value=2, max_value=r),
+        ).filter(lambda t: t[0] >= t[2] > t[1] >= 1)
+    )
+
+
+class TestRegionCardinalities:
+    @given(centers, radii)
+    def test_M_size(self, c, r):
+        assert len(region_M(c[0], c[1], r)) == r * (2 * r + 1)
+
+    @given(centers, radii)
+    def test_R_size(self, c, r):
+        assert len(region_R(c[0], c[1], r)) == r * (r + 1)
+
+    @given(centers, radii)
+    def test_partition(self, c, r):
+        """M = R + U + S1 + S2, disjointly (the Fig. 3 decomposition)."""
+        a, b = c
+        m = set(region_M(a, b, r))
+        parts = [
+            set(region_R(a, b, r)),
+            set(region_U(a, b, r)),
+            set(region_S1(a, b, r)),
+            set(region_S2(a, b, r)),
+        ]
+        assert sum(len(p) for p in parts) == len(m)
+        union = set().union(*parts)
+        assert union == m
+
+    @given(radii)
+    def test_expected_sizes_formulae(self, r):
+        sizes = expected_region_sizes(r)
+        assert sizes["M"] == sizes["R"] + sizes["U"] + sizes["S1"] + sizes["S2"]
+
+    @given(centers, radii)
+    def test_M_inside_nbd(self, c, r):
+        a, b = c
+        assert all(
+            LINF.within(p, (a, b), r) for p in region_M(a, b, r)
+        )
+
+    @given(centers, radii)
+    def test_R_nodes_adjacent_to_P(self, c, r):
+        a, b = c
+        p = corner_P(a, b, r)
+        assert all(LINF.within(n, p, r) for n in region_R(a, b, r))
+
+
+class TestTable1:
+    @given(st.integers(min_value=2, max_value=6).flatmap(
+        lambda r: st.tuples(
+            st.just(r),
+            st.integers(min_value=1, max_value=r - 1),
+            st.integers(min_value=2, max_value=r),
+        )
+    ).filter(lambda t: t[2] > t[1]))
+    def test_region_counts_match_claims(self, rpq):
+        r, p, q = rpq
+        regions = table1_U_regions(0, 0, r, p, q)
+        claims = expected_U_path_counts(r, p, q)
+        assert len(regions["A"]) == claims["A"]
+        assert len(regions["B1"]) == len(regions["B2"]) == claims["B"]
+        assert len(regions["C1"]) == len(regions["C2"]) == claims["C"]
+        assert (
+            len(regions["D1"])
+            == len(regions["D2"])
+            == len(regions["D3"])
+            == claims["D"]
+        )
+        assert claims["total"] == r * (2 * r + 1)
+
+    @given(st.integers(min_value=2, max_value=6).flatmap(
+        lambda r: st.tuples(
+            st.just(r),
+            st.integers(min_value=1, max_value=r - 1),
+            st.integers(min_value=2, max_value=r),
+        )
+    ).filter(lambda t: t[2] > t[1]))
+    def test_regions_pairwise_disjoint(self, rpq):
+        r, p, q = rpq
+        regions = table1_U_regions(0, 0, r, p, q)
+        names = list(regions)
+        for i, x in enumerate(names):
+            for y in names[i + 1 :]:
+                shared = set(regions[x]) & set(regions[y])
+                assert not shared, f"{x} and {y} overlap: {shared}"
+
+    @given(st.integers(min_value=2, max_value=6).flatmap(
+        lambda r: st.tuples(
+            st.just(r),
+            st.integers(min_value=1, max_value=r - 1),
+            st.integers(min_value=2, max_value=r),
+        )
+    ).filter(lambda t: t[2] > t[1]))
+    def test_region_memberships(self, rpq):
+        """A, B1, C1, D1 in nbd(N); A, B2, C2, D3 in nbd(P) -- the claims
+        the paths rely on."""
+        r, p, q = rpq
+        n = (p, q)
+        pt = corner_P(0, 0, r)
+        regions = table1_U_regions(0, 0, r, p, q)
+        for name in ("A", "B1", "C1", "D1"):
+            assert all(LINF.within(z, n, r) for z in regions[name]), name
+        for name in ("A", "B2", "C2", "D3"):
+            assert all(LINF.within(z, pt, r) for z in regions[name]), name
+
+    @given(st.integers(min_value=2, max_value=6).flatmap(
+        lambda r: st.tuples(
+            st.just(r),
+            st.integers(min_value=1, max_value=r - 1),
+            st.integers(min_value=2, max_value=r),
+        )
+    ).filter(lambda t: t[2] > t[1]))
+    def test_d1_d2_full_adjacency(self, rpq):
+        """Every D1 node neighbors every D2 node (any pairing works)."""
+        r, p, q = rpq
+        regions = table1_U_regions(0, 0, r, p, q)
+        for u in regions["D1"]:
+            for v in regions["D2"]:
+                assert LINF.within(u, v, r)
+
+    def test_s1_regions(self):
+        regions = table1_S1_regions(0, 0, 3, 1)
+        counts = expected_S1_path_counts(3, 1)
+        assert len(regions["J"]) == counts["J"]
+        assert len(regions["K1"]) == len(regions["K2"]) == counts["K"]
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            table1_U_regions(0, 0, 2, 2, 2)  # q must exceed p
+        with pytest.raises(ValueError):
+            table1_S1_regions(0, 0, 2, 2)  # p <= r-1
+
+
+class TestPathFamilies:
+    @given(st.integers(min_value=2, max_value=5).flatmap(
+        lambda r: st.tuples(
+            st.just(r),
+            st.integers(min_value=1, max_value=r - 1),
+            st.integers(min_value=2, max_value=r),
+        )
+    ).filter(lambda t: t[2] > t[1]), centers)
+    def test_u_family_verifies(self, rpq, c):
+        r, p, q = rpq
+        fam = u_node_paths(c[0], c[1], r, p, q)
+        verify_family(fam, r, expected_count=r * (2 * r + 1))
+
+    @given(st.integers(min_value=1, max_value=5).flatmap(
+        lambda r: st.tuples(st.just(r), st.integers(min_value=0, max_value=r - 1))
+    ), centers)
+    def test_s1_family_verifies(self, rp, c):
+        r, p = rp
+        fam = s1_node_paths(c[0], c[1], r, p)
+        verify_family(fam, r, expected_count=r * (2 * r + 1))
+        assert fam.center == (c[0] - r, c[1] + 1)  # the paper's nbd(a-r, b+1)
+
+    @given(st.integers(min_value=2, max_value=5).flatmap(
+        lambda r: st.tuples(
+            st.just(r),
+            st.integers(min_value=0, max_value=r - 2),
+            st.integers(min_value=1, max_value=r - 1),
+        )
+    ).filter(lambda t: t[2] > t[1]))
+    def test_s2_family_verifies(self, rpq):
+        r, pp, qq = rpq
+        fam = s2_node_paths(0, 0, r, qq, pp)
+        verify_family(fam, r, expected_count=r * (2 * r + 1))
+        assert fam.n == (-qq, -pp)
+
+    @given(radii)
+    def test_corner_connectivity_complete(self, r):
+        fams = corner_connectivity(0, 0, r)
+        assert set(fams) == set(region_M(0, 0, r))
+        verify_connectivity_map(
+            fams,
+            r,
+            required_nodes=r * (2 * r + 1),
+            required_paths_each=r * (2 * r + 1),
+        )
+
+    @given(st.integers(min_value=1, max_value=4).flatmap(
+        lambda r: st.tuples(st.just(r), st.integers(min_value=0, max_value=r))
+    ))
+    def test_arbitrary_p(self, rl):
+        r, l = rl
+        fams = arbitrary_p_connectivity(0, 0, r, l)
+        verify_connectivity_map(
+            fams,
+            r,
+            required_nodes=r * (2 * r + 1),
+            required_paths_each=r * (2 * r + 1),
+        )
+        # all covered nodes must lie in nbd(a, b)
+        assert all(LINF.within(n, (0, 0), r) for n in fams)
+
+    def test_arbitrary_p_invalid_l(self):
+        with pytest.raises(ValueError):
+            arbitrary_p_connectivity(0, 0, 2, 3)
+
+    def test_translated_family_verifies(self):
+        fam = u_node_paths(0, 0, 3, 1, 2)
+        moved = translated_family(fam, 7, -4)
+        verify_family(moved, 3, expected_count=3 * 7)
+
+    def test_direct_family(self):
+        fam = direct_family((0, 1), (0, 2))
+        assert fam.count == 1
+        verify_family(fam, 1)
+
+    def test_paths_lie_in_single_neighborhood_claimed_by_paper(self):
+        """The U-construction's center is (a, b+r+1), per Fig. 5."""
+        fam = u_node_paths(0, 0, 3, 1, 2)
+        assert fam.center == (0, 4)

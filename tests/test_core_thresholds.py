@@ -1,0 +1,168 @@
+"""Tests for repro.core.thresholds (every bound in the paper)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.thresholds import (
+    byzantine_linf_max_t,
+    byzantine_linf_threshold,
+    cpa_best_known_max_t,
+    cpa_linf_bound,
+    cpa_linf_max_t,
+    crash_linf_max_t,
+    crash_linf_threshold,
+    koo_cpa_l2_bound,
+    koo_cpa_linf_bound,
+    koo_impossibility_bound,
+    l2_byzantine_achievable_estimate,
+    l2_byzantine_impossible_estimate,
+    l2_crash_achievable_estimate,
+    l2_crash_impossible_estimate,
+    linf_nbd_size,
+    threshold_table,
+)
+
+radii = st.integers(min_value=1, max_value=200)
+
+
+class TestExactThresholds:
+    @given(radii)
+    def test_byzantine_threshold_formula(self, r):
+        assert byzantine_linf_threshold(r) == r * (2 * r + 1) / 2
+
+    @given(radii)
+    def test_max_t_is_largest_below_threshold(self, r):
+        t = byzantine_linf_max_t(r)
+        assert t < byzantine_linf_threshold(r)
+        assert t + 1 >= byzantine_linf_threshold(r)
+
+    @given(radii)
+    def test_achievability_meets_impossibility(self, r):
+        """Theorem 1 matches Koo's bound exactly: every integer t is on
+        one side or the other, with no gap."""
+        assert byzantine_linf_max_t(r) + 1 == koo_impossibility_bound(r)
+
+    @given(radii)
+    def test_koo_bound_is_ceiling(self, r):
+        assert koo_impossibility_bound(r) == math.ceil(r * (2 * r + 1) / 2)
+
+    @given(radii)
+    def test_crash_threshold_exact(self, r):
+        assert crash_linf_threshold(r) == r * (2 * r + 1)
+        assert crash_linf_max_t(r) == r * (2 * r + 1) - 1
+
+    @given(radii)
+    def test_crash_is_twice_byzantine(self, r):
+        assert crash_linf_threshold(r) == 2 * byzantine_linf_threshold(r)
+
+    def test_known_values(self):
+        assert byzantine_linf_max_t(1) == 1
+        assert koo_impossibility_bound(1) == 2
+        assert byzantine_linf_max_t(2) == 4
+        assert koo_impossibility_bound(2) == 5
+        assert crash_linf_threshold(2) == 10
+
+
+class TestFractionsOfNeighborhood:
+    @given(radii)
+    def test_byzantine_near_one_fourth(self, r):
+        """The abstract: 'slightly less than one-fourth fraction'."""
+        frac = byzantine_linf_threshold(r) / linf_nbd_size(r)
+        assert frac < 0.25
+        if r >= 10:
+            assert frac > 0.24
+
+    @given(radii)
+    def test_crash_near_one_half(self, r):
+        frac = crash_linf_threshold(r) / linf_nbd_size(r)
+        assert frac < 0.5
+        if r >= 10:
+            assert frac > 0.47
+        if r >= 50:
+            assert frac > 0.49
+
+
+class TestCPABounds:
+    @given(radii)
+    def test_cpa_formulas(self, r):
+        assert cpa_linf_bound(r) == pytest.approx(2 * r * r / 3)
+        assert cpa_linf_max_t(r) == (2 * r * r) // 3
+
+    @given(st.integers(min_value=10, max_value=500))
+    def test_theorem6_dominates_koo_asymptotically(self, r):
+        """The paper's claim: 2r^2/3 dominates Koo's bound for all
+        sufficiently large r (numerically: from r=10 on)."""
+        assert cpa_linf_bound(r) > koo_cpa_linf_bound(r)
+
+    def test_koo_better_for_small_r(self):
+        """... and Koo's bound wins for small r (the crossover)."""
+        for r in (1, 2, 3, 4):
+            assert math.ceil(koo_cpa_linf_bound(r)) - 1 >= cpa_linf_max_t(r)
+
+    @given(radii)
+    def test_best_known_at_least_each(self, r):
+        best = cpa_best_known_max_t(r)
+        assert best >= cpa_linf_max_t(r)
+        assert best >= math.ceil(koo_cpa_linf_bound(r)) - 1
+
+    @given(radii)
+    def test_cpa_below_exact_threshold(self, r):
+        """The simple protocol's certified budget never exceeds the true
+        threshold."""
+        assert cpa_best_known_max_t(r) <= byzantine_linf_max_t(r)
+
+    @given(radii)
+    def test_koo_l2_below_linf(self, r):
+        assert koo_cpa_l2_bound(r) < koo_cpa_linf_bound(r)
+
+
+class TestL2Estimates:
+    @given(radii)
+    def test_l2_ordering(self, r):
+        assert (
+            l2_byzantine_achievable_estimate(r)
+            < l2_byzantine_impossible_estimate(r)
+            <= l2_crash_achievable_estimate(r)
+            < l2_crash_impossible_estimate(r)
+        )
+
+    @given(radii)
+    def test_l2_crash_is_twice_byzantine(self, r):
+        assert l2_crash_achievable_estimate(r) == pytest.approx(
+            2 * l2_byzantine_achievable_estimate(r)
+        )
+        assert l2_crash_impossible_estimate(r) == pytest.approx(
+            2 * l2_byzantine_impossible_estimate(r)
+        )
+
+    def test_l2_fractions_of_disc(self):
+        """0.23 pi r^2 is ~23% of the disc population; 0.3 is ~30%."""
+        r = 100
+        import math as m
+
+        disc = m.pi * r * r
+        assert l2_byzantine_achievable_estimate(r) / disc == pytest.approx(0.23)
+        assert l2_byzantine_impossible_estimate(r) / disc == pytest.approx(0.30)
+
+
+class TestValidationAndTable:
+    def test_invalid_radius(self):
+        for fn in (
+            byzantine_linf_threshold,
+            koo_impossibility_bound,
+            crash_linf_threshold,
+            cpa_linf_bound,
+            linf_nbd_size,
+        ):
+            with pytest.raises(ValueError):
+                fn(0)
+
+    def test_threshold_table_shape(self):
+        rows = threshold_table([1, 2, 3])
+        assert len(rows) == 3
+        assert rows[0]["r"] == 1
+        assert rows[1]["byz_linf_max_t"] == 4
+        assert {"koo_impossibility", "crash_linf_threshold"} <= set(rows[0])

@@ -1,0 +1,102 @@
+"""Tests for repro.core.witnesses: negative cases (the checker must catch
+every defect class)."""
+
+import pytest
+
+from repro.core.paths import PathFamily, direct_family, u_node_paths
+from repro.core.witnesses import (
+    family_relay_population,
+    verify_connectivity_map,
+    verify_family,
+)
+from repro.errors import WitnessError
+
+
+def family(paths, n=(0, 0), p=(5, 5), center=None, kind="U"):
+    return PathFamily(n=n, p=p, paths=tuple(paths), center=center, kind=kind)
+
+
+class TestDefectDetection:
+    def test_wrong_count(self):
+        fam = family([((0, 0), (1, 1), (5, 5))], center=None)
+        with pytest.raises(WitnessError, match="expected 2"):
+            verify_family(fam, 5, expected_count=2)
+
+    def test_wrong_endpoints(self):
+        fam = family([((1, 1), (5, 5))])
+        with pytest.raises(WitnessError, match="endpoints"):
+            verify_family(fam, 5)
+
+    def test_too_short_path(self):
+        fam = family([((0, 0),)])
+        with pytest.raises(WitnessError, match="fewer than two"):
+            verify_family(fam, 5)
+
+    def test_hop_exceeds_radius(self):
+        fam = family([((0, 0), (3, 0), (5, 5))])
+        with pytest.raises(WitnessError, match="exceeds radius"):
+            verify_family(fam, 2)
+
+    def test_repeated_node_on_path(self):
+        fam = family([((0, 0), (1, 1), (1, 1), (5, 5))])
+        with pytest.raises(WitnessError, match="repeats"):
+            verify_family(fam, 5)
+
+    def test_shared_relay_across_paths(self):
+        fam = family(
+            [((0, 0), (2, 2), (5, 5)), ((0, 0), (2, 2), (5, 5))],
+        )
+        with pytest.raises(WitnessError, match="two paths"):
+            verify_family(fam, 5)
+
+    def test_endpoint_used_as_relay(self):
+        fam = family([((0, 0), (0, 0), (5, 5))])
+        # repeated-node check fires first for this shape; use p as relay:
+        fam2 = family([((0, 0), (5, 5), (5, 5))])
+        for f in (fam, fam2):
+            with pytest.raises(WitnessError):
+                verify_family(f, 5)
+
+    def test_endpoint_as_relay_distinct_paths(self):
+        fam = family(
+            [((0, 0), (1, 1), (5, 5)), ((0, 0), (5, 5), (5, 5))],
+        )
+        with pytest.raises(WitnessError):
+            verify_family(fam, 5)
+
+    def test_outside_claimed_neighborhood(self):
+        fam = family([((0, 0), (1, 1), (2, 2))], p=(2, 2), center=(10, 10))
+        with pytest.raises(WitnessError, match="outside the claimed"):
+            verify_family(fam, 2)
+
+    def test_no_center_skips_containment(self):
+        fam = family([((0, 0), (1, 1), (2, 2))], p=(2, 2), center=None)
+        verify_family(fam, 2)  # passes without containment obligation
+
+
+class TestConnectivityMap:
+    def test_too_few_nodes(self):
+        fams = {(0, 1): direct_family((0, 1), (9, 9))}
+        with pytest.raises(WitnessError, match="covers 1 nodes"):
+            verify_connectivity_map(fams, 9, required_nodes=2)
+
+    def test_key_mismatch(self):
+        fams = {(0, 2): direct_family((0, 1), (5, 5))}
+        with pytest.raises(WitnessError, match="does not match"):
+            verify_connectivity_map(fams, 5)
+
+    def test_direct_families_exempt_from_count(self):
+        fams = {(0, 1): direct_family((0, 1), (1, 1))}
+        verify_connectivity_map(fams, 2, required_paths_each=100)
+
+
+class TestRelayPopulation:
+    def test_direct_family_empty(self):
+        assert family_relay_population(direct_family((0, 0), (1, 1))) == set()
+
+    def test_u_family_relays_counted(self):
+        fam = u_node_paths(0, 0, 2, 1, 2)
+        relays = family_relay_population(fam)
+        # r(2r+1)=10 paths: |A| one-relay + 2*|B|+2*|C| + 3*|D| relays
+        assert len(relays) >= 10
+        assert fam.n not in relays and fam.p not in relays

@@ -1,0 +1,159 @@
+"""Tests for repro.faults.byzantine, .crash and .random_faults."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.byzantine import (
+    BYZANTINE_STRATEGIES,
+    DuplicitousByzantine,
+    EagerLiarByzantine,
+    FabricatingByzantine,
+    RandomNoiseByzantine,
+    SilentByzantine,
+    make_byzantine,
+)
+from repro.faults.crash import dead_from_start, staggered_crashes
+from repro.faults.placement import is_valid_placement
+from repro.faults.random_faults import iid_failures, random_bounded_placement
+from repro.grid.torus import Torus
+from repro.protocols.base import CommittedMsg, HeardMsg
+from repro.radio.engine import Engine
+from repro.radio.node import FunctionProcess
+
+
+def capture_broadcasts(torus, byz_node, process, rounds=3):
+    """Run just the Byzantine process and collect what a neighbor hears."""
+    heard = []
+    sink = FunctionProcess(on_receive=lambda ctx, env: heard.append(env.payload))
+    nb = torus.neighbors(byz_node)[0]
+    eng = Engine(
+        torus, {byz_node: process, nb: sink}, max_rounds=rounds
+    )
+    eng.run()
+    return heard
+
+
+class TestStrategies:
+    def test_silent_sends_nothing(self):
+        t = Torus.square(7, 1)
+        assert capture_broadcasts(t, (3, 3), SilentByzantine()) == []
+
+    def test_liar_announces_wrong_once(self):
+        t = Torus.square(7, 1)
+        heard = capture_broadcasts(t, (3, 3), EagerLiarByzantine(0))
+        assert heard == [CommittedMsg(0)]
+
+    def test_duplicitous_sends_both_in_order(self):
+        t = Torus.square(7, 1)
+        heard = capture_broadcasts(t, (3, 3), DuplicitousByzantine(0, 1))
+        assert heard == [CommittedMsg(0), CommittedMsg(1)]
+
+    def test_fabricator_frames_neighbors(self):
+        t = Torus.square(9, 1)
+        heard = capture_broadcasts(t, (4, 4), FabricatingByzantine(0))
+        committed = [m for m in heard if isinstance(m, CommittedMsg)]
+        heards = [m for m in heard if isinstance(m, HeardMsg)]
+        assert committed == [CommittedMsg(0)]
+        assert len(heards) >= 8  # frames at least its direct ring
+        assert all(m.value == 0 for m in heards)
+
+    def test_fabricator_chains_are_plausible(self):
+        """Every fabricated two-relay chain must survive honest adjacency
+        validation (that is the point of the strategy)."""
+        from repro.geometry.metrics import LINF
+
+        t = Torus.square(13, 2)
+        me = (6, 6)
+        heard = capture_broadcasts(t, me, FabricatingByzantine(0))
+        for m in heard:
+            if isinstance(m, HeardMsg) and m.relays:
+                relay = m.relays[0]
+                assert LINF.within(me, relay, 2)
+                assert LINF.within(relay, m.origin, 2)
+
+    def test_fabricator_shallow_mode(self):
+        t = Torus.square(9, 1)
+        heard = capture_broadcasts(
+            t, (4, 4), FabricatingByzantine(0, deep_fabrication=False)
+        )
+        assert all(
+            not (isinstance(m, HeardMsg) and m.relays) for m in heard
+        )
+
+    def test_noise_deterministic(self):
+        t = Torus.square(7, 1)
+        a = capture_broadcasts(t, (3, 3), RandomNoiseByzantine(0, seed=5))
+        b = capture_broadcasts(t, (3, 3), RandomNoiseByzantine(0, seed=5))
+        assert a == b
+
+    def test_noise_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            RandomNoiseByzantine(0, rate=1.5)
+
+    def test_registry_and_factory(self):
+        assert set(BYZANTINE_STRATEGIES) == {
+            "silent",
+            "liar",
+            "duplicitous",
+            "fabricator",
+            "noise",
+        }
+        for name in BYZANTINE_STRATEGIES:
+            proc = make_byzantine(name, 0)
+            assert proc is not None
+
+    def test_factory_unknown(self):
+        with pytest.raises(ConfigurationError):
+            make_byzantine("teleport", 0)
+
+
+class TestCrashSchedules:
+    def test_dead_from_start(self):
+        sched = dead_from_start([(0, 0), (1, 1)])
+        assert sched == {(0, 0): 0, (1, 1): 0}
+
+    def test_staggered_in_range(self):
+        sched = staggered_crashes([(i, 0) for i in range(20)], 5)
+        assert all(0 <= r <= 5 for r in sched.values())
+
+    def test_staggered_deterministic(self):
+        nodes = [(i, 0) for i in range(10)]
+        a = staggered_crashes(nodes, 7, random.Random(3))
+        b = staggered_crashes(nodes, 7, random.Random(3))
+        assert a == b
+
+    def test_staggered_invalid(self):
+        with pytest.raises(ValueError):
+            staggered_crashes([(0, 0)], -1)
+
+
+class TestRandomFaults:
+    def test_iid_protects_source(self):
+        t = Torus.square(9, 1)
+        faults = iid_failures(t, 1.0, random.Random(0))
+        assert (0, 0) not in faults
+        assert len(faults) == 80
+
+    def test_iid_probability_zero(self):
+        t = Torus.square(9, 1)
+        assert iid_failures(t, 0.0, random.Random(0)) == set()
+
+    def test_iid_invalid_probability(self):
+        with pytest.raises(ValueError):
+            iid_failures(Torus.square(9, 1), -0.1)
+
+    def test_bounded_placement_valid(self):
+        t = Torus.square(9, 1)
+        for seed in range(3):
+            faults = random_bounded_placement(t, 2, random.Random(seed))
+            assert is_valid_placement(faults, 2, 1, topology=t)
+            assert (0, 0) not in faults
+
+    def test_bounded_placement_target(self):
+        t = Torus.square(11, 1)
+        faults = random_bounded_placement(
+            t, 3, random.Random(0), target_count=5
+        )
+        assert len(faults) == 5

@@ -1,0 +1,119 @@
+"""Tests for repro.faults.constructions (the impossibility placements)."""
+
+import pytest
+
+from repro.analysis.reachability import crash_broadcast_coverage
+from repro.core.thresholds import crash_linf_threshold, koo_impossibility_bound
+from repro.errors import ConfigurationError
+from repro.experiments.scenarios import strip_torus
+from repro.faults.constructions import (
+    crash_strip,
+    far_side_nodes,
+    half_density_strip,
+    puncture,
+    torus_byzantine_strip,
+    torus_crash_partition,
+)
+from repro.faults.placement import max_faults_per_nbd
+
+
+class TestCrashStrip:
+    def test_shape(self):
+        s = crash_strip(3, 2, range(0, 5))
+        assert s == {(x, y) for x in (3, 4) for y in range(5)}
+
+    def test_per_nbd_bound_matches_theorem4(self):
+        """A full-height width-r strip puts exactly r(2r+1) faults in the
+        worst neighborhood."""
+        for r in (1, 2, 3):
+            s = crash_strip(0, r, range(-4 * r, 4 * r + 1))
+            worst, _ = max_faults_per_nbd(s, r)
+            assert worst == crash_linf_threshold(r)
+
+
+class TestHalfDensityStrip:
+    def test_checkerboard(self):
+        s = half_density_strip(0, 2, range(0, 4), parity=0)
+        assert all((x + y) % 2 == 0 for x, y in s)
+
+    def test_parity_partition(self):
+        ys = range(0, 6)
+        all_cells = crash_strip(0, 2, ys)
+        s0 = half_density_strip(0, 2, ys, parity=0)
+        s1 = half_density_strip(0, 2, ys, parity=1)
+        assert s0 | s1 == all_cells
+        assert not (s0 & s1)
+
+    def test_per_nbd_bound_matches_koo(self):
+        """The half-density strip's worst neighborhood holds exactly
+        ceil(r(2r+1)/2) faults -- Koo's impossibility bound."""
+        for r in (1, 2, 3, 4):
+            s = half_density_strip(0, r, range(-4 * r, 4 * r + 1))
+            worst, _ = max_faults_per_nbd(s, r)
+            assert worst == koo_impossibility_bound(r)
+
+    def test_invalid_parity(self):
+        with pytest.raises(ConfigurationError):
+            half_density_strip(0, 2, range(3), parity=2)
+
+
+class TestTorusConstructions:
+    @pytest.mark.parametrize("r", [1, 2, 3])
+    def test_crash_partition_partitions(self, r):
+        torus = strip_torus(r)
+        faults = torus_crash_partition(torus)
+        report = crash_broadcast_coverage(torus, (0, 0), faults)
+        assert not report.complete
+        far = far_side_nodes(torus)
+        correct_far = far - faults
+        assert correct_far, "construction must leave far-side correct nodes"
+        assert correct_far <= set(report.unreached_correct)
+
+    @pytest.mark.parametrize("r", [1, 2, 3])
+    def test_crash_partition_respects_threshold(self, r):
+        torus = strip_torus(r)
+        faults = torus_crash_partition(torus)
+        worst, _ = max_faults_per_nbd(
+            faults, r, metric=torus.metric, topology=torus
+        )
+        assert worst == crash_linf_threshold(r)
+
+    @pytest.mark.parametrize("r", [1, 2, 3])
+    def test_byzantine_strip_respects_koo_bound(self, r):
+        torus = strip_torus(r)
+        faults = torus_byzantine_strip(torus)
+        worst, _ = max_faults_per_nbd(
+            faults, r, metric=torus.metric, topology=torus
+        )
+        assert worst == koo_impossibility_bound(r)
+
+    def test_source_never_faulty(self):
+        torus = strip_torus(2)
+        assert (0, 0) not in torus_crash_partition(torus)
+        assert (0, 0) not in torus_byzantine_strip(torus)
+
+    def test_too_small_torus_rejected(self):
+        from repro.grid.torus import Torus
+
+        small = Torus.square(7, 2)  # < 2*(3r+1) = 14
+        with pytest.raises(ConfigurationError, match="too small"):
+            torus_crash_partition(small)
+
+    def test_puncture_heals_partition(self):
+        r = 1
+        torus = strip_torus(r)
+        faults = torus_crash_partition(torus)
+        # open a one-node hole in each strip
+        strips_x = sorted({x for x, _ in faults})
+        holes = [next(f for f in sorted(faults) if f[0] == x) for x in strips_x]
+        healed = puncture(faults, holes)
+        report = crash_broadcast_coverage(torus, (0, 0), healed)
+        assert report.complete
+
+    def test_far_side_between_strips(self):
+        torus = strip_torus(2)
+        far = far_side_nodes(torus)
+        faults = torus_crash_partition(torus)
+        assert far
+        assert not (far & faults)
+        assert (0, 0) not in far

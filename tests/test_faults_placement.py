@@ -1,0 +1,167 @@
+"""Tests for repro.faults.placement (the locally bounded adversary)."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidPlacementError
+from repro.faults.placement import (
+    fault_counts_per_nbd,
+    greedy_random_placement,
+    is_valid_placement,
+    max_faults_per_nbd,
+    trim_to_budget,
+    validate_placement,
+)
+from repro.grid.torus import Torus
+
+coords = st.tuples(
+    st.integers(min_value=-8, max_value=8),
+    st.integers(min_value=-8, max_value=8),
+)
+
+
+class TestCounting:
+    def test_single_fault(self):
+        counts = fault_counts_per_nbd([(0, 0)], 2)
+        assert counts[(0, 0)] == 1
+        assert counts[(2, 2)] == 1
+        assert (3, 0) not in counts
+        assert len(counts) == 25  # the closed ball of centers
+
+    def test_cluster(self):
+        faults = [(0, 0), (1, 0), (0, 1)]
+        worst, center = max_faults_per_nbd(faults, 1)
+        assert worst == 3
+        assert center in {(0, 0), (1, 1), (0, 1), (1, 0)}
+
+    def test_counts_closed_ball_semantics(self):
+        """A faulty node counts in its own neighborhood (paper: a faulty
+        node may have up to t-1 faulty neighbors)."""
+        counts = fault_counts_per_nbd([(5, 5)], 1)
+        assert counts[(5, 5)] == 1
+
+    def test_duplicates_ignored(self):
+        a = fault_counts_per_nbd([(0, 0), (0, 0)], 1)
+        b = fault_counts_per_nbd([(0, 0)], 1)
+        assert a == b
+
+    def test_empty(self):
+        assert max_faults_per_nbd([], 2) == (0, None)
+        assert is_valid_placement([], 0, 2)
+
+    def test_torus_wrap_counting(self):
+        t = Torus.square(7, 1)
+        # (0,0) and (6,6) are wrapped neighbors: one nbd sees both
+        worst, _ = max_faults_per_nbd([(0, 0), (6, 6)], 1, topology=t)
+        assert worst == 2
+        # without the torus they are far apart
+        worst_inf, _ = max_faults_per_nbd([(0, 0), (6, 6)], 1)
+        assert worst_inf == 1
+
+    @given(st.lists(coords, min_size=0, max_size=12), st.integers(1, 3))
+    def test_max_equals_bruteforce(self, faults, r):
+        worst, _ = max_faults_per_nbd(faults, r)
+        if not faults:
+            assert worst == 0
+            return
+        xs = [f[0] for f in faults]
+        ys = [f[1] for f in faults]
+        brute = 0
+        for cx in range(min(xs) - r, max(xs) + r + 1):
+            for cy in range(min(ys) - r, max(ys) + r + 1):
+                n = sum(
+                    1
+                    for f in set(faults)
+                    if abs(f[0] - cx) <= r and abs(f[1] - cy) <= r
+                )
+                brute = max(brute, n)
+        assert worst == brute
+
+
+class TestValidation:
+    def test_validate_passes(self):
+        validate_placement([(0, 0), (5, 5)], 1, 1)
+
+    def test_validate_raises_with_witness(self):
+        with pytest.raises(InvalidPlacementError, match="budget is t=1"):
+            validate_placement([(0, 0), (1, 1)], 1, 2)
+
+    @given(st.lists(coords, max_size=10), st.integers(0, 5), st.integers(1, 3))
+    def test_is_valid_consistent_with_validate(self, faults, t, r):
+        ok = is_valid_placement(faults, t, r)
+        try:
+            validate_placement(faults, t, r)
+            assert ok
+        except InvalidPlacementError:
+            assert not ok
+
+
+class TestTrim:
+    @given(st.lists(coords, max_size=16), st.integers(0, 4), st.integers(1, 2))
+    def test_trim_always_valid(self, faults, t, r):
+        trimmed = trim_to_budget(faults, t, r)
+        assert is_valid_placement(trimmed, t, r)
+        assert trimmed <= {tuple(f) for f in faults}
+
+    def test_trim_noop_when_valid(self):
+        faults = {(0, 0), (10, 10)}
+        assert trim_to_budget(faults, 1, 2) == faults
+
+    def test_trim_removes_minimum_for_simple_case(self):
+        # three faults in one nbd with budget 2: exactly one removed
+        faults = {(0, 0), (1, 0), (0, 1)}
+        trimmed = trim_to_budget(faults, 2, 1)
+        assert len(trimmed) == 2
+
+    def test_trim_with_rng(self, rng):
+        faults = {(0, 0), (1, 0), (0, 1), (1, 1)}
+        trimmed = trim_to_budget(faults, 1, 1, rng=rng)
+        assert is_valid_placement(trimmed, 1, 1)
+
+    def test_trim_on_torus(self):
+        t = Torus.square(7, 1)
+        faults = {(0, 0), (6, 6), (6, 0), (0, 6)}  # all mutually wrapped-close
+        trimmed = trim_to_budget(faults, 1, 1, topology=t)
+        assert is_valid_placement(trimmed, 1, 1, topology=t)
+
+
+class TestGreedyRandom:
+    @given(st.integers(0, 3), st.integers(1, 2), st.integers(0, 5))
+    def test_result_valid(self, t, r, seed):
+        candidates = [(x, y) for x in range(-5, 6) for y in range(-5, 6)]
+        placed = greedy_random_placement(
+            candidates, t, r, rng=random.Random(seed)
+        )
+        assert is_valid_placement(placed, t, r)
+
+    def test_target_count(self):
+        candidates = [(x, y) for x in range(-8, 9) for y in range(-8, 9)]
+        placed = greedy_random_placement(
+            candidates, 3, 1, rng=random.Random(0), target_count=4
+        )
+        assert len(placed) == 4
+
+    def test_zero_budget_places_nothing(self):
+        placed = greedy_random_placement([(0, 0), (1, 1)], 0, 1)
+        assert placed == set()
+
+    def test_maximality(self):
+        """No remaining candidate could be added without violation."""
+        candidates = [(x, y) for x in range(-4, 5) for y in range(-4, 5)]
+        placed = greedy_random_placement(
+            candidates, 2, 1, rng=random.Random(1)
+        )
+        for cand in candidates:
+            if cand in placed:
+                continue
+            assert not is_valid_placement(placed | {cand}, 2, 1)
+
+    def test_torus_candidates(self):
+        t = Torus.square(7, 1)
+        placed = greedy_random_placement(
+            list(t.nodes()), 2, 1, topology=t, rng=random.Random(2)
+        )
+        assert is_valid_placement(placed, 2, 1, topology=t)

@@ -1,0 +1,93 @@
+"""Tests for repro.geometry.balls: cardinality formulas vs enumeration."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.balls import (
+    ball_offsets,
+    ball_points,
+    ball_size,
+    half_ball_points,
+    l1_ball_size,
+    l2_ball_size,
+    linf_ball_size,
+)
+from repro.geometry.metrics import L1, L2, LINF
+
+radii = st.integers(min_value=0, max_value=8)
+
+
+class TestCardinalityFormulas:
+    @given(radii)
+    def test_linf_formula_matches_enumeration(self, r):
+        assert linf_ball_size(r) == len(LINF.offsets(r))
+
+    @given(radii)
+    def test_l1_formula_matches_enumeration(self, r):
+        assert l1_ball_size(r) == len(L1.offsets(r))
+
+    @given(radii)
+    def test_l2_count_matches_enumeration(self, r):
+        assert l2_ball_size(r) == len(L2.offsets(r))
+
+    def test_linf_known_values(self):
+        assert linf_ball_size(1) == 8
+        assert linf_ball_size(2) == 24
+        assert linf_ball_size(3) == 48
+
+    def test_l2_approaches_pi_r_squared(self):
+        # Gauss circle: area pi r^2 with O(r) error.
+        r = 50
+        count = l2_ball_size(r) + 1  # include the center
+        import math
+
+        assert abs(count - math.pi * r * r) < 4 * r
+
+    @given(st.sampled_from(["l1", "l2", "linf"]), radii)
+    def test_ball_size_dispatch(self, name, r):
+        assert ball_size(name, r) == len(ball_offsets(name, r))
+
+    def test_negative_radius_rejected(self):
+        for fn in (linf_ball_size, l1_ball_size, l2_ball_size):
+            with pytest.raises(ValueError):
+                fn(-1)
+
+
+class TestBallPoints:
+    def test_excludes_center(self):
+        pts = ball_points("linf", (5, 5), 2)
+        assert (5, 5) not in pts
+        assert len(pts) == 24
+
+    def test_centered_correctly(self):
+        pts = set(ball_points("l1", (10, -3), 1))
+        assert pts == {(11, -3), (9, -3), (10, -2), (10, -4)}
+
+
+class TestHalfBall:
+    def test_strict_excludes_medial_axis(self):
+        pts = half_ball_points("linf", (0, 0), 2, (1, 0), strict=True)
+        assert all(x > 0 for x, _ in pts)
+        # half of 24 minus nothing extra: 2 columns x 5 rows = 10
+        assert len(pts) == 10
+
+    def test_nonstrict_includes_medial_axis(self):
+        pts = half_ball_points("linf", (0, 0), 2, (1, 0), strict=False)
+        assert any(x == 0 for x, _ in pts)
+        assert len(pts) == 14  # 10 strict + 4 on the axis (excl. center)
+
+    def test_diagonal_direction(self):
+        pts = half_ball_points("l2", (0, 0), 3, (1, 1))
+        assert all(x + y > 0 for x, y in pts)
+
+    def test_zero_direction_rejected(self):
+        with pytest.raises(ValueError):
+            half_ball_points("l2", (0, 0), 2, (0, 0))
+
+    def test_l2_half_count_near_half_area(self):
+        r = 20
+        pts = half_ball_points("l2", (0, 0), r, (0, 1), strict=True)
+        import math
+
+        assert abs(len(pts) - math.pi * r * r / 2) < 3 * r

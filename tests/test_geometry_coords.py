@@ -1,0 +1,75 @@
+"""Tests for repro.geometry.coords."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.coords import (
+    ORIGIN,
+    UNIT_STEPS,
+    Point,
+    add,
+    manhattan,
+    neg,
+    scale,
+    sub,
+)
+
+coords = st.tuples(
+    st.integers(min_value=-50, max_value=50),
+    st.integers(min_value=-50, max_value=50),
+)
+
+
+class TestPoint:
+    def test_point_equals_tuple(self):
+        assert Point(3, -1) == (3, -1)
+        assert hash(Point(3, -1)) == hash((3, -1))
+
+    def test_point_in_set_with_tuples(self):
+        s = {(1, 2), (3, 4)}
+        assert Point(1, 2) in s
+
+    def test_addition(self):
+        assert Point(1, 2) + (3, 4) == Point(4, 6)
+
+    def test_subtraction(self):
+        assert Point(5, 5) - (2, 3) == Point(3, 2)
+
+    def test_negation(self):
+        assert -Point(2, -3) == Point(-2, 3)
+
+    def test_fields(self):
+        p = Point(7, 9)
+        assert p.x == 7 and p.y == 9
+
+
+class TestVectorHelpers:
+    @given(coords, coords)
+    def test_add_sub_inverse(self, a, b):
+        assert sub(add(a, b), b) == a
+
+    @given(coords)
+    def test_neg_involution(self, a):
+        assert neg(neg(a)) == a
+
+    @given(coords)
+    def test_scale_zero(self, a):
+        assert scale(a, 0) == (0, 0)
+
+    @given(coords, st.integers(min_value=-5, max_value=5))
+    def test_scale_matches_repeated_add(self, a, k):
+        expected = (a[0] * k, a[1] * k)
+        assert scale(a, k) == expected
+
+    @given(coords, coords)
+    def test_manhattan_symmetry(self, a, b):
+        assert manhattan(a, b) == manhattan(b, a)
+
+    @given(coords, coords, coords)
+    def test_manhattan_triangle(self, a, b, c):
+        assert manhattan(a, c) <= manhattan(a, b) + manhattan(b, c)
+
+    def test_constants(self):
+        assert ORIGIN == (0, 0)
+        assert len(UNIT_STEPS) == 4
+        assert all(manhattan((0, 0), s) == 1 for s in UNIT_STEPS)

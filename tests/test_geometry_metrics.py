@@ -1,0 +1,119 @@
+"""Tests for repro.geometry.metrics: metric axioms, ball enumeration,
+alias resolution."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.metrics import L1, L2, LINF, Metric, get_metric
+
+coords = st.tuples(
+    st.integers(min_value=-30, max_value=30),
+    st.integers(min_value=-30, max_value=30),
+)
+metrics = st.sampled_from([L1, L2, LINF])
+radii = st.integers(min_value=0, max_value=6)
+
+
+class TestMetricAxioms:
+    @given(metrics, coords)
+    def test_identity(self, m, a):
+        assert m.distance(a, a) == 0
+
+    @given(metrics, coords, coords)
+    def test_symmetry(self, m, a, b):
+        assert m.distance(a, b) == pytest.approx(m.distance(b, a))
+
+    @given(metrics, coords, coords)
+    def test_positivity(self, m, a, b):
+        if a != b:
+            assert m.distance(a, b) > 0
+
+    @given(metrics, coords, coords, coords)
+    def test_triangle_inequality(self, m, a, b, c):
+        assert m.distance(a, c) <= m.distance(a, b) + m.distance(b, c) + 1e-9
+
+    @given(coords, coords)
+    def test_metric_ordering(self, a, b):
+        """L-inf <= L2 <= L1 pointwise."""
+        assert LINF.distance(a, b) <= L2.distance(a, b) + 1e-9
+        assert L2.distance(a, b) <= L1.distance(a, b) + 1e-9
+
+
+class TestWithin:
+    @given(metrics, coords, coords, radii)
+    def test_within_matches_distance(self, m, a, b, r):
+        assert m.within(a, b, r) == (m.distance(a, b) <= r + 1e-12)
+
+    def test_l2_boundary_points_exact(self):
+        # (3, 4) is exactly at distance 5: must be inside for r = 5.
+        assert L2.within((0, 0), (3, 4), 5)
+        assert not L2.within((0, 0), (3, 5), 5)
+
+    def test_linf_square(self):
+        assert LINF.within((0, 0), (2, -2), 2)
+        assert not LINF.within((0, 0), (3, 0), 2)
+
+    def test_l1_diamond(self):
+        assert L1.within((0, 0), (1, 1), 2)
+        assert not L1.within((0, 0), (2, 1), 2)
+
+
+class TestOffsets:
+    @given(metrics, radii)
+    def test_offsets_exclude_origin(self, m, r):
+        assert (0, 0) not in m.offsets(r)
+
+    @given(metrics, radii)
+    def test_offsets_all_within(self, m, r):
+        for off in m.offsets(r):
+            assert m.within((0, 0), off, r)
+
+    @given(metrics, radii)
+    def test_offsets_symmetric(self, m, r):
+        offs = set(m.offsets(r))
+        assert {(-x, -y) for x, y in offs} == offs
+
+    @given(metrics, st.integers(min_value=0, max_value=5))
+    def test_offsets_monotone_in_radius(self, m, r):
+        assert set(m.offsets(r)) <= set(m.offsets(r + 1))
+
+    def test_known_sizes(self):
+        assert len(LINF.offsets(1)) == 8
+        assert len(LINF.offsets(2)) == 24
+        assert len(L1.offsets(1)) == 4
+        assert len(L1.offsets(2)) == 12
+        assert len(L2.offsets(1)) == 4
+        assert len(L2.offsets(2)) == 12  # (±1,±1) included: sqrt(2) <= 2
+
+    def test_offsets_cached(self):
+        assert LINF.offsets(3) is LINF.offsets(3)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            LINF.offsets(-1)
+
+
+class TestGetMetric:
+    def test_canonical_names(self):
+        assert get_metric("l1") is L1
+        assert get_metric("l2") is L2
+        assert get_metric("linf") is LINF
+
+    def test_aliases(self):
+        assert get_metric("euclidean") is L2
+        assert get_metric("chebyshev") is LINF
+        assert get_metric("manhattan") is L1
+        assert get_metric("MAX") is LINF
+
+    def test_passthrough(self):
+        assert get_metric(L2) is L2
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            get_metric("l3")
+
+    def test_repr_mentions_name(self):
+        assert "linf" in repr(LINF)

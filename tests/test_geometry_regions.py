@@ -1,0 +1,74 @@
+"""Tests for repro.geometry.regions (integer rectangles)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.regions import Rect, rect_from_extents
+
+small = st.integers(min_value=-15, max_value=15)
+rects = st.builds(Rect, small, small, small, small)
+
+
+class TestBasics:
+    def test_len_and_iteration(self):
+        r = Rect(0, 2, 0, 1)
+        assert len(r) == 6
+        assert len(list(r)) == 6
+        assert (0, 0) in r and (2, 1) in r
+        assert (3, 0) not in r
+
+    def test_empty(self):
+        r = Rect(5, 4, 0, 0)
+        assert r.is_empty
+        assert len(r) == 0
+        assert list(r) == []
+        assert (5, 0) not in r
+
+    def test_width_height(self):
+        r = Rect(-1, 1, 2, 2)
+        assert r.width == 3 and r.height == 1
+
+    def test_row_major_order(self):
+        assert list(Rect(0, 1, 0, 1)) == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_corners(self):
+        assert Rect(0, 2, 1, 3).corners() == ((0, 1), (2, 1), (0, 3), (2, 3))
+
+
+class TestOps:
+    @given(rects, small, small)
+    def test_translate_preserves_len(self, r, dx, dy):
+        assert len(r.translate(dx, dy)) == len(r)
+
+    @given(rects, small, small)
+    def test_translate_points(self, r, dx, dy):
+        moved = {(x + dx, y + dy) for x, y in r}
+        assert set(r.translate(dx, dy)) == moved
+
+    @given(rects, rects)
+    def test_intersect_is_set_intersection(self, a, b):
+        assert set(a.intersect(b)) == set(a) & set(b)
+
+    @given(rects, rects)
+    def test_intersects_consistent(self, a, b):
+        assert a.intersects(b) == bool(set(a) & set(b))
+
+    @given(rects)
+    def test_contains_rect_self(self, a):
+        assert a.contains_rect(a)
+
+    @given(rects, rects)
+    def test_contains_rect_semantics(self, a, b):
+        if a.contains_rect(b):
+            assert set(b) <= set(a)
+
+    def test_contains_empty_always(self):
+        assert Rect(0, 0, 0, 0).contains_rect(Rect(5, 4, 9, 2))
+
+    def test_ball_linf(self):
+        b = Rect.ball_linf((1, 1), 2)
+        assert b == Rect(-1, 3, -1, 3)
+        assert len(b) == 25
+
+    def test_rect_from_extents_name_ignored(self):
+        assert rect_from_extents(0, 1, 0, 1, name="A") == Rect(0, 1, 0, 1)

@@ -1,0 +1,75 @@
+"""Tests for repro.geometry.symmetry (the dihedral group D4)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.metrics import L1, L2, LINF
+from repro.geometry.symmetry import (
+    DIHEDRAL_TRANSFORMS,
+    identity,
+    mirror_anti,
+    mirror_diag,
+    mirror_x,
+    mirror_y,
+    rot90,
+    rot180,
+    rot270,
+    transform_path,
+    transform_point,
+    transform_points,
+)
+
+coords = st.tuples(
+    st.integers(min_value=-20, max_value=20),
+    st.integers(min_value=-20, max_value=20),
+)
+transforms = st.sampled_from(list(DIHEDRAL_TRANSFORMS.values()))
+
+
+class TestGroupStructure:
+    def test_eight_distinct_elements(self):
+        probe = (2, 1)  # generic point: all images distinct
+        images = {name: t(probe) for name, t in DIHEDRAL_TRANSFORMS.items()}
+        assert len(set(images.values())) == 8
+
+    @given(coords)
+    def test_rotation_orders(self, p):
+        assert rot90(rot90(p)) == rot180(p)
+        assert rot90(rot270(p)) == p
+        assert rot180(rot180(p)) == p
+
+    @given(coords)
+    def test_mirrors_are_involutions(self, p):
+        for m in (mirror_x, mirror_y, mirror_diag, mirror_anti):
+            assert m(m(p)) == p
+
+    @given(coords)
+    def test_diag_composition(self, p):
+        # mirror_diag o mirror_x == rot90
+        assert mirror_diag(mirror_x(p)) == rot90(p)
+
+
+class TestMetricInvariance:
+    @given(transforms, coords, coords)
+    def test_all_metrics_invariant(self, t, a, b):
+        for m in (L1, L2, LINF):
+            assert m.distance(a, b) == m.distance(t(a), t(b))
+
+
+class TestPivot:
+    @given(transforms, coords)
+    def test_pivot_fixed(self, t, c):
+        assert transform_point(t, c, center=c) == c
+
+    @given(transforms, coords, coords)
+    def test_pivot_preserves_distance_to_center(self, t, p, c):
+        q = transform_point(t, p, center=c)
+        assert LINF.distance(p, c) == LINF.distance(q, c)
+
+    def test_identity_pivot(self):
+        assert transform_point(identity, (3, 4), center=(1, 1)) == (3, 4)
+
+    def test_transform_points_and_path(self):
+        pts = [(0, 0), (1, 0)]
+        assert transform_points(rot90, pts) == [(0, 0), (0, 1)]
+        assert transform_path(rot90, pts) == ((0, 0), (0, 1))

@@ -1,0 +1,81 @@
+"""Tests for repro.grid.graphs (adjacency exports, components)."""
+
+from repro.grid.graphs import (
+    adjacency_map,
+    component_of,
+    connected_components,
+    induced_adjacency,
+    remove_nodes,
+)
+from repro.grid.torus import Torus
+
+
+class TestAdjacencyMap:
+    def test_full_map(self):
+        t = Torus.square(5, 1)
+        adj = adjacency_map(t)
+        assert len(adj) == 25
+        assert all(len(nbrs) == 8 for nbrs in adj.values())
+
+    def test_symmetry(self):
+        t = Torus.square(5, 2)
+        adj = adjacency_map(t)
+        for u, nbrs in adj.items():
+            for v in nbrs:
+                assert u in adj[v]
+
+
+class TestInducedAdjacency:
+    def test_only_internal_edges(self):
+        t = Torus.square(7, 1)
+        sub = induced_adjacency(t, [(0, 0), (1, 0), (3, 3)])
+        assert set(sub) == {(0, 0), (1, 0), (3, 3)}
+        assert sub[(0, 0)] == ((1, 0),)
+        assert sub[(3, 3)] == ()
+
+    def test_canonicalizes(self):
+        t = Torus.square(5, 1)
+        sub = induced_adjacency(t, [(5, 5), (0, 0)])  # same node twice
+        assert set(sub) == {(0, 0)}
+
+
+class TestRemoveNodes:
+    def test_removal(self):
+        adj = {1: (2, 3), 2: (1,), 3: (1,)}
+        out = remove_nodes(adj, [2])
+        assert set(out) == {1, 3}
+        assert out[1] == (3,)
+
+
+class TestComponents:
+    def test_torus_connected(self):
+        t = Torus.square(7, 1)
+        comps = connected_components(adjacency_map(t))
+        assert len(comps) == 1
+        assert len(comps[0]) == 49
+
+    def test_strip_disconnects_two_strips(self):
+        t = Torus.square(9, 1)
+        # two full-height single-column cuts at x=2 and x=6
+        cut = {(2, y) for y in range(9)} | {(6, y) for y in range(9)}
+        adj = remove_nodes(adjacency_map(t), cut)
+        comps = connected_components(adj)
+        assert len(comps) == 2
+        sizes = sorted(len(c) for c in comps)
+        assert sum(sizes) == 81 - 18
+
+    def test_component_of(self):
+        adj = {1: (2,), 2: (1,), 3: ()}
+        assert component_of(adj, 1) == {1, 2}
+        assert component_of(adj, 3) == {3}
+
+    def test_component_of_missing(self):
+        import pytest
+
+        with pytest.raises(KeyError):
+            component_of({}, 1)
+
+    def test_largest_first(self):
+        adj = {1: (), 2: (3,), 3: (2,)}
+        comps = connected_components(adj)
+        assert len(comps[0]) == 2

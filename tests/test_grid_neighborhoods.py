@@ -1,0 +1,110 @@
+"""Tests for repro.grid.neighborhoods (nbd / pnbd / covering centers)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.metrics import get_metric
+from repro.grid.neighborhoods import (
+    covered_by_single_nbd,
+    nbd,
+    nbd_centers_covering,
+    pnbd,
+    pnbd_frontier,
+)
+
+coords = st.tuples(
+    st.integers(min_value=-10, max_value=10),
+    st.integers(min_value=-10, max_value=10),
+)
+radii = st.integers(min_value=1, max_value=4)
+
+
+class TestNbd:
+    def test_excludes_center_by_default(self):
+        assert (0, 0) not in nbd((0, 0), 2)
+
+    def test_include_center(self):
+        assert (0, 0) in nbd((0, 0), 2, include_center=True)
+
+    @given(coords, radii)
+    def test_cardinality_linf(self, c, r):
+        assert len(nbd(c, r)) == (2 * r + 1) ** 2 - 1
+
+    @given(coords, radii)
+    def test_all_within(self, c, r):
+        m = get_metric("linf")
+        assert all(m.within(c, p, r) for p in nbd(c, r))
+
+
+class TestPnbd:
+    @given(coords, radii)
+    def test_pnbd_contains_nbd_and_center(self, c, r):
+        ring = set(pnbd(c, r))
+        assert set(nbd(c, r)) <= ring
+        assert c in ring
+
+    @given(coords, radii)
+    def test_frontier_disjoint_from_nbd(self, c, r):
+        inner = set(nbd(c, r, include_center=True))
+        assert not (set(pnbd_frontier(c, r)) & inner)
+
+    @given(radii)
+    def test_frontier_structure_linf(self, r):
+        """The L-inf frontier is the distance-(r+1) ring minus its four
+        corners: 4(2r+3) - 4 - 4 = 8r + 4 nodes."""
+        frontier = pnbd_frontier((0, 0), r)
+        assert len(frontier) == 8 * r + 4
+        for x, y in frontier:
+            assert max(abs(x), abs(y)) == r + 1
+            assert not (abs(x) == r + 1 and abs(y) == r + 1)
+
+    def test_matches_paper_definition(self):
+        """pnbd is the union of the four perturbed neighborhoods."""
+        r = 2
+        expected = set()
+        for sx, sy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            expected |= set(nbd((sx, sy), r))
+        assert set(pnbd((0, 0), r)) == expected
+
+
+class TestCoveringCenters:
+    def test_single_point(self):
+        centers = nbd_centers_covering([(0, 0)], 1)
+        assert len(centers) == 9  # the closed ball around the point
+
+    def test_pair_at_max_span(self):
+        centers = nbd_centers_covering([(0, 0), (4, 0)], 2)
+        assert centers == [(2, y) for y in range(-2, 3)]
+
+    def test_uncoverable(self):
+        assert nbd_centers_covering([(0, 0), (5, 0)], 2) == []
+        assert not covered_by_single_nbd([(0, 0), (5, 0)], 2)
+
+    @given(
+        st.lists(coords, min_size=1, max_size=4),
+        radii,
+        st.sampled_from(["linf", "l2"]),
+    )
+    def test_centers_actually_cover(self, points, r, metric):
+        m = get_metric(metric)
+        for c in nbd_centers_covering(points, r, metric):
+            assert all(m.within(c, p, r) for p in points)
+
+    @given(st.lists(coords, min_size=1, max_size=3), radii)
+    def test_exhaustive_against_bruteforce(self, points, r):
+        """Compare against scanning the full bounding area."""
+        m = get_metric("linf")
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        brute = [
+            (x, y)
+            for x in range(min(xs) - r, max(xs) + r + 1)
+            for y in range(min(ys) - r, max(ys) + r + 1)
+            if all(m.within((x, y), p, r) for p in points)
+        ]
+        assert nbd_centers_covering(points, r) == sorted(brute)
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValueError):
+            nbd_centers_covering([], 2)

@@ -1,0 +1,104 @@
+"""Tests for repro.grid.tdma (collision-free schedules)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.grid.tdma import (
+    TDMASchedule,
+    grid_coloring_schedule,
+    make_schedule,
+    sequential_schedule,
+    validate_schedule,
+)
+from repro.grid.torus import Torus
+
+
+class TestScheduleObject:
+    def test_slot_lookup(self):
+        s = TDMASchedule((((0, 0),), ((1, 1),)))
+        assert s.slot_of((0, 0)) == 0
+        assert s.slot_of((1, 1)) == 1
+        assert s.frame_length == 2
+        assert len(s) == 2
+        assert (0, 0) in s and (5, 5) not in s
+
+    def test_duplicate_assignment_rejected(self):
+        with pytest.raises(ConfigurationError, match="appears in slots"):
+            TDMASchedule((((0, 0),), ((0, 0),)))
+
+    def test_missing_node_lookup(self):
+        s = TDMASchedule((((0, 0),),))
+        with pytest.raises(KeyError):
+            s.slot_of((9, 9))
+
+
+class TestColoring:
+    def test_valid_on_divisible_torus(self):
+        t = Torus.square(10, 2)  # 10 % 5 == 0
+        s = grid_coloring_schedule(t)
+        assert s.frame_length == 25
+        validate_schedule(s, t)
+
+    def test_rejected_on_indivisible_torus(self):
+        t = Torus.square(11, 2)
+        with pytest.raises(ConfigurationError, match="divisible"):
+            grid_coloring_schedule(t)
+
+    def test_covers_all_nodes(self):
+        t = Torus.square(6, 1)
+        s = grid_coloring_schedule(t)
+        assert len(s) == 36
+
+    def test_valid_under_l2(self):
+        """L-inf spacing implies L2 spacing: the coloring stays valid."""
+        t = Torus.square(15, 2, metric="l2")
+        s = grid_coloring_schedule(t)
+        validate_schedule(s, t)
+
+
+class TestSequential:
+    def test_always_valid(self):
+        t = Torus.square(7, 3)
+        s = sequential_schedule(t)
+        assert s.frame_length == 49
+        validate_schedule(s, t)
+
+
+class TestMakeSchedule:
+    def test_prefers_coloring_when_divisible(self):
+        assert make_schedule(Torus.square(10, 2)).name.startswith("coloring")
+
+    def test_falls_back_to_sequential(self):
+        assert make_schedule(Torus.square(11, 2)).name == "sequential"
+
+
+class TestValidation:
+    def test_catches_interference(self):
+        t = Torus.square(7, 1)
+        # put two nodes at distance 2 (= 2r) in the same slot
+        bad = TDMASchedule(
+            (((0, 0), (2, 0)),)
+            + tuple(
+                (n,)
+                for n in t.nodes()
+                if n not in ((0, 0), (2, 0))
+            )
+        )
+        with pytest.raises(ConfigurationError, match="collide"):
+            validate_schedule(bad, t)
+
+    def test_catches_missing_node(self):
+        t = Torus.square(5, 1)
+        partial = TDMASchedule((((0, 0),),))
+        with pytest.raises(ConfigurationError, match="no slot"):
+            validate_schedule(partial, t)
+
+    def test_catches_wrapped_interference(self):
+        t = Torus.square(5, 1)
+        # (0,0) and (4,0) are at wrapped distance 1 <= 2r
+        bad = TDMASchedule(
+            (((0, 0), (4, 0)),)
+            + tuple((n,) for n in t.nodes() if n not in ((0, 0), (4, 0)))
+        )
+        with pytest.raises(ConfigurationError, match="collide"):
+            validate_schedule(bad, t)

@@ -1,0 +1,80 @@
+"""Mixed Byzantine + crash-stop fault scenarios.
+
+The locally-bounded budget ``t`` counts every fault; crash faults are
+strictly weaker than Byzantine ones.  Hence any guarantee proved for
+``t`` Byzantine faults must hold under every mix at the same budget."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.thresholds import byzantine_linf_max_t, koo_impossibility_bound
+from repro.errors import ConfigurationError
+from repro.experiments.scenarios import mixed_broadcast_scenario
+
+
+class TestMixedScenarioBuilder:
+    def test_fraction_validation(self):
+        with pytest.raises(ConfigurationError):
+            mixed_broadcast_scenario(r=1, t=1, byzantine_fraction=1.5)
+
+    def test_partition_of_faults(self):
+        sc = mixed_broadcast_scenario(r=1, t=1, byzantine_fraction=0.5)
+        byz = set(sc.byzantine_processes)
+        crash = set(sc.crash_round)
+        assert byz and crash
+        assert not (byz & crash)
+
+    def test_extreme_fractions(self):
+        all_byz = mixed_broadcast_scenario(r=1, t=1, byzantine_fraction=1.0)
+        assert not all_byz.crash_round
+        all_crash = mixed_broadcast_scenario(r=1, t=1, byzantine_fraction=0.0)
+        assert not all_crash.byzantine_processes
+
+    def test_budget_respected(self):
+        sc = mixed_broadcast_scenario(r=1, t=1, byzantine_fraction=0.3)
+        sc.validate()
+
+
+class TestMixedThresholdBehavior:
+    @given(fraction=st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0]))
+    @settings(max_examples=5)
+    def test_below_threshold_achieves_any_mix(self, fraction):
+        sc = mixed_broadcast_scenario(
+            r=1,
+            t=byzantine_linf_max_t(1),
+            byzantine_fraction=fraction,
+            strategy="fabricator",
+        )
+        sc.validate()
+        out = sc.run()
+        assert out.achieved, (fraction, out.summary())
+
+    def test_at_bound_still_blocked_even_all_crash(self):
+        """Crash faults alone realize the Byzantine impossibility: the
+        blocking argument is a vertex cut, not deception."""
+        sc = mixed_broadcast_scenario(
+            r=1,
+            t=koo_impossibility_bound(1),
+            byzantine_fraction=0.0,
+        )
+        sc.validate()
+        out = sc.run()
+        assert out.safe and not out.live
+
+    @given(
+        fraction=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=8)
+    def test_safety_under_any_mix(self, fraction, seed):
+        sc = mixed_broadcast_scenario(
+            r=1,
+            t=2,
+            byzantine_fraction=fraction,
+            strategy="liar",
+            placement="random",
+            seed=seed,
+        )
+        out = sc.run()
+        assert out.safe

@@ -1,0 +1,99 @@
+"""Property-based safety tests: Theorem 2 under arbitrary adversaries.
+
+The paper's safety theorem quantifies over *all* adversary behaviors; we
+approximate the quantifier with randomized placements x randomized
+strategies x randomized seeds, checking that no correct node ever commits
+a wrong value, for every protocol that claims Byzantine safety.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.scenarios import byzantine_broadcast_scenario
+
+protocols = st.sampled_from(["cpa", "bv-two-hop", "bv-indirect"])
+strategies_st = st.sampled_from(
+    ["silent", "liar", "duplicitous", "fabricator", "noise"]
+)
+
+
+class TestSafetyUniversal:
+    @given(
+        protocol=protocols,
+        strategy=strategies_st,
+        seed=st.integers(min_value=0, max_value=10_000),
+        t=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=20)
+    def test_no_wrong_commit_ever_random_placement(
+        self, protocol, strategy, seed, t
+    ):
+        sc = byzantine_broadcast_scenario(
+            r=1,
+            t=t,
+            protocol=protocol,
+            strategy=strategy,
+            placement="random",
+            seed=seed,
+        )
+        out = sc.run()
+        assert out.safe, (protocol, strategy, seed, t, out.wrong_commits)
+
+    @given(
+        protocol=protocols,
+        strategy=strategies_st,
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=10)
+    def test_no_wrong_commit_ever_strip_placement(
+        self, protocol, strategy, seed
+    ):
+        sc = byzantine_broadcast_scenario(
+            r=1,
+            t=2,
+            protocol=protocol,
+            strategy=strategy,
+            placement="strip",
+            seed=seed,
+        )
+        out = sc.run()
+        assert out.safe
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=10)
+    def test_liveness_below_threshold_random_placements(self, seed):
+        """Theorem 3 under random (not just strip) adversarial layouts."""
+        sc = byzantine_broadcast_scenario(
+            r=1,
+            t=1,
+            protocol="bv-two-hop",
+            strategy="fabricator",
+            placement="random",
+            seed=seed,
+        )
+        sc.validate()
+        out = sc.run()
+        assert out.achieved
+
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        budget_overrun=st.booleans(),
+    )
+    @settings(max_examples=8)
+    def test_undecided_only_when_over_budget(self, seed, budget_overrun):
+        """With the protocol told the true budget, runs either achieve
+        broadcast (valid placement) or at minimum stay safe."""
+        t = 1 if not budget_overrun else 2
+        sc = byzantine_broadcast_scenario(
+            r=1,
+            t=t,
+            protocol="bv-two-hop",
+            strategy="liar",
+            placement="random",
+            seed=seed,
+        )
+        out = sc.run()
+        assert out.safe
+        if not budget_overrun:
+            assert out.live

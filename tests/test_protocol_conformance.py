@@ -1,0 +1,187 @@
+"""Protocol conformance suite: uniform behavioral requirements, checked
+for every registered protocol on multiple topologies.
+
+Every protocol, whatever its commit rule, must:
+
+- achieve broadcast on a fault-free torus;
+- achieve broadcast on a fault-free bounded grid (truncated
+  neighborhoods must not break message handling);
+- have the source and its direct neighbors commit to the source value;
+- never let a correct node commit a wrong value under a lying adversary
+  (Byzantine-tolerant protocols only -- crash-flood is explicitly exempt
+  and *documented* to fail this);
+- produce deterministic outcomes for identical configurations.
+"""
+
+import pytest
+
+from repro.experiments.scenarios import byzantine_broadcast_scenario, recommended_torus
+from repro.grid.bounded import BoundedGrid
+from repro.protocols.registry import correct_process_map, protocol_names
+from repro.radio.run import run_broadcast
+
+ALL_PROTOCOLS = sorted(protocol_names())
+BYZANTINE_SAFE = [p for p in ALL_PROTOCOLS if p != "crash-flood"]
+
+
+def fault_free(topology, protocol, source, t=1, value=1, max_rounds=100):
+    correct = set(topology.nodes())
+    processes = correct_process_map(
+        topology, protocol, t, source, value, correct
+    )
+    return run_broadcast(
+        topology, processes, value, correct, max_rounds=max_rounds
+    )
+
+
+class TestFaultFreeTorus:
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_broadcast_achieved(self, protocol):
+        torus = recommended_torus(1)
+        out = fault_free(torus, protocol, (0, 0))
+        assert out.achieved, protocol
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_source_commits_to_own_value(self, protocol):
+        torus = recommended_torus(1)
+        out = fault_free(torus, protocol, (0, 0), value="payload")
+        assert out.result.processes[(0, 0)].committed_value() == "payload"
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_source_neighbors_commit_directly(self, protocol):
+        torus = recommended_torus(1)
+        out = fault_free(torus, protocol, (0, 0))
+        committed = out.result.committed()
+        for nb in torus.neighbors((0, 0)):
+            assert committed.get(nb) == 1, (protocol, nb)
+
+
+class TestFaultFreeBoundedGrid:
+    @pytest.mark.parametrize(
+        "protocol", [p for p in ALL_PROTOCOLS if p != "bv-earmarked"]
+    )
+    def test_broadcast_achieved(self, protocol):
+        # bv-earmarked assumes frontier constructions that boundary
+        # truncation invalidates; it is torus/infinite-grid only.
+        grid = BoundedGrid.square(7, 1)
+        out = fault_free(grid, protocol, (3, 3))
+        assert out.achieved, protocol
+
+
+class TestByzantineSafety:
+    @pytest.mark.parametrize("protocol", BYZANTINE_SAFE)
+    def test_no_wrong_commits_under_liars(self, protocol):
+        sc = byzantine_broadcast_scenario(
+            r=1, t=1, protocol=protocol, strategy="liar"
+        )
+        sc.validate()
+        out = sc.run()
+        assert out.safe, protocol
+
+    @pytest.mark.parametrize("protocol", BYZANTINE_SAFE)
+    def test_no_wrong_commits_under_noise(self, protocol):
+        sc = byzantine_broadcast_scenario(
+            r=1, t=1, protocol=protocol, strategy="noise", seed=3
+        )
+        sc.validate()
+        out = sc.run()
+        assert out.safe, protocol
+
+
+class TestProtocolAgreement:
+    """Different Byzantine-tolerant protocols on the same scenario must
+    commit the same (source) value at every correct node that decides."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_two_hop_vs_earmarked_agree(self, seed):
+        outcomes = {}
+        for protocol in ("bv-two-hop", "bv-earmarked"):
+            sc = byzantine_broadcast_scenario(
+                r=1,
+                t=1,
+                protocol=protocol,
+                strategy="fabricator",
+                placement="random",
+                seed=seed,
+            )
+            outcomes[protocol] = sc.run()
+        a = outcomes["bv-two-hop"].result.committed()
+        b = outcomes["bv-earmarked"].result.committed()
+        for node in set(a) & set(b):
+            assert a[node] == b[node]
+        assert outcomes["bv-two-hop"].achieved
+        assert outcomes["bv-earmarked"].achieved
+
+
+class TestEngineNodeValidation:
+    def test_process_for_nonexistent_node_rejected(self):
+        from repro.errors import ConfigurationError
+        from repro.radio.engine import Engine
+        from repro.radio.node import SilentProcess
+
+        grid = BoundedGrid.square(5, 1)
+        with pytest.raises(ConfigurationError, match="non-node"):
+            Engine(grid, {(9, 9): SilentProcess()})
+
+
+class TestDeliveryModeIndependence:
+    """Correctness must not depend on intra-frame timing: the synchronous
+    (end-of-round) delivery mode reaches the same verdicts."""
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_end_of_round_fault_free(self, protocol):
+        torus = recommended_torus(1)
+        correct = set(torus.nodes())
+        processes = correct_process_map(
+            torus, protocol, 1, (0, 0), 1, correct
+        )
+        out = run_broadcast(
+            torus,
+            processes,
+            1,
+            correct,
+            max_rounds=200,
+            delivery="end-of-round",
+        )
+        assert out.achieved, protocol
+
+    @pytest.mark.parametrize("protocol", BYZANTINE_SAFE)
+    def test_end_of_round_threshold_behavior(self, protocol):
+        sc = byzantine_broadcast_scenario(
+            r=1, t=1, protocol=protocol, strategy="liar"
+        )
+        sc.delivery = "end-of-round"
+        sc.validate()
+        out = sc.run()
+        assert out.safe
+        assert out.achieved
+
+    def test_wave_takes_more_rounds_than_immediate(self):
+        fast = byzantine_broadcast_scenario(
+            r=1, t=1, protocol="cpa", strategy="silent"
+        ).run()
+        slow_sc = byzantine_broadcast_scenario(
+            r=1, t=1, protocol="cpa", strategy="silent"
+        )
+        slow_sc.delivery = "end-of-round"
+        slow = slow_sc.run()
+        assert slow.achieved and fast.achieved
+        assert slow.rounds > fast.rounds  # one pnbd hop per round
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_identical_runs_identical_outcomes(self, protocol):
+        def run_once():
+            sc = byzantine_broadcast_scenario(
+                r=1, t=1, protocol=protocol, strategy="fabricator", seed=9
+            )
+            out = sc.run()
+            return (
+                out.achieved,
+                out.messages,
+                out.rounds,
+                tuple(sorted(out.result.committed().items())),
+            )
+
+        assert run_once() == run_once()

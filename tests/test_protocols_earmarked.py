@@ -1,0 +1,200 @@
+"""Tests for the earmarked protocol and its frame-selection machinery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.earmark import (
+    choose_frame,
+    watchlist_for_node,
+    watchlist_size,
+)
+from repro.core.thresholds import byzantine_linf_max_t, koo_impossibility_bound
+from repro.core.witnesses import verify_family
+from repro.experiments.scenarios import (
+    byzantine_broadcast_scenario,
+    recommended_torus,
+)
+from repro.geometry.metrics import LINF
+from repro.protocols.bv_earmarked import BVEarmarkedProtocol
+from repro.protocols.registry import correct_process_map
+from repro.radio.run import run_broadcast
+
+displacements = st.tuples(
+    st.integers(min_value=-12, max_value=12),
+    st.integers(min_value=-12, max_value=12),
+)
+radii = st.integers(min_value=1, max_value=3)
+
+
+class TestChooseFrame:
+    @given(displacements, radii)
+    def test_source_region_has_no_frame(self, dp, r):
+        if max(abs(dp[0]), abs(dp[1])) <= r:
+            assert choose_frame(dp, r) is None
+
+    @given(displacements, radii)
+    def test_frame_geometry(self, dp, r):
+        """The chosen frame must put the node at the canonical top-edge
+        frontier position (-r+l, r+1), 0 <= l <= r."""
+        frame = choose_frame(dp, r)
+        if frame is None:
+            return
+        center, transform, inverse, l = frame
+        assert 0 <= l <= r
+        rel = (dp[0] - center[0], dp[1] - center[1])
+        assert transform(rel) == (-r + l, r + 1)
+        # inverse really inverts
+        for probe in ((1, 0), (0, 1), (3, -2)):
+            assert inverse(transform(probe)) == probe
+
+    @given(displacements, radii)
+    def test_center_strictly_closer_to_source(self, dp, r):
+        """The induction must be well-founded: the chosen committed
+        neighborhood center is L1-closer to the source than the node."""
+        frame = choose_frame(dp, r)
+        if frame is None:
+            return
+        center = frame[0]
+        assert abs(center[0]) + abs(center[1]) < abs(dp[0]) + abs(dp[1])
+
+    def test_axis_cases(self):
+        assert choose_frame((0, 3), 1)[0] == (0, 1)
+        assert choose_frame((3, 0), 1)[0] == (1, 0)
+        assert choose_frame((-3, 0), 1)[0] == (-1, 0)
+        assert choose_frame((0, -3), 1)[0] == (0, -1)
+
+
+class TestWatchlistForNode:
+    def test_source_neighbors_need_none(self):
+        assert watchlist_for_node((1, 1), (0, 0), 2) is None
+        assert watchlist_for_node((0, 0), (0, 0), 2) is None
+
+    @given(displacements, st.integers(min_value=1, max_value=2))
+    @settings(max_examples=20)
+    def test_watchlist_well_formed(self, dp, r):
+        if max(abs(dp[0]), abs(dp[1])) <= r:
+            return
+        wl = watchlist_for_node(dp, (0, 0), r)
+        assert wl is not None
+        assert len(wl) >= r * (2 * r + 1)
+        frame = choose_frame(dp, r)
+        center = frame[0]
+        for origin, chains in wl.items():
+            # every watched origin is in the chosen neighborhood
+            assert LINF.within(origin, center, r), (origin, center)
+            for chain in chains:
+                if not chain:
+                    # direct: origin adjacent to the node
+                    assert LINF.within(origin, dp, r)
+                    continue
+                # chain orientation: nearest relay adjacent to the node,
+                # deepest relay adjacent to the origin, consecutive hops
+                assert LINF.within(chain[0], dp, r)
+                assert LINF.within(chain[-1], origin, r)
+                for u, v in zip(chain, chain[1:]):
+                    assert LINF.within(u, v, r)
+
+    @given(displacements)
+    @settings(max_examples=20)
+    def test_indirect_chains_are_node_disjoint(self, dp):
+        """Per watched origin, the indirect chains are pairwise
+        node-disjoint -- the property the commit rule's counting needs."""
+        r = 2
+        if max(abs(dp[0]), abs(dp[1])) <= r:
+            return
+        wl = watchlist_for_node(dp, (0, 0), r)
+        for origin, chains in wl.items():
+            seen = set()
+            for chain in chains:
+                for node in chain:
+                    assert node not in seen, (origin, chain)
+                    seen.add(node)
+
+    def test_offset_source(self):
+        """Watch-lists translate with the source."""
+        base = watchlist_for_node((0, 4), (0, 0), 1)
+        moved = watchlist_for_node((7, 9), (7, 5), 1)
+        shift = lambda p: (p[0] + 7, p[1] + 5)
+        assert {shift(o) for o in base} == set(moved)
+
+
+class TestEarmarkedProtocolRuns:
+    def test_fault_free(self):
+        torus = recommended_torus(1)
+        correct = set(torus.nodes())
+        procs = correct_process_map(
+            torus, "bv-earmarked", 1, (0, 0), 1, correct
+        )
+        out = run_broadcast(torus, procs, 1, correct, max_rounds=100)
+        assert out.achieved
+
+    @pytest.mark.parametrize("strategy", ["silent", "liar", "fabricator"])
+    def test_below_threshold_achieves(self, strategy):
+        sc = byzantine_broadcast_scenario(
+            r=1,
+            t=byzantine_linf_max_t(1),
+            protocol="bv-earmarked",
+            strategy=strategy,
+        )
+        sc.validate()
+        assert sc.run().achieved
+
+    def test_at_impossibility_blocked_and_safe(self):
+        sc = byzantine_broadcast_scenario(
+            r=1,
+            t=koo_impossibility_bound(1),
+            protocol="bv-earmarked",
+            strategy="silent",
+        )
+        sc.validate()
+        out = sc.run()
+        assert out.safe and not out.live
+
+    def test_state_bound(self):
+        torus = recommended_torus(1)
+        correct = set(torus.nodes())
+        procs = correct_process_map(
+            torus, "bv-earmarked", 1, (0, 0), 1, correct
+        )
+        run_broadcast(torus, procs, 1, correct, max_rounds=100)
+        r = 1
+        bound = (r * (2 * r + 1)) ** 2 + r * (2 * r + 1) * (r + 1) * r
+        for node, proc in procs.items():
+            assert proc.watchlist_chain_count() <= 2 * bound
+
+    def test_non_earmarked_reports_ignored(self):
+        """A report along a plausible but un-watched chain must not
+        contribute evidence."""
+        from repro.grid.torus import Torus
+        from repro.protocols.base import HeardMsg
+        from repro.radio.engine import Engine
+        from repro.radio.messages import Envelope
+
+        torus = Torus.square(9, 1)
+        proc = BVEarmarkedProtocol(0, (4, 4))  # source far away
+        eng = Engine(torus, {(4, 1): proc})
+        ctx = eng.context_of((4, 1))
+        proc.on_start(ctx)
+        assert proc._watch is not None
+        # pick a plausible chain that is NOT in the watch-list: a report
+        # about an origin outside the chosen neighborhood
+        origin_out = (4, 0)  # below the node, away from the source side
+        if origin_out in proc._watch:
+            origin_out = (5, 0)
+        msg = HeardMsg(origin=origin_out, value=1, relays=())
+        proc.on_receive(ctx, Envelope((4, 0) if origin_out != (4, 0) else (5, 1), msg, 0, 0, 0))
+        assert proc.committed_value() is None
+
+    def test_random_placement_below_threshold(self):
+        for seed in range(2):
+            sc = byzantine_broadcast_scenario(
+                r=1,
+                t=1,
+                protocol="bv-earmarked",
+                strategy="fabricator",
+                placement="random",
+                seed=seed,
+            )
+            sc.validate()
+            assert sc.run().achieved

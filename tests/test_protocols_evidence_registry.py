@@ -1,0 +1,117 @@
+"""Tests for repro.protocols.evidence and repro.protocols.registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry.metrics import LINF, get_metric
+from repro.grid.torus import Torus
+from repro.protocols.evidence import CenterIndex, covering_centers
+from repro.protocols.registry import (
+    PROTOCOLS,
+    correct_process_map,
+    make_protocol,
+    protocol_names,
+)
+
+
+class TestCoveringCenters:
+    def test_matches_grid_helper(self):
+        from repro.grid.neighborhoods import nbd_centers_covering
+
+        pts = [(0, 0), (2, 1), (1, 2)]
+        assert sorted(covering_centers(pts, 2, LINF)) == nbd_centers_covering(
+            pts, 2
+        )
+
+    def test_point_covers_itself(self):
+        assert (0, 0) in covering_centers([(0, 0)], 1, LINF)
+
+    def test_uncoverable(self):
+        assert covering_centers([(0, 0), (10, 0)], 2, LINF) == []
+
+
+class TestCenterIndex:
+    def test_add_and_query(self):
+        idx = CenterIndex(1, LINF)
+        chain = frozenset({(1, 0)})
+        assert idx.add("v", chain)
+        assert chain in idx.chains_at("v", (0, 0))
+        assert chain in idx.chains_at("v", (1, 1))
+        assert idx.chains_at("v", (5, 5)) == []
+
+    def test_duplicate_rejected(self):
+        idx = CenterIndex(1, LINF)
+        chain = frozenset({(1, 0)})
+        assert idx.add("v", chain)
+        assert not idx.add("v", chain)
+
+    def test_same_chain_different_keys(self):
+        idx = CenterIndex(1, LINF)
+        chain = frozenset({(1, 0)})
+        assert idx.add("a", chain)
+        assert idx.add("b", chain)
+
+    def test_dirty_tracking(self):
+        idx = CenterIndex(1, LINF)
+        idx.add("v", frozenset({(0, 0)}))
+        dirty = idx.pop_dirty()
+        assert dirty
+        assert all(key == "v" for key, _ in dirty)
+        assert idx.pop_dirty() == []  # drained
+
+    def test_anchor_points_constrain_centers(self):
+        idx = CenterIndex(1, LINF)
+        chain = frozenset({(1, 0)})
+        idx.add("v", chain, anchor_points=((2, 1),))
+        # centers must cover both (1,0) and (2,1)
+        for _, center in [("v", c) for c in [(1, 0), (1, 1), (2, 0), (2, 1)]]:
+            pass
+        assert idx.chains_at("v", (0, 0)) == []  # (0,0) misses the anchor
+        assert chain in idx.chains_at("v", (1, 1))
+
+    def test_keys(self):
+        idx = CenterIndex(1, LINF)
+        idx.add("x", frozenset({(0, 0)}))
+        assert idx.keys() == ["x"]
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(protocol_names()) == {
+            "crash-flood",
+            "cpa",
+            "bv-two-hop",
+            "bv-indirect",
+            "bv-earmarked",
+        }
+        assert set(PROTOCOLS) == set(protocol_names())
+
+    def test_make_each(self):
+        for name in protocol_names():
+            proc = make_protocol(name, 1, (0, 0))
+            assert proc.t == 1
+
+    def test_make_with_kwargs(self):
+        proc = make_protocol("bv-indirect", 1, (0, 0), max_relays=2)
+        assert proc.max_relays == 2
+
+    def test_unknown_protocol(self):
+        with pytest.raises(ConfigurationError, match="unknown protocol"):
+            make_protocol("rumor-mill", 1, (0, 0))
+
+    def test_correct_process_map(self):
+        torus = Torus.square(7, 1)
+        correct = {(0, 0), (1, 1), (2, 2)}
+        procs = correct_process_map(torus, "cpa", 1, (0, 0), 42, correct)
+        assert set(procs) == correct
+        assert procs[(0, 0)].source_value == 42
+        assert procs[(1, 1)].source_value is None
+        assert all(p.metric.name == "linf" for p in procs.values())
+
+    def test_correct_process_map_canonicalizes(self):
+        torus = Torus.square(7, 1)
+        procs = correct_process_map(
+            torus, "cpa", 1, (7, 7), 1, {(7, 7)}
+        )  # wraps to (0,0)
+        assert set(procs) == {(0, 0)}
+        assert procs[(0, 0)].source_value == 1

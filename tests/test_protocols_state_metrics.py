@@ -1,0 +1,46 @@
+"""Tests for per-protocol evidence-state accounting."""
+
+from repro.experiments.scenarios import byzantine_broadcast_scenario, recommended_torus
+from repro.protocols.registry import correct_process_map
+from repro.radio.run import run_broadcast
+
+
+def run_and_collect(protocol):
+    sc = byzantine_broadcast_scenario(
+        r=1, t=1, protocol=protocol, strategy="liar"
+    )
+    sc.validate()
+    out = sc.run()
+    return {
+        node: proc.evidence_state_size()
+        for node, proc in out.result.processes.items()
+        if node in sc.correct_nodes
+    }
+
+
+class TestStateAccounting:
+    def test_cpa_state_bounded_by_neighborhood(self):
+        sizes = run_and_collect("cpa")
+        assert all(0 <= s <= 8 for s in sizes.values())  # at most nbd size
+
+    def test_two_hop_stores_chains(self):
+        sizes = run_and_collect("bv-two-hop")
+        assert max(sizes.values()) > 8  # chains beyond direct announcements
+
+    def test_earmarked_leaner_than_indirect(self):
+        """The paper's earmarking claim, as a per-node comparison."""
+        indirect = run_and_collect("bv-indirect")
+        earmarked = run_and_collect("bv-earmarked")
+        assert max(earmarked.values()) < max(indirect.values())
+        mean_i = sum(indirect.values()) / len(indirect)
+        mean_e = sum(earmarked.values()) / len(earmarked)
+        assert mean_e < mean_i
+
+    def test_crash_flood_default_zero(self):
+        torus = recommended_torus(1)
+        correct = set(torus.nodes())
+        procs = correct_process_map(
+            torus, "crash-flood", 0, (0, 0), 1, correct
+        )
+        run_broadcast(torus, procs, 1, correct)
+        assert all(p.evidence_state_size() == 0 for p in procs.values())

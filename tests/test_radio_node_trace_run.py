@@ -1,0 +1,155 @@
+"""Tests for repro.radio.node, repro.radio.trace and repro.radio.run."""
+
+import pytest
+
+from repro.grid.torus import Torus
+from repro.radio.engine import Engine
+from repro.radio.messages import Envelope
+from repro.radio.node import Context, FunctionProcess, NodeProcess, SilentProcess
+from repro.radio.run import grade_outcome, run_broadcast
+from repro.radio.trace import Trace
+
+
+class Committer(NodeProcess):
+    """Commits to a fixed value at start; used to exercise grading."""
+
+    def __init__(self, value=None):
+        self.value = value
+
+    def committed_value(self):
+        return self.value
+
+
+class TestNodeProcess:
+    def test_default_hooks_are_noops(self):
+        p = NodeProcess()
+        t = Torus.square(5, 1)
+        ctx = Engine(t, {}).context_of((0, 0))
+        p.on_start(ctx)
+        p.on_receive(ctx, Envelope((1, 1), "x", 0, 0, 0))
+        p.on_round(ctx)
+        p.on_round_end(ctx)
+        assert p.committed_value() is None
+        assert not p.is_decided()
+
+    def test_function_process_dispatch(self):
+        calls = []
+        p = FunctionProcess(
+            on_start=lambda ctx: calls.append("start"),
+            on_receive=lambda ctx, env: calls.append("recv"),
+            on_round=lambda ctx: calls.append("round"),
+        )
+        t = Torus.square(5, 1)
+        ctx = Engine(t, {}).context_of((0, 0))
+        p.on_start(ctx)
+        p.on_receive(ctx, Envelope((1, 1), "x", 0, 0, 0))
+        p.on_round(ctx)
+        assert calls == ["start", "recv", "round"]
+
+    def test_silent_process(self):
+        assert SilentProcess().committed_value() is None
+
+    def test_context_properties(self):
+        t = Torus.square(7, 2, metric="l2")
+        eng = Engine(t, {})
+        ctx = eng.context_of((3, 3))
+        assert ctx.r == 2
+        assert ctx.metric_name == "l2"
+        assert ctx.pending == 0
+        ctx.broadcast("x")
+        assert ctx.pending == 1
+
+
+class TestTrace:
+    def test_counters(self):
+        tr = Trace()
+        env = Envelope((0, 0), "m", 0, 0, 0)
+        tr.on_transmission(env, 8)
+        tr.on_transmission(Envelope((0, 0), "m2", 1, 0, 1), 8)
+        tr.on_transmission(Envelope((1, 1), "m3", 2, 1, 0), 8)
+        tr.on_round_end(1)
+        assert tr.transmissions == 3
+        assert tr.deliveries == 24
+        assert tr.transmissions_of((0, 0)) == 2
+        assert tr.transmissions_of((9, 9)) == 0
+        assert tr.busiest_round() == (0, 2)
+        assert tr.summary()["transmitting_nodes"] == 2
+
+    def test_busiest_round_empty(self):
+        assert Trace().busiest_round() == (-1, 0)
+
+    def test_event_recording_toggle(self):
+        tr = Trace(record_events=True)
+        tr.on_transmission(Envelope((0, 0), "m", 0, 0, 0), 4)
+        tr.on_crash((1, 1), 2)
+        kinds = [e.kind for e in tr.events]
+        assert kinds == ["tx", "crash"]
+        tr2 = Trace(record_events=False)
+        tr2.on_transmission(Envelope((0, 0), "m", 0, 0, 0), 4)
+        assert tr2.events == []
+
+
+class TestGrading:
+    def _result(self, processes):
+        t = Torus.square(5, 1)
+        return Engine(t, processes).run()
+
+    def test_all_correct_committed(self):
+        t = Torus.square(5, 1)
+        procs = {n: Committer(1) for n in t.nodes()}
+        res = Engine(t, procs).run()
+        outcome = grade_outcome(res, 1, set(t.nodes()))
+        assert outcome.achieved and outcome.safe and outcome.live
+        assert outcome.summary()["undecided"] == 0
+
+    def test_wrong_commit_breaks_safety(self):
+        t = Torus.square(5, 1)
+        procs = {n: Committer(1) for n in t.nodes()}
+        procs[(2, 2)] = Committer(0)
+        res = Engine(t, procs).run()
+        outcome = grade_outcome(res, 1, set(t.nodes()))
+        assert not outcome.safe
+        assert outcome.wrong_commits == {(2, 2): 0}
+        assert not outcome.achieved
+
+    def test_undecided_breaks_liveness(self):
+        t = Torus.square(5, 1)
+        procs = {n: Committer(1) for n in t.nodes()}
+        procs[(2, 2)] = Committer(None)
+        res = Engine(t, procs).run()
+        outcome = grade_outcome(res, 1, set(t.nodes()))
+        assert outcome.safe and not outcome.live
+        assert outcome.undecided == [(2, 2)]
+
+    def test_faulty_nodes_excluded_from_grading(self):
+        t = Torus.square(5, 1)
+        procs = {n: Committer(1) for n in t.nodes()}
+        procs[(2, 2)] = Committer(0)  # faulty liar
+        res = Engine(t, procs).run()
+        correct = set(t.nodes()) - {(2, 2)}
+        outcome = grade_outcome(res, 1, correct)
+        assert outcome.achieved
+
+    def test_run_broadcast_rejects_correct_crasher(self):
+        t = Torus.square(5, 1)
+        with pytest.raises(ValueError, match="both correct and crashing"):
+            run_broadcast(
+                t,
+                {},
+                1,
+                {(0, 0)},
+                crash_round={(0, 0): 0},
+            )
+
+    def test_outcome_metrics(self):
+        t = Torus.square(5, 1)
+
+        class Announce(Committer):
+            def on_start(self, ctx):
+                ctx.broadcast("v")
+
+        outcome = run_broadcast(
+            t, {(0, 0): Announce(1)}, 1, {(0, 0)}
+        )
+        assert outcome.messages == 1
+        assert outcome.rounds >= 1

@@ -1,0 +1,79 @@
+"""Equivalence of the torus (simulation substrate) with the infinite grid
+(analysis substrate) away from the wrap.
+
+The paper's claim that a finite toroidal network eliminates boundary
+anomalies is what licenses simulating its infinite-grid theorems on a
+torus.  These properties pin down the precise sense in which that holds
+in this library: local structure (neighborhoods, distances, frontier
+shapes) is identical once the torus is large enough."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.scenarios import recommended_torus
+from repro.grid.bounded import BoundedGrid
+from repro.grid.neighborhoods import nbd, pnbd_frontier
+from repro.grid.topology import InfiniteGrid
+from repro.grid.torus import Torus
+
+radii = st.integers(min_value=1, max_value=3)
+coords = st.tuples(
+    st.integers(min_value=-30, max_value=30),
+    st.integers(min_value=-30, max_value=30),
+)
+
+
+class TestTorusMatchesInfiniteGrid:
+    @given(radii, coords)
+    @settings(max_examples=25)
+    def test_neighborhood_isomorphic(self, r, p):
+        """The torus neighborhood of any node is the wrapped image of the
+        infinite-grid neighborhood, with no collapses."""
+        torus = recommended_torus(r)
+        grid = InfiniteGrid(r)
+        torus_nbrs = set(torus.neighbors(p))
+        grid_nbrs = {torus.canonical(q) for q in grid.neighbors(p)}
+        assert torus_nbrs == grid_nbrs
+        assert len(torus_nbrs) == grid.neighborhood_size()
+
+    @given(radii, coords, coords)
+    @settings(max_examples=25)
+    def test_local_distances_agree(self, r, a, b):
+        """For points within half the torus side of each other, wrapped
+        distance equals plain distance."""
+        torus = recommended_torus(r)
+        grid = InfiniteGrid(r)
+        dx = abs(a[0] - b[0])
+        dy = abs(a[1] - b[1])
+        if dx <= torus.width // 2 and dy <= torus.height // 2:
+            assert torus.distance(a, b) == grid.metric.distance(a, b)
+
+    @given(radii)
+    def test_frontier_shape_preserved(self, r):
+        """The pnbd frontier ring wraps injectively on a recommended
+        torus (no two frontier nodes collapse)."""
+        torus = recommended_torus(r)
+        ring = pnbd_frontier((0, 0), r)
+        wrapped = {torus.canonical(p) for p in ring}
+        assert len(wrapped) == len(ring)
+
+    @given(radii)
+    def test_bounded_interior_matches_infinite(self, r):
+        """Interior nodes of a bounded grid see infinite-grid
+        neighborhoods."""
+        side = 6 * r + 1
+        grid = BoundedGrid.square(side, r)
+        infinite = InfiniteGrid(r)
+        center = (side // 2, side // 2)
+        assert set(grid.neighbors(center)) == set(
+            infinite.neighbors(center)
+        )
+
+    @given(radii, st.integers(min_value=0, max_value=3))
+    @settings(max_examples=10)
+    def test_minimum_torus_still_injective(self, r, extra):
+        """Even at the minimum legal side (2r+1), neighborhoods contain no
+        duplicates (the constructor's invariant)."""
+        torus = Torus.square(2 * r + 1 + extra, r)
+        nbrs = torus.neighbors((0, 0))
+        assert len(set(nbrs)) == len(nbrs)

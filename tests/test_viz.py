@@ -1,0 +1,103 @@
+"""Tests for repro.viz.ascii_art."""
+
+from repro.grid.torus import Torus
+from repro.viz.ascii_art import render_commit_wave, render_fault_map, render_grid
+
+
+class TestRenderGrid:
+    def test_dimensions(self):
+        t = Torus.square(5, 1)
+        out = render_grid(t, {})
+        lines = out.splitlines()
+        assert len(lines) == 5
+        assert all(len(line) == 5 for line in lines)
+
+    def test_y_grows_upward(self):
+        t = Torus.square(3, 1)
+        out = render_grid(t, {(0, 2): "T", (0, 0): "B"})
+        lines = out.splitlines()
+        assert lines[0][0] == "T"
+        assert lines[-1][0] == "B"
+
+    def test_marks_canonicalized(self):
+        t = Torus.square(3, 1)
+        out = render_grid(t, {(-1, -1): "W"})
+        assert out.splitlines()[0][2] == "W"  # wraps to (2, 2): top-right
+
+
+class TestFaultMap:
+    def test_source_and_faults(self):
+        t = Torus.square(5, 1)
+        out = render_fault_map(t, [(2, 2)], source=(0, 0))
+        assert out.count("#") == 1
+        assert out.count("S") == 1
+        assert out.count(".") == 23
+
+
+class TestRegionArt:
+    def test_m_decomposition_markers(self):
+        from repro.viz.regions_art import render_m_decomposition
+
+        out = render_m_decomposition(0, 0, 3)
+        body = "\n".join(out.split("\n")[:-1])  # strip the legend line
+        assert "P" in body and "o" in body
+        assert body.count("R") == 12  # r(r+1) = 12 region-R points
+        assert body.count("1") == 3  # |S1| = r
+        assert body.count("U") == 3  # r(r-1)/2
+        assert body.count("2") == 3
+
+    def test_u_construction_counts(self):
+        from repro.core.regions import expected_U_path_counts
+        from repro.viz.regions_art import render_u_construction
+
+        r, p, q = 3, 1, 2
+        out = render_u_construction(0, 0, r, p, q)
+        claims = expected_U_path_counts(r, p, q)
+        body = "\n".join(out.split("\n")[:-2])  # strip the 2 legend lines
+        # highlights (N/P/*/o) may overlay at most a couple of region cells
+        assert claims["A"] - 2 <= body.count("A") <= claims["A"]
+        assert claims["C"] - 2 <= body.count("c") <= claims["C"]
+        assert claims["D"] - 2 <= body.count("d") <= claims["D"]
+        assert "N" in body and "P" in body and "*" in body
+
+    def test_s1_construction_counts(self):
+        from repro.core.regions import expected_S1_path_counts
+        from repro.viz.regions_art import render_s1_construction
+
+        r, p = 3, 1
+        out = render_s1_construction(0, 0, r, p)
+        claims = expected_S1_path_counts(r, p)
+        body = "\n".join(out.split("\n")[:-2])
+        assert claims["J"] - 2 <= body.count("J") <= claims["J"]
+        assert claims["K"] - 2 <= body.count("k") <= claims["K"]
+
+
+class TestCommitWave:
+    def test_committed_marks(self):
+        t = Torus.square(3, 1)
+        out = render_commit_wave(
+            t, {(1, 1): "v", (2, 2): "wrong"}, value="v", faulty=[(0, 1)]
+        )
+        assert "o" in out  # correct commit
+        assert "X" in out  # wrong commit
+        assert "#" in out  # fault
+        assert "S" in out
+
+    def test_rounds_rendering(self):
+        t = Torus.square(3, 1)
+        out = render_commit_wave(
+            t,
+            {(1, 1): "v", (2, 2): "v"},
+            value="v",
+            commit_rounds={(1, 1): 3, (2, 2): 12},
+        )
+        assert "3" in out
+        assert "2" in out  # 12 mod 10
+
+    def test_fault_overrides_commit_mark(self):
+        t = Torus.square(3, 1)
+        out = render_commit_wave(
+            t, {(1, 1): "v"}, value="v", faulty=[(1, 1)]
+        )
+        assert "o" not in out
+        assert "#" in out
