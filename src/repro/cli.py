@@ -8,6 +8,7 @@ Usage (``python -m repro ...``)::
     python -m repro thresholds --radii 1 2 4 8
     python -m repro demo --protocol bv-two-hop --r 2 --t 4 \
         --strategy fabricator --map
+    python -m repro lint src/repro --format json
 
 All output is plain text tables (see
 :mod:`repro.experiments.report`); exit status is zero unless the run
@@ -17,6 +18,7 @@ errored.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -87,6 +89,38 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0 if outcome.safe else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import all_rules, format_json, format_text, lint_paths
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id:24s} {rule.description}")
+        return 0
+    if args.paths:
+        paths = list(args.paths)
+    else:
+        # default: the installed repro package itself
+        import repro
+
+        paths = [os.path.dirname(os.path.abspath(repro.__file__))]
+    rule_ids = (
+        [r.strip() for r in args.rules.split(",") if r.strip()]
+        if args.rules
+        else None
+    )
+    try:
+        report = lint_paths(paths, rule_ids)
+    except (FileNotFoundError, KeyError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"repro lint: {message}", file=sys.stderr)
+        return 2
+    rendered = (
+        format_json(report) if args.format == "json" else format_text(report)
+    )
+    print(rendered)
+    return report.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -129,6 +163,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--map", action="store_true", help="print the commit-wave map"
     )
     p_demo.set_defaults(func=_cmd_demo)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="statically check simulator-model invariants",
+        description="AST-based invariant linter (see repro.lint). Exit "
+        "status: 0 clean, 1 findings, 2 unparseable files or bad usage.",
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: the repro package)",
+    )
+    p_lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format",
+    )
+    p_lint.add_argument(
+        "--rules",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    p_lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list available rules and exit",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
     return parser
 
 

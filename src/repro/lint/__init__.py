@@ -1,0 +1,54 @@
+"""Static analysis for simulator-model invariants (``repro lint``).
+
+The paper's guarantees hold only while the simulator preserves its
+channel-model invariants: engine-stamped unforgeable senders, immutable
+payloads, deterministic round/slot ordering, and registry-driven
+discoverability.  Those invariants used to live in docstrings; this
+package enforces them with an AST-based linter so they survive growth.
+
+Shipped rules (see :mod:`repro.lint.determinism`, :mod:`repro.lint.model`
+and :mod:`repro.lint.conformance` for the full contracts):
+
+========================  ==================================================
+rule id                   invariant
+========================  ==================================================
+``no-unseeded-rng``       library code draws only from injected/seeded
+                          ``random.Random`` generators
+``no-envelope-forgery``   only ``repro.radio`` constructs ``Envelope``
+``frozen-payloads``       payload dataclasses are ``frozen=True``
+``ordered-iteration``     engine/protocol code iterates sets (and
+                          delivery-path dict views) via ``sorted(...)``
+``registry-conformance``  protocols and experiments are registered
+``no-received-mutation``  receive handlers never mutate received messages
+========================  ==================================================
+
+Violations can be silenced per line with
+``# repro: lint-ok[rule-id] reason`` (the reason is mandatory).  Run via
+``python -m repro lint [paths...]`` or programmatically through
+:func:`lint_paths`.
+"""
+
+from repro.lint.findings import Finding, Severity, Suppression
+from repro.lint.reporters import format_json, format_text
+from repro.lint.rules import REGISTRY, Rule, all_rules, get_rules, register
+from repro.lint.runner import LintReport, lint_modules, lint_paths
+from repro.lint.sources import LintContext, ParseFailure, SourceModule
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "Suppression",
+    "Rule",
+    "REGISTRY",
+    "register",
+    "all_rules",
+    "get_rules",
+    "LintReport",
+    "lint_modules",
+    "lint_paths",
+    "LintContext",
+    "ParseFailure",
+    "SourceModule",
+    "format_text",
+    "format_json",
+]

@@ -1,0 +1,184 @@
+"""Registry-conformance rule: nothing runnable stays unregistered.
+
+The experiment harness, the CLI, and the benches discover protocols and
+experiments exclusively through their registries
+(:mod:`repro.protocols.registry`, :mod:`repro.experiments.registry`).
+A protocol class or experiment that is not registered silently falls out
+of every sweep, conformance test, and comparison table -- the worst kind
+of coverage rot, because nothing fails.  This rule makes it fail.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.rules import Rule, SourceModule, name_of, register
+from repro.lint.sources import LintContext
+
+_PROTOCOLS_PACKAGE = "repro.protocols"
+_PROTOCOL_REGISTRY_MODULE = "repro.protocols.registry"
+_PROTOCOL_BASE_CLASS = "BroadcastProtocolNode"
+#: modules of the protocols package that define infrastructure, not
+#: concrete protocols
+_PROTOCOL_EXEMPT_MODULES = {
+    "repro.protocols.base",
+    _PROTOCOL_REGISTRY_MODULE,
+}
+
+_EXPERIMENTS_PACKAGE = "repro.experiments"
+_EXPERIMENT_REGISTRY_MODULE = "repro.experiments.registry"
+_EXPERIMENT_CLASS = "Experiment"
+_EXPERIMENT_TABLE = "_EXPERIMENTS"
+
+
+def _class_defs(
+    modules: List[SourceModule],
+) -> List[Tuple[SourceModule, ast.ClassDef]]:
+    """Every class definition across ``modules`` with its home module."""
+    out: List[Tuple[SourceModule, ast.ClassDef]] = []
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                out.append((module, node))
+    return out
+
+
+def _protocol_subclasses(
+    classes: List[Tuple[SourceModule, ast.ClassDef]],
+) -> List[Tuple[SourceModule, ast.ClassDef]]:
+    """Transitive subclasses of the protocol base class, by base name."""
+    protocol_names: Set[str] = {_PROTOCOL_BASE_CLASS}
+    chosen: Dict[str, Tuple[SourceModule, ast.ClassDef]] = {}
+    while True:
+        grew = False
+        for module, cls in classes:
+            if cls.name in protocol_names:
+                continue
+            if any(name_of(base) in protocol_names for base in cls.bases):
+                protocol_names.add(cls.name)
+                chosen[cls.name] = (module, cls)
+                grew = True
+        if not grew:
+            return [chosen[name] for name in sorted(chosen)]
+
+
+def _assigns_to(node: ast.AST, target_name: str) -> bool:
+    """Whether ``node`` is a (possibly annotated) assignment to
+    ``target_name`` at any nesting level of its targets."""
+    if isinstance(node, ast.Assign):
+        targets = node.targets
+    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        targets = [node.target]
+    else:
+        return False
+    return any(
+        isinstance(t, ast.Name) and t.id == target_name for t in targets
+    )
+
+
+def _registered_protocol_classes(registry: SourceModule) -> Set[str]:
+    """Class names appearing as values of the ``PROTOCOLS`` mapping."""
+    names: Set[str] = set()
+    for node in ast.walk(registry.tree):
+        if not _assigns_to(node, "PROTOCOLS"):
+            continue
+        value = node.value
+        if isinstance(value, ast.Dict):
+            for entry in value.values:
+                label = name_of(entry)
+                if label:
+                    names.add(label)
+    return names
+
+
+@register
+class RegistryConformanceRule(Rule):
+    """Concrete protocols and experiments must be registered.
+
+    Two checks, both cross-module (this is a project rule):
+
+    - every concrete :class:`BroadcastProtocolNode` subclass defined
+      under ``repro.protocols`` (infrastructure modules exempt) must
+      appear as a value of the ``PROTOCOLS`` mapping in
+      :mod:`repro.protocols.registry`;
+    - every :class:`Experiment` must be constructed inside the
+      ``_EXPERIMENTS`` table of :mod:`repro.experiments.registry` --
+      an ``Experiment(...)`` call anywhere else builds an experiment
+      the registry (and therefore the CLI and benches) cannot see.
+
+    Classes prefixed with ``_`` are treated as internal helpers and
+    skipped.  When the relevant registry module is not among the linted
+    paths the corresponding check is skipped (a partial lint cannot
+    judge registration).
+    """
+
+    rule_id = "registry-conformance"
+    description = (
+        "every concrete protocol class must be in PROTOCOLS and every "
+        "Experiment must be constructed in the experiment registry"
+    )
+
+    def check_project(self, ctx: LintContext) -> Iterator[Finding]:
+        """Run both registry checks over the full lint context."""
+        yield from self._check_protocols(ctx)
+        yield from self._check_experiments(ctx)
+
+    def _check_protocols(self, ctx: LintContext) -> Iterator[Finding]:
+        registry = ctx.get(_PROTOCOL_REGISTRY_MODULE)
+        if registry is None:
+            return
+        in_package = [
+            m
+            for m in ctx.modules
+            if m.name.startswith(_PROTOCOLS_PACKAGE + ".")
+            and m.name not in _PROTOCOL_EXEMPT_MODULES
+        ]
+        registered = _registered_protocol_classes(registry)
+        for module, cls in _protocol_subclasses(_class_defs(in_package)):
+            if cls.name.startswith("_"):
+                continue
+            if cls.name not in registered:
+                yield self.finding(
+                    module,
+                    cls,
+                    f"protocol class '{cls.name}' is not registered in "
+                    f"{_PROTOCOL_REGISTRY_MODULE}.PROTOCOLS; unregistered "
+                    "protocols are invisible to the harness and benches",
+                )
+
+    def _check_experiments(self, ctx: LintContext) -> Iterator[Finding]:
+        registry = ctx.get(_EXPERIMENT_REGISTRY_MODULE)
+        table_calls: Set[int] = set()
+        if registry is not None:
+            for node in ast.walk(registry.tree):
+                if _assigns_to(node, _EXPERIMENT_TABLE):
+                    table_calls.update(
+                        id(sub)
+                        for sub in ast.walk(node)
+                        if isinstance(sub, ast.Call)
+                    )
+        for module in ctx.modules:
+            if not (
+                module.name == _EXPERIMENTS_PACKAGE
+                or module.name.startswith(_EXPERIMENTS_PACKAGE + ".")
+            ):
+                continue
+            for node in ast.walk(module.tree):
+                if not (
+                    isinstance(node, ast.Call)
+                    and name_of(node.func) == _EXPERIMENT_CLASS
+                ):
+                    continue
+                if module.name == _EXPERIMENT_REGISTRY_MODULE and (
+                    id(node) in table_calls
+                ):
+                    continue
+                yield self.finding(
+                    module,
+                    node,
+                    f"Experiment constructed outside "
+                    f"{_EXPERIMENT_REGISTRY_MODULE}.{_EXPERIMENT_TABLE}; "
+                    "register it there so the CLI and benches can see it",
+                )

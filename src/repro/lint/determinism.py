@@ -1,0 +1,362 @@
+"""Determinism rules: seeded randomness and ordered iteration.
+
+The engine's contract (see :mod:`repro.radio.engine`) is that two runs
+with identical inputs produce identical traces.  Two code patterns break
+that silently:
+
+- drawing from the process-global ``random`` module (seeded by the
+  interpreter, shared across every component);
+- iterating a ``set`` -- or a dict view on a transmit/deliver path --
+  whose order is an implementation detail, so message emission and
+  delivery order can differ between runs or interpreter builds.
+
+Both are cheap to avoid (inject a ``random.Random(seed)``; wrap the
+iterable in ``sorted(...)``) and impossible to debug after the fact,
+which is exactly the profile of an invariant worth linting.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.rules import Rule, SourceModule, name_of, register
+from repro.lint.sources import LintContext
+
+#: ``random`` module members that are fine to reference: constructing a
+#: generator class is how callers *obey* the injection rule.
+_ALLOWED_RANDOM_MEMBERS = {"Random", "SystemRandom"}
+
+
+@register
+class NoUnseededRngRule(Rule):
+    """Forbid draws from the process-global ``random`` module.
+
+    Library code must take an injected ``random.Random`` (or construct
+    one from an explicit seed); ``random.random()`` and friends read the
+    interpreter-global generator, whose state depends on everything else
+    that ran before -- reproducibility dies quietly.  ``random.Random()``
+    called *without* a seed is flagged for the same reason.
+    """
+
+    rule_id = "no-unseeded-rng"
+    description = (
+        "library code must use an injected/seeded random.Random, never "
+        "the global random module or an unseeded generator"
+    )
+
+    def check_module(
+        self, ctx: LintContext, module: SourceModule
+    ) -> Iterator[Finding]:
+        """Flag global-``random`` draws, unseeded generators, and
+        ``from random import <draw function>`` imports."""
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name not in _ALLOWED_RANDOM_MEMBERS:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"'from random import {alias.name}' pulls in a "
+                            "global-state draw function; import random and "
+                            "construct a seeded random.Random instead",
+                        )
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "random"
+            ):
+                continue
+            if func.attr not in _ALLOWED_RANDOM_MEMBERS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"random.{func.attr}() draws from the process-global "
+                    "generator; inject a seeded random.Random instead",
+                )
+            elif func.attr == "Random" and not node.args and not node.keywords:
+                yield self.finding(
+                    module,
+                    node,
+                    "random.Random() without a seed is nondeterministic; "
+                    "pass an explicit seed",
+                )
+
+
+# ---------------------------------------------------------------------------
+# ordered iteration
+
+#: modules whose iteration order feeds the on-air transmission order
+_SCOPED_MODULE_PREFIXES = ("repro.protocols.",)
+_SCOPED_MODULES = {"repro.radio.engine", "repro.protocols"}
+
+#: function names that form the transmit/deliver path (dict views are
+#: additionally flagged inside these)
+_DELIVERY_FUNC_NAMES = {
+    "_transmit",
+    "_flush_pending_deliveries",
+    "_run_round",
+    "_start",
+    "_deliver",
+}
+_DELIVERY_FUNC_PREFIXES = ("on_", "_on_")
+
+#: outermost annotation heads that denote a set
+_SET_TYPE_HEADS = {
+    "set",
+    "frozenset",
+    "Set",
+    "FrozenSet",
+    "MutableSet",
+    "AbstractSet",
+}
+#: annotation wrappers to look through (``Optional[Set[...]]``)
+_TYPE_WRAPPERS = {"Optional", "Final", "ClassVar", "Annotated"}
+
+#: set methods that return another set
+_SET_PRODUCING_METHODS = {
+    "union",
+    "intersection",
+    "difference",
+    "symmetric_difference",
+    "copy",
+}
+
+#: builtins that materialize their argument's (unordered) iteration order
+_ORDER_MATERIALIZERS = {"list", "tuple", "enumerate"}
+
+
+def _annotation_is_set(node: Optional[ast.AST]) -> bool:
+    """Whether a type annotation's outermost type is a set type."""
+    while (
+        isinstance(node, ast.Subscript)
+        and name_of(node.value) in _TYPE_WRAPPERS
+    ):
+        node = node.slice
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    return node is not None and name_of(node) in _SET_TYPE_HEADS
+
+
+def _binding_key(target: ast.AST) -> Optional[Tuple[str, str]]:
+    """A stable key for a set-typed binding target.
+
+    ``("self", attr)`` for ``self.attr``; ``("", name)`` for a plain
+    local/parameter name; ``None`` for anything else.
+    """
+    if (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    ):
+        return ("self", target.attr)
+    if isinstance(target, ast.Name):
+        return ("", target.id)
+    return None
+
+
+class _SetBindings:
+    """Module-wide registry of names/attributes known to hold sets."""
+
+    def __init__(self) -> None:
+        self.keys: Set[Tuple[str, str]] = set()
+
+    def is_set_expr(self, node: ast.AST) -> bool:
+        """Syntactic judgment: does ``node`` evaluate to a set?"""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            key = _binding_key(node)
+            return key is not None and key in self.keys
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self.is_set_expr(node.left) or self.is_set_expr(node.right)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            if isinstance(func, ast.Attribute):
+                if (
+                    func.attr == "setdefault"
+                    and len(node.args) == 2
+                    and self.is_set_expr(node.args[1])
+                ):
+                    return True
+                if func.attr in _SET_PRODUCING_METHODS and self.is_set_expr(
+                    func.value
+                ):
+                    return True
+        return False
+
+    def collect(self, tree: ast.Module) -> None:
+        """Record every binding whose annotation or value is a set.
+
+        Runs to a fixpoint so chained assignments (``a = set(); b = a``)
+        resolve regardless of collection order.
+        """
+        for node in ast.walk(tree):
+            if isinstance(node, ast.AnnAssign) and _annotation_is_set(
+                node.annotation
+            ):
+                key = _binding_key(node.target)
+                if key:
+                    self.keys.add(key)
+            elif isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                args = node.args
+                for arg in (
+                    list(args.posonlyargs)
+                    + list(args.args)
+                    + list(args.kwonlyargs)
+                ):
+                    if _annotation_is_set(arg.annotation):
+                        self.keys.add(("", arg.arg))
+        while True:
+            before = len(self.keys)
+            for node in ast.walk(tree):
+                if not isinstance(node, ast.Assign):
+                    continue
+                if self.is_set_expr(node.value):
+                    for target in node.targets:
+                        key = _binding_key(target)
+                        if key:
+                            self.keys.add(key)
+            if len(self.keys) == before:
+                return
+
+
+def _iter_description(node: ast.AST) -> str:
+    """A short source-ish rendering of an iterable expression."""
+    try:
+        return ast.unparse(node)  # py >= 3.9
+    except Exception:  # pragma: no cover - unparse fallback
+        return name_of(node) or node.__class__.__name__.lower()
+
+
+def _in_delivery_path(func_stack: List[str]) -> bool:
+    """Whether the innermost enclosing function is a transmit/deliver
+    hook (see module docstring for the name conventions)."""
+    if not func_stack:
+        return False
+    name = func_stack[-1]
+    return name in _DELIVERY_FUNC_NAMES or name.startswith(
+        _DELIVERY_FUNC_PREFIXES
+    )
+
+
+def _is_dict_view(node: ast.AST) -> bool:
+    """Whether ``node`` is a ``.keys()`` / ``.values()`` / ``.items()``
+    call."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("keys", "values", "items")
+        and not node.args
+        and not node.keywords
+    )
+
+
+@register
+class OrderedIterationRule(Rule):
+    """Require a defined order when iterating sets on protocol paths.
+
+    Scope: :mod:`repro.radio.engine` and every ``repro.protocols``
+    module -- the code whose iteration order determines what goes on the
+    air and in which sequence.  Flags:
+
+    - any iteration (``for``, comprehension, generator expression) over
+      an expression known to be a set -- a literal, a ``set()`` /
+      ``frozenset()`` call, or a name/attribute bound or annotated as a
+      set anywhere in the module;
+    - ``list(...)`` / ``tuple(...)`` / ``enumerate(...)`` over such an
+      expression (materializing the unordered order is the same bug one
+      step removed);
+    - iteration over a dict view (``.keys()`` / ``.values()`` /
+      ``.items()``) inside a transmit/deliver-path function (``on_*``,
+      ``_on_*``, ``_transmit``, ``_run_round``, ...), where insertion
+      order is itself history-dependent.
+
+    The fix is ``sorted(...)`` around the iterable, which also
+    suppresses the finding (the rule only looks at the raw iterable).
+    """
+
+    rule_id = "ordered-iteration"
+    description = (
+        "iteration over sets (and dict views on transmit/deliver paths) "
+        "in engine/protocol code must be wrapped in sorted(...)"
+    )
+
+    def _scoped(self, module: SourceModule) -> bool:
+        return module.name in _SCOPED_MODULES or module.name.startswith(
+            _SCOPED_MODULE_PREFIXES
+        )
+
+    def check_module(
+        self, ctx: LintContext, module: SourceModule
+    ) -> Iterator[Finding]:
+        """Run the two iteration checks over one scoped module."""
+        if not self._scoped(module):
+            return
+        bindings = _SetBindings()
+        bindings.collect(module.tree)
+        yield from self._visit(module, bindings, module.tree, [])
+
+    def _visit(
+        self,
+        module: SourceModule,
+        bindings: _SetBindings,
+        node: ast.AST,
+        func_stack: List[str],
+    ) -> Iterator[Finding]:
+        """Depth-first walk tracking the enclosing-function stack."""
+        iters: List[ast.AST] = []
+        if isinstance(node, ast.For):
+            iters.append(node.iter)
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            iters.extend(gen.iter for gen in node.generators)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _ORDER_MATERIALIZERS
+            and node.args
+        ):
+            if bindings.is_set_expr(node.args[0]):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{node.func.id}() over set-valued "
+                    f"'{_iter_description(node.args[0])}' materializes an "
+                    "undefined order; use sorted(...)",
+                )
+        for it in iters:
+            if bindings.is_set_expr(it):
+                yield self.finding(
+                    module,
+                    it,
+                    f"iteration over set-valued '{_iter_description(it)}' "
+                    "has no defined order; wrap it in sorted(...)",
+                )
+            elif _is_dict_view(it) and _in_delivery_path(func_stack):
+                yield self.finding(
+                    module,
+                    it,
+                    f"iteration over dict view "
+                    f"'{_iter_description(it)}' inside transmit/deliver "
+                    f"path '{func_stack[-1]}' pins delivery order to "
+                    "insertion history; iterate sorted(...) instead",
+                )
+        pushed = isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        if pushed:
+            func_stack.append(node.name)
+        for child in ast.iter_child_nodes(node):
+            yield from self._visit(module, bindings, child, func_stack)
+        if pushed:
+            func_stack.pop()

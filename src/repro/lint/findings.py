@@ -1,0 +1,129 @@
+"""Findings, severities, and per-line suppression comments.
+
+A :class:`Finding` is one rule violation at one source location.  Findings
+can be silenced in place with a suppression comment::
+
+    risky_call()  # repro: lint-ok[rule-id] reason the rule does not apply
+
+or, for lines too long to share with a comment, on a standalone comment
+line directly above the flagged line::
+
+    # repro: lint-ok[rule-id] reason the rule does not apply
+    risky_call()
+
+The rule id must name the rule being silenced and the reason is
+mandatory: a suppression without one is inert and is itself reported
+(rule id ``bad-suppression``), so "silenced because somebody said so"
+never survives review.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings fail the lint run (nonzero exit); ``WARNING``
+    findings are reported but do not affect the exit status.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:  # noqa: D105 - enum display form
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    #: id of the rule that produced the finding (e.g. ``no-unseeded-rng``)
+    rule_id: str
+    severity: Severity
+    #: path of the offending file, as given on the command line
+    path: str
+    #: 1-based line number
+    line: int
+    #: 0-based column offset
+    col: int
+    message: str
+    #: dotted module name (``repro.radio.engine``), when derivable
+    module: str = ""
+
+    def format(self) -> str:
+        """The canonical one-line text rendering."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.severity}[{self.rule_id}] {self.message}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (used by the JSON reporter)."""
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "module": self.module,
+        }
+
+
+#: Matches ``# repro: lint-ok[rule-id] reason...`` anywhere in a line.
+SUPPRESSION_RE = re.compile(
+    r"#\s*repro:\s*lint-ok\[([A-Za-z0-9_.-]+)\]\s*(.*?)\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed suppression comment."""
+
+    #: rule id being silenced
+    rule_id: str
+    #: 1-based line the comment sits on
+    line: int
+    #: justification text after the bracket (may be empty = malformed)
+    reason: str
+    #: True when the comment is alone on its line (then it covers the
+    #: *next* line instead of its own)
+    standalone: bool
+
+    @property
+    def target_line(self) -> int:
+        """The line whose findings this suppression covers."""
+        return self.line + 1 if self.standalone else self.line
+
+    def covers(self, finding: Finding) -> bool:
+        """Whether this suppression silences ``finding``."""
+        return (
+            bool(self.reason)
+            and finding.rule_id == self.rule_id
+            and finding.line == self.target_line
+        )
+
+
+def scan_suppressions(lines: Sequence[str]) -> List[Suppression]:
+    """Extract every suppression comment from a file's source lines."""
+    out: List[Suppression] = []
+    for i, text in enumerate(lines, start=1):
+        m = SUPPRESSION_RE.search(text)
+        if not m:
+            continue
+        standalone = text[: m.start()].strip() == ""
+        out.append(
+            Suppression(
+                rule_id=m.group(1),
+                line=i,
+                reason=m.group(2).strip(),
+                standalone=standalone,
+            )
+        )
+    return out

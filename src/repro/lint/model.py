@@ -1,0 +1,266 @@
+"""Channel-model rules: no spoofing, immutable payloads.
+
+The paper's Section II channel gives every receiver an unforgeable
+sender identity and delivers each transmission identically to all
+neighbors.  The simulator realizes that contract in exactly one place --
+the engine stamps :class:`~repro.radio.messages.Envelope` objects -- and
+these rules keep it that way:
+
+- only :mod:`repro.radio` may construct envelopes (everything else
+  would be spoofing by construction);
+- payload dataclasses must be frozen (a mutable payload shared by
+  reference across receivers is a side channel the model forbids);
+- received envelopes and payloads must not be mutated inside
+  ``on_receive`` handlers (same object, every receiver).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from repro.lint.findings import Finding
+from repro.lint.rules import (
+    Rule,
+    SourceModule,
+    attribute_root,
+    name_of,
+    register,
+    walk_functions,
+)
+from repro.lint.sources import LintContext
+
+#: the only package allowed to construct envelopes
+_ENVELOPE_HOME_PREFIX = "repro.radio"
+
+
+@register
+class NoEnvelopeForgeryRule(Rule):
+    """Only ``repro.radio`` may construct :class:`Envelope` objects.
+
+    The sender field is trustworthy *because* the engine stamps it; an
+    envelope built anywhere else is a forged transmission that bypasses
+    the channel (and with it the no-spoofing assumption every safety
+    proof leans on).
+    """
+
+    rule_id = "no-envelope-forgery"
+    description = (
+        "Envelope may only be constructed inside repro.radio (the "
+        "engine stamps senders; anything else is spoofing)"
+    )
+
+    def check_module(
+        self, ctx: LintContext, module: SourceModule
+    ) -> Iterator[Finding]:
+        """Flag ``Envelope(...)`` calls outside the radio package."""
+        if module.name == _ENVELOPE_HOME_PREFIX or module.name.startswith(
+            _ENVELOPE_HOME_PREFIX + "."
+        ):
+            return
+        callees = {"Envelope"}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name == "Envelope" and alias.asname:
+                        callees.add(alias.asname)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and name_of(node.func) in callees:
+                yield self.finding(
+                    module,
+                    node,
+                    "Envelope constructed outside repro.radio; only the "
+                    "engine may stamp senders (no-spoofing assumption)",
+                )
+
+
+#: modules whose dataclasses are payload vocabulary wholesale
+_PAYLOAD_MODULES = {"repro.radio.messages"}
+_PAYLOAD_MODULE_PREFIXES = ("repro.protocols",)
+#: class-name suffix marking a payload type wherever it is defined
+_PAYLOAD_NAME_SUFFIX = "Msg"
+
+
+def _dataclass_decorator(node: ast.ClassDef):
+    """The ``@dataclass`` decorator node of a class, or ``None``."""
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if name_of(target) == "dataclass":
+            return dec
+    return None
+
+
+def _is_frozen(decorator: ast.AST) -> bool:
+    """Whether a ``@dataclass`` decorator sets ``frozen=True``."""
+    if not isinstance(decorator, ast.Call):
+        return False  # bare @dataclass: frozen defaults to False
+    for kw in decorator.keywords:
+        if kw.arg == "frozen":
+            return (
+                isinstance(kw.value, ast.Constant) and kw.value.value is True
+            )
+    return False
+
+
+@register
+class FrozenPayloadsRule(Rule):
+    """Payload dataclasses must be declared ``frozen=True``.
+
+    In scope: every ``@dataclass`` in :mod:`repro.radio.messages` or
+    under ``repro.protocols``, plus any dataclass whose name ends in
+    ``Msg`` wherever it lives.  The engine delivers one payload object
+    to many receivers by reference; a thawed payload would let one
+    receiver rewrite what the others saw.
+    """
+
+    rule_id = "frozen-payloads"
+    description = (
+        "protocol payload dataclasses (repro.protocols, "
+        "repro.radio.messages, and any *Msg class) must be frozen=True"
+    )
+
+    def _in_scope(self, module: SourceModule, cls: ast.ClassDef) -> bool:
+        if cls.name.endswith(_PAYLOAD_NAME_SUFFIX):
+            return True
+        return module.name in _PAYLOAD_MODULES or module.name.startswith(
+            _PAYLOAD_MODULE_PREFIXES
+        )
+
+    def check_module(
+        self, ctx: LintContext, module: SourceModule
+    ) -> Iterator[Finding]:
+        """Flag in-scope dataclasses that are not frozen."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not self._in_scope(module, node):
+                continue
+            dec = _dataclass_decorator(node)
+            if dec is not None and not _is_frozen(dec):
+                yield self.finding(
+                    module,
+                    node,
+                    f"payload dataclass '{node.name}' must be "
+                    "@dataclass(frozen=True): payloads are shared by "
+                    "reference across receivers",
+                )
+
+
+#: methods that mutate their receiver in place
+_MUTATING_METHODS = {
+    "append",
+    "extend",
+    "insert",
+    "add",
+    "discard",
+    "remove",
+    "pop",
+    "popitem",
+    "clear",
+    "update",
+    "setdefault",
+    "sort",
+    "reverse",
+}
+
+
+def _received_params(func: ast.FunctionDef) -> Set[str]:
+    """Parameter names of ``func`` holding received message objects.
+
+    A parameter counts when its annotation is ``Envelope`` or a payload
+    type (``*Msg``); for a function literally named ``on_receive`` the
+    third positional parameter (after ``self``/``ctx``) counts even
+    unannotated, matching the :class:`~repro.radio.node.NodeProcess`
+    hook signature.
+    """
+    roots: Set[str] = set()
+    args = list(func.args.posonlyargs) + list(func.args.args)
+    for arg in args + list(func.args.kwonlyargs):
+        head = arg.annotation
+        if isinstance(head, ast.Subscript):
+            head = head.value
+        label = name_of(head) if head is not None else ""
+        if label == "Envelope" or label.endswith(_PAYLOAD_NAME_SUFFIX):
+            roots.add(arg.arg)
+    if func.name == "on_receive" and len(args) >= 3:
+        roots.add(args[2].arg)
+    return roots
+
+
+@register
+class NoReceivedMutationRule(Rule):
+    """Received envelopes and payloads must not be mutated.
+
+    Every receiver of a transmission gets the *same* envelope object;
+    assigning to its attributes (or calling ``.append``-style mutators
+    on anything reached through it) inside a receive handler rewrites
+    history for all later receivers.  Scope: any function annotated as
+    handling an ``Envelope`` / ``*Msg`` parameter, plus every function
+    named ``on_receive``.
+    """
+
+    rule_id = "no-received-mutation"
+    description = (
+        "on_receive handlers must not assign to, delete from, or call "
+        "mutating methods on received envelopes/payloads"
+    )
+
+    def check_module(
+        self, ctx: LintContext, module: SourceModule
+    ) -> Iterator[Finding]:
+        """Flag mutation of received-message parameters in handlers."""
+        for func in walk_functions(module.tree):
+            if isinstance(func, ast.AsyncFunctionDef):
+                continue
+            roots = _received_params(func)
+            if not roots:
+                continue
+            yield from self._check_handler(module, func, roots)
+
+    def _check_handler(
+        self, module: SourceModule, func: ast.FunctionDef, roots: Set[str]
+    ) -> Iterator[Finding]:
+        """Scan one handler body for writes through ``roots``."""
+
+        def rooted(target: ast.AST) -> bool:
+            return (
+                isinstance(target, (ast.Attribute, ast.Subscript))
+                and attribute_root(target) in roots
+            )
+
+        for node in ast.walk(func):
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = list(node.targets)
+            for target in targets:
+                if isinstance(target, (ast.Tuple, ast.List)):
+                    targets.extend(target.elts)
+                    continue
+                if rooted(target):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"handler '{func.name}' writes through received "
+                        f"message parameter "
+                        f"'{attribute_root(target)}'; envelopes and "
+                        "payloads are shared across receivers and must "
+                        "not be mutated",
+                    )
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATING_METHODS
+                and rooted(node.func)
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"handler '{func.name}' calls mutating method "
+                    f".{node.func.attr}() on received message parameter "
+                    f"'{attribute_root(node.func)}'; received state is "
+                    "read-only",
+                )

@@ -1,0 +1,66 @@
+"""Render a lint report as text (for humans) or JSON (for tooling).
+
+The JSON shape is stable and consumed by CI (the workflow uploads it as
+a build artifact): a top-level object with ``summary``, ``findings``,
+``suppressed`` and ``parse_failures`` keys, every finding in the
+:meth:`~repro.lint.findings.Finding.to_dict` shape.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.runner import LintReport
+
+
+def format_text(report: "LintReport") -> str:
+    """Human-readable rendering: one line per finding plus a summary."""
+    lines = []
+    for failure in report.parse_failures:
+        lines.append(
+            f"{failure.path}:{failure.line}:0: "
+            f"error[parse-error] {failure.message}"
+        )
+    for finding in report.findings:
+        lines.append(finding.format())
+    summary = (
+        f"checked {report.files_checked} file(s): "
+        f"{len(report.errors)} error(s), "
+        f"{len(report.warnings)} warning(s), "
+        f"{len(report.suppressed)} suppressed"
+    )
+    if report.parse_failures:
+        summary += f", {len(report.parse_failures)} unparseable"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def format_json(report: "LintReport") -> str:
+    """Machine-readable rendering (see module docstring for the shape)."""
+    payload = {
+        "summary": {
+            "files_checked": report.files_checked,
+            "errors": len(report.errors),
+            "warnings": len(report.warnings),
+            "suppressed": len(report.suppressed),
+            "parse_failures": len(report.parse_failures),
+            "rules": report.rule_ids,
+            "clean": report.exit_code == 0,
+        },
+        "findings": [f.to_dict() for f in report.findings],
+        "suppressed": [
+            {
+                "finding": f.to_dict(),
+                "suppressed_at_line": s.line,
+                "reason": s.reason,
+            }
+            for f, s in report.suppressed
+        ],
+        "parse_failures": [
+            {"path": p.path, "line": p.line, "message": p.message}
+            for p in report.parse_failures
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,145 @@
+"""The rule framework: base class, registry, and shared AST helpers.
+
+A rule inspects parsed source and yields :class:`~repro.lint.findings.
+Finding` objects.  Rules come in two scopes:
+
+- **module rules** override :meth:`Rule.check_module` and run once per
+  file;
+- **project rules** override :meth:`Rule.check_project` and run once per
+  lint invocation with the full :class:`~repro.lint.sources.LintContext`
+  (for cross-module invariants such as registry conformance).
+
+Concrete rules register themselves with the :func:`register` decorator;
+:func:`all_rules` returns one instance of each.  To add a rule: subclass
+:class:`Rule`, set ``rule_id`` / ``severity`` / ``description``,
+implement a ``check_*`` method, decorate with ``@register``, and make
+sure the defining module is imported by :func:`load_builtin_rules`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.sources import LintContext, SourceModule
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses must set :attr:`rule_id` and :attr:`description` and
+    override at least one of :meth:`check_module` /
+    :meth:`check_project`.
+    """
+
+    #: unique kebab-case identifier (used in reports and suppressions)
+    rule_id: str = ""
+    severity: Severity = Severity.ERROR
+    #: one-line human description for ``--list-rules`` and the docs
+    description: str = ""
+
+    def check_module(
+        self, ctx: LintContext, module: SourceModule
+    ) -> Iterator[Finding]:
+        """Yield findings for one module (default: none)."""
+        return iter(())
+
+    def check_project(self, ctx: LintContext) -> Iterator[Finding]:
+        """Yield cross-module findings (default: none)."""
+        return iter(())
+
+    def finding(
+        self, module: SourceModule, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a finding anchored at ``node`` inside ``module``."""
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            path=module.path,
+            line=getattr(node, "lineno", 0) or 0,
+            col=getattr(node, "col_offset", 0) or 0,
+            message=message,
+            module=module.name,
+        )
+
+
+#: rule id -> rule instance, populated by :func:`register`
+REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and register a rule by its id."""
+    rule = cls()
+    if not rule.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if rule.rule_id in REGISTRY and not isinstance(
+        REGISTRY[rule.rule_id], cls
+    ):
+        raise ValueError(f"duplicate rule id {rule.rule_id!r}")
+    REGISTRY[rule.rule_id] = rule
+    return cls
+
+
+def load_builtin_rules() -> None:
+    """Import every built-in rule module (idempotent)."""
+    from repro.lint import conformance, determinism, model  # noqa: F401
+
+
+def all_rules() -> List[Rule]:
+    """All registered rules, sorted by id."""
+    load_builtin_rules()
+    return [REGISTRY[k] for k in sorted(REGISTRY)]
+
+
+def get_rules(rule_ids: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Resolve a rule-id selection (``None`` = every registered rule).
+
+    Raises :class:`KeyError` naming the unknown id when the selection
+    does not resolve.
+    """
+    rules = all_rules()
+    if rule_ids is None:
+        return rules
+    known = {r.rule_id: r for r in rules}
+    out = []
+    for rid in rule_ids:
+        if rid not in known:
+            raise KeyError(
+                f"unknown rule id {rid!r}; known: {sorted(known)}"
+            )
+        out.append(known[rid])
+    return out
+
+
+# ---------------------------------------------------------------------------
+# shared AST helpers
+
+
+def name_of(node: ast.AST) -> str:
+    """The trailing identifier of a ``Name`` / ``Attribute``, else ``""``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+def attribute_root(node: ast.AST) -> Optional[str]:
+    """The root ``Name`` id of an attribute/subscript chain.
+
+    ``env.payload.relays`` -> ``"env"``; ``env.data[k]`` -> ``"env"``;
+    anything not rooted in a plain name -> ``None``.
+    """
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def walk_functions(
+    tree: ast.AST,
+) -> Iterable["ast.FunctionDef | ast.AsyncFunctionDef"]:
+    """Every function definition in ``tree`` (nested ones included)."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

@@ -1,0 +1,154 @@
+"""Drive a lint run: discover, parse, check, suppress, report.
+
+:func:`lint_paths` is the single entry point used by the CLI and the
+self-check test.  Exit-code contract (:attr:`LintReport.exit_code`):
+
+- ``0`` -- no error-severity findings (warnings alone stay green);
+- ``1`` -- at least one unsuppressed error finding;
+- ``2`` -- at least one file could not be parsed (the tree cannot be
+  verified, which is worse than a finding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.lint.findings import (
+    Finding,
+    Severity,
+    Suppression,
+    scan_suppressions,
+)
+from repro.lint.rules import get_rules
+from repro.lint.sources import (
+    LintContext,
+    ParseFailure,
+    SourceModule,
+    discover_py_files,
+    load_modules,
+)
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    #: unsuppressed findings, sorted by (path, line, col, rule)
+    findings: List[Finding] = field(default_factory=list)
+    #: findings silenced by a valid suppression, with the suppression
+    suppressed: List[Tuple[Finding, Suppression]] = field(
+        default_factory=list
+    )
+    parse_failures: List[ParseFailure] = field(default_factory=list)
+    files_checked: int = 0
+    #: ids of the rules that ran
+    rule_ids: List[str] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Finding]:
+        """Unsuppressed findings at error severity."""
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        """Unsuppressed findings at warning severity."""
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit status (see module docstring for the contract)."""
+        if self.parse_failures:
+            return 2
+        return 1 if self.errors else 0
+
+
+def _bad_suppression_findings(module: SourceModule) -> List[Finding]:
+    """Warnings for malformed suppression comments in one module."""
+    out: List[Finding] = []
+    for sup in scan_suppressions(module.lines):
+        if sup.reason:
+            continue
+        out.append(
+            Finding(
+                rule_id="bad-suppression",
+                severity=Severity.WARNING,
+                path=module.path,
+                line=sup.line,
+                col=0,
+                message=(
+                    f"suppression of [{sup.rule_id}] has no reason; it is "
+                    "inert -- write '# repro: lint-ok[rule-id] why'"
+                ),
+                module=module.name,
+            )
+        )
+    return out
+
+
+def _apply_suppressions(
+    modules: Sequence[SourceModule], findings: Sequence[Finding]
+) -> Tuple[List[Finding], List[Tuple[Finding, Suppression]]]:
+    """Split findings into (kept, suppressed) using per-file comments."""
+    by_path = {
+        m.path: scan_suppressions(m.lines) for m in modules
+    }
+    kept: List[Finding] = []
+    silenced: List[Tuple[Finding, Suppression]] = []
+    for finding in findings:
+        match = next(
+            (
+                s
+                for s in by_path.get(finding.path, ())
+                if s.covers(finding)
+            ),
+            None,
+        )
+        if match is None:
+            kept.append(finding)
+        else:
+            silenced.append((finding, match))
+    return kept, silenced
+
+
+def lint_modules(
+    modules: Sequence[SourceModule],
+    rule_ids: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Run the (selected) rules over already-parsed modules."""
+    rules = get_rules(rule_ids)
+    ctx = LintContext(modules)
+    raw: List[Finding] = []
+    for rule in rules:
+        for module in ctx.modules:
+            raw.extend(rule.check_module(ctx, module))
+        raw.extend(rule.check_project(ctx))
+    for module in ctx.modules:
+        raw.extend(_bad_suppression_findings(module))
+    kept, silenced = _apply_suppressions(ctx.modules, raw)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return LintReport(
+        findings=kept,
+        suppressed=silenced,
+        files_checked=len(ctx.modules),
+        rule_ids=[r.rule_id for r in rules],
+    )
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rule_ids: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Lint files and directories; the main entry point.
+
+    Raises :class:`FileNotFoundError` for a nonexistent path and
+    :class:`KeyError` for an unknown rule id (both usage errors, exit
+    status 2 at the CLI); parse failures inside existing files are
+    reported in the result instead.
+    """
+    files = discover_py_files(paths)
+    modules, failures = load_modules(files)
+    report = lint_modules(modules, rule_ids)
+    report.parse_failures = list(failures)
+    report.files_checked = len(modules)
+    return report

@@ -1,0 +1,137 @@
+"""Source discovery and parsing for the linter.
+
+The linter works on files, not imported modules: it must be able to
+check code that would fail at import time, and it must see suppression
+comments, which imports discard.  Each checked file becomes a
+:class:`SourceModule` carrying its path, its derived dotted module name,
+its raw lines, and its parsed AST.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file under analysis."""
+
+    #: path as given (kept for reporting)
+    path: str
+    #: dotted module name derived from the package layout
+    #: (``repro.radio.engine``); the bare stem when the file is not
+    #: inside a package
+    name: str
+    #: raw source text
+    source: str
+    #: parsed module AST
+    tree: ast.Module
+    #: source split into lines (1-based addressing via ``lines[n - 1]``)
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:  # noqa: D105 - dataclass hook
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+
+@dataclass(frozen=True)
+class ParseFailure:
+    """A file the linter could not parse (reported, exit status 2)."""
+
+    path: str
+    line: int
+    message: str
+
+
+def module_name_for(path: str) -> str:
+    """Derive the dotted module name of a file from its package layout.
+
+    Walks up from the file while each parent directory contains an
+    ``__init__.py``, mirroring how the import system would name the
+    module.  Files outside any package get their bare stem.
+    """
+    path = os.path.abspath(path)
+    parts = [os.path.splitext(os.path.basename(path))[0]]
+    parent = os.path.dirname(path)
+    while os.path.isfile(os.path.join(parent, "__init__.py")):
+        parts.append(os.path.basename(parent))
+        parent = os.path.dirname(parent)
+    if parts[0] == "__init__":
+        parts = parts[1:] or parts
+    return ".".join(reversed(parts))
+
+
+def discover_py_files(paths: Sequence[str]) -> List[str]:
+    """Expand files and directories into a sorted list of ``.py`` files.
+
+    Directories are walked recursively; hidden directories and
+    ``*.egg-info`` trees are skipped.  Raises :class:`FileNotFoundError`
+    for a path that does not exist (a CLI usage error, not a finding).
+    """
+    out: List[str] = []
+    for p in paths:
+        if os.path.isfile(p):
+            out.append(p)
+        elif os.path.isdir(p):
+            for dirpath, dirnames, filenames in os.walk(p):
+                dirnames[:] = sorted(
+                    d
+                    for d in dirnames
+                    if not d.startswith(".") and not d.endswith(".egg-info")
+                )
+                for fn in sorted(filenames):
+                    if fn.endswith(".py"):
+                        out.append(os.path.join(dirpath, fn))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {p!r}")
+    return out
+
+
+def load_modules(
+    files: Sequence[str],
+) -> Tuple[List[SourceModule], List[ParseFailure]]:
+    """Parse every file, splitting parse failures out of the results."""
+    modules: List[SourceModule] = []
+    failures: List[ParseFailure] = []
+    for path in files:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                source = fh.read()
+            tree = ast.parse(source, filename=path)
+        except (SyntaxError, ValueError) as exc:
+            line = getattr(exc, "lineno", 0) or 0
+            failures.append(ParseFailure(path, line, str(exc)))
+            continue
+        except OSError as exc:
+            failures.append(ParseFailure(path, 0, str(exc)))
+            continue
+        modules.append(
+            SourceModule(
+                path=path,
+                name=module_name_for(path),
+                source=source,
+                tree=tree,
+            )
+        )
+    return modules, failures
+
+
+class LintContext:
+    """Everything the rules may look at: all modules under analysis.
+
+    Project-scoped rules (registry conformance) use :meth:`get` to find
+    sibling modules; module-scoped rules receive one module at a time.
+    """
+
+    def __init__(self, modules: Sequence[SourceModule]) -> None:
+        self.modules: List[SourceModule] = list(modules)
+        self._by_name: Dict[str, SourceModule] = {
+            m.name: m for m in self.modules
+        }
+
+    def get(self, name: str) -> Optional[SourceModule]:
+        """The module with dotted name ``name``, if under analysis."""
+        return self._by_name.get(name)

@@ -21,7 +21,7 @@ doing geometry.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Set, Tuple, Union
 
 from repro.errors import ConfigurationError
 from repro.geometry.coords import Coord
@@ -86,7 +86,7 @@ class BroadcastProtocolNode(NodeProcess):
         t: int,
         source: Coord,
         source_value: Any = None,
-        metric="linf",
+        metric: Union[str, Metric] = "linf",
     ) -> None:
         if t < 0:
             raise ConfigurationError(f"fault budget t must be >= 0, got {t}")
@@ -98,7 +98,7 @@ class BroadcastProtocolNode(NodeProcess):
         self._commit_round: Optional[int] = None
         #: neighbors caught announcing two different values (Section V:
         #: on a broadcast channel "duplicity would stand detected")
-        self.detected_duplicity: set = set()
+        self.detected_duplicity: Set[Coord] = set()
 
     # -- introspection -----------------------------------------------------
 

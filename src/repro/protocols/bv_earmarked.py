@@ -29,10 +29,11 @@ paper names: nodes must know the topology and the source location.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
 from repro.core.earmark import RelayChain, watchlist_for_node
 from repro.geometry.coords import Coord
+from repro.geometry.metrics import Metric
 from repro.protocols.base import HeardMsg
 from repro.protocols.bv_indirect import BVIndirectProtocol
 from repro.radio.messages import Envelope
@@ -49,10 +50,10 @@ class BVEarmarkedProtocol(BVIndirectProtocol):
 
     def __init__(
         self,
-        t,
-        source,
-        source_value=None,
-        metric="linf",
+        t: int,
+        source: Coord,
+        source_value: Any = None,
+        metric: "Union[str, Metric]" = "linf",
         max_relays: int = 3,
         locality_filter: bool = True,
     ) -> None:
@@ -158,7 +159,9 @@ class BVEarmarkedProtocol(BVIndirectProtocol):
         set alone crosses the bar, so the fallback just scans once.
         """
         if self._watch is not None:
-            watched_support = [n for n in support if n in self._watch]
+            watched_support = [
+                n for n in sorted(support) if n in self._watch
+            ]
             if len(watched_support) >= self.t + 1:
                 return True
         from repro.protocols.evidence import covering_centers

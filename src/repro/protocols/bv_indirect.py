@@ -48,11 +48,12 @@ Implementation notes
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Set, Tuple
+from typing import Any, Dict, Optional, Set, Tuple, Union
 
 from repro.analysis.packing import PackingBudgetExceeded, has_packing_of_size
 from repro.errors import ConfigurationError
 from repro.geometry.coords import Coord
+from repro.geometry.metrics import Metric
 from repro.protocols.base import (
     BroadcastProtocolNode,
     CommittedMsg,
@@ -69,10 +70,10 @@ class BVIndirectProtocol(BroadcastProtocolNode):
 
     def __init__(
         self,
-        t,
-        source,
-        source_value=None,
-        metric="linf",
+        t: int,
+        source: Coord,
+        source_value: Any = None,
+        metric: "Union[str, Metric]" = "linf",
         max_relays: int = 3,
         locality_filter: bool = True,
     ) -> None:

@@ -22,9 +22,10 @@ first ``COMMITTED`` per sender.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Union
 
 from repro.geometry.coords import Coord
+from repro.geometry.metrics import Metric
 from repro.protocols.base import BroadcastProtocolNode, CommittedMsg, SourceMsg
 from repro.radio.messages import Envelope
 from repro.radio.node import Context
@@ -34,7 +35,13 @@ class CPAProtocol(BroadcastProtocolNode):
     """Commit on ``t+1`` matching neighbor announcements (or direct source
     receipt); announce once; terminate."""
 
-    def __init__(self, t, source, source_value=None, metric="linf") -> None:
+    def __init__(
+        self,
+        t: int,
+        source: Coord,
+        source_value: Any = None,
+        metric: Union[str, Metric] = "linf",
+    ) -> None:
         super().__init__(t, source, source_value, metric)
         #: first announced value per (localized) neighbor
         self._announced: Dict[Coord, Any] = {}

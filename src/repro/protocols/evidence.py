@@ -86,7 +86,7 @@ class CenterIndex:
         if chain in seen:
             return False
         seen.add(chain)
-        pts = list(chain) + list(anchor_points)
+        pts = sorted(chain) + list(anchor_points)
         per_center = self._chains.setdefault(key, {})
         for center in covering_centers(pts, self._r, self._metric):
             per_center.setdefault(center, []).append(chain)

@@ -239,7 +239,8 @@ class Engine:
         if receiver in self._jammers_this_round:
             return True
         return any(
-            receiver in self._neighbors[j] for j in self._jammers_this_round
+            receiver in self._neighbors[j]
+            for j in sorted(self._jammers_this_round)
         )
 
     def _transmit(self, node: Coord, slot: int) -> bool:

@@ -10,7 +10,7 @@ the paper's model.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, TYPE_CHECKING
+from typing import Any, Callable, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.geometry.coords import Coord
 from repro.radio.messages import Envelope
@@ -32,11 +32,14 @@ class Context:
     def __init__(self, node: Coord, engine: "Engine") -> None:
         self.node = node
         self._engine = engine
-        self._outbox: List[Any] = []
+        #: queued (payload, claimed_sender) pairs; ``claimed_sender`` is
+        #: ``None`` for honest broadcasts and the forged coordinate for
+        #: :meth:`broadcast_as` transmissions
+        self._outbox: List[Tuple[Any, Optional[Coord]]] = []
         #: set True by a process that has terminated its local execution;
         #: the engine stops delivering to it (pure optimization -- a halted
         #: process ignores input by definition).
-        self.halted = False
+        self.halted: bool = False
 
     @property
     def r(self) -> int:

@@ -1,0 +1,577 @@
+"""Per-rule linter tests: one passing, one violating, and one suppressed
+fixture for every shipped rule, plus framework behavior (suppression
+parsing, reporters, exit codes)."""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    Severity,
+    all_rules,
+    format_json,
+    format_text,
+    lint_paths,
+)
+
+# ---------------------------------------------------------------------------
+# fixture helpers
+
+
+def write_tree(root, files):
+    """Materialize ``{relative_path: source}`` under ``root``.
+
+    Creates ``__init__.py`` in every intermediate directory so the
+    linter derives proper dotted module names (``repro.radio.engine``).
+    """
+    for rel, source in files.items():
+        path = root / rel
+        parent = path.parent
+        parent.mkdir(parents=True, exist_ok=True)
+        d = parent
+        while d != root:
+            init = d / "__init__.py"
+            if not init.exists():
+                init.write_text('"""fixture package."""\n')
+            d = d.parent
+        path.write_text(source)
+    return root
+
+
+def run_lint(tmp_path, files, rules=None):
+    """Write a fixture tree and lint it."""
+    write_tree(tmp_path, files)
+    return lint_paths([str(tmp_path)], rules)
+
+
+def rule_ids(report):
+    """The set of rule ids among a report's unsuppressed findings."""
+    return {f.rule_id for f in report.findings}
+
+
+# ---------------------------------------------------------------------------
+# rule catalog sanity
+
+EXPECTED_RULES = {
+    "no-unseeded-rng",
+    "no-envelope-forgery",
+    "frozen-payloads",
+    "ordered-iteration",
+    "registry-conformance",
+    "no-received-mutation",
+}
+
+
+def test_all_shipped_rules_registered():
+    ids = {r.rule_id for r in all_rules()}
+    assert EXPECTED_RULES <= ids
+    for rule in all_rules():
+        assert rule.description, rule.rule_id
+        assert rule.severity is Severity.ERROR
+
+
+# ---------------------------------------------------------------------------
+# no-unseeded-rng
+
+
+class TestNoUnseededRng:
+    def test_passing(self, tmp_path):
+        report = run_lint(
+            tmp_path,
+            {
+                "mod.py": (
+                    "import random\n"
+                    "rng = random.Random(7)\n"
+                    "value = rng.random()\n"
+                )
+            },
+            rules=["no-unseeded-rng"],
+        )
+        assert report.findings == []
+        assert report.exit_code == 0
+
+    def test_violating(self, tmp_path):
+        report = run_lint(
+            tmp_path,
+            {
+                "mod.py": (
+                    "import random\n"
+                    "a = random.random()\n"
+                    "b = random.Random()\n"
+                    "from random import shuffle\n"
+                )
+            },
+            rules=["no-unseeded-rng"],
+        )
+        assert len(report.findings) == 3
+        assert rule_ids(report) == {"no-unseeded-rng"}
+        assert report.exit_code == 1
+
+    def test_suppressed(self, tmp_path):
+        report = run_lint(
+            tmp_path,
+            {
+                "mod.py": (
+                    "import random\n"
+                    "a = random.random()"
+                    "  # repro: lint-ok[no-unseeded-rng] fixture\n"
+                )
+            },
+            rules=["no-unseeded-rng"],
+        )
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+        assert report.exit_code == 0
+
+
+# ---------------------------------------------------------------------------
+# no-envelope-forgery
+
+FORGERY = (
+    "from repro.radio.messages import Envelope\n"
+    "env = Envelope(sender=(0, 0), payload=None, seq=0, round=0, slot=0)\n"
+)
+
+
+class TestNoEnvelopeForgery:
+    def test_passing_inside_radio(self, tmp_path):
+        report = run_lint(
+            tmp_path,
+            {"repro/radio/custom.py": FORGERY},
+            rules=["no-envelope-forgery"],
+        )
+        assert report.findings == []
+
+    def test_violating_outside_radio(self, tmp_path):
+        report = run_lint(
+            tmp_path,
+            {"repro/protocols/attack.py": FORGERY},
+            rules=["no-envelope-forgery"],
+        )
+        assert rule_ids(report) == {"no-envelope-forgery"}
+        assert report.exit_code == 1
+
+    def test_violating_via_alias(self, tmp_path):
+        source = (
+            "from repro.radio.messages import Envelope as E\n"
+            "env = E(sender=(0, 0), payload=None, seq=0, round=0, slot=0)\n"
+        )
+        report = run_lint(
+            tmp_path,
+            {"outside.py": source},
+            rules=["no-envelope-forgery"],
+        )
+        assert len(report.findings) == 1
+
+    def test_suppressed(self, tmp_path):
+        source = (
+            "from repro.radio.messages import Envelope\n"
+            "# repro: lint-ok[no-envelope-forgery] replaying a recorded env\n"
+            "env = Envelope(sender=(0, 0), payload=None,\n"
+            "               seq=0, round=0, slot=0)\n"
+        )
+        report = run_lint(
+            tmp_path,
+            {"outside.py": source},
+            rules=["no-envelope-forgery"],
+        )
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+
+# ---------------------------------------------------------------------------
+# frozen-payloads
+
+
+class TestFrozenPayloads:
+    def test_passing(self, tmp_path):
+        source = (
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class PingMsg:\n"
+            "    value: int\n"
+        )
+        report = run_lint(
+            tmp_path, {"mod.py": source}, rules=["frozen-payloads"]
+        )
+        assert report.findings == []
+
+    def test_violating_msg_suffix_anywhere(self, tmp_path):
+        source = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class PingMsg:\n"
+            "    value: int\n"
+        )
+        report = run_lint(
+            tmp_path, {"mod.py": source}, rules=["frozen-payloads"]
+        )
+        assert rule_ids(report) == {"frozen-payloads"}
+        assert report.exit_code == 1
+
+    def test_violating_in_protocols_package(self, tmp_path):
+        source = (
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=False)\n"
+            "class Payload:\n"
+            "    value: int\n"
+        )
+        report = run_lint(
+            tmp_path,
+            {"repro/protocols/mod.py": source},
+            rules=["frozen-payloads"],
+        )
+        assert len(report.findings) == 1
+
+    def test_plain_class_out_of_scope(self, tmp_path):
+        source = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class Accumulator:\n"
+            "    value: int\n"
+        )
+        report = run_lint(
+            tmp_path, {"mod.py": source}, rules=["frozen-payloads"]
+        )
+        assert report.findings == []
+
+    def test_suppressed(self, tmp_path):
+        source = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class PingMsg:  # repro: lint-ok[frozen-payloads] builder type\n"
+            "    value: int\n"
+        )
+        report = run_lint(
+            tmp_path, {"mod.py": source}, rules=["frozen-payloads"]
+        )
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+
+# ---------------------------------------------------------------------------
+# ordered-iteration
+
+
+class TestOrderedIteration:
+    def test_passing_sorted(self, tmp_path):
+        source = (
+            "def fanout(targets: set):\n"
+            "    for t in sorted(targets):\n"
+            "        print(t)\n"
+        )
+        report = run_lint(
+            tmp_path,
+            {"repro/protocols/mod.py": source},
+            rules=["ordered-iteration"],
+        )
+        assert report.findings == []
+
+    def test_violating_set_iteration(self, tmp_path):
+        source = (
+            "def fanout(targets: set):\n"
+            "    for t in targets:\n"
+            "        print(t)\n"
+        )
+        report = run_lint(
+            tmp_path,
+            {"repro/protocols/mod.py": source},
+            rules=["ordered-iteration"],
+        )
+        assert rule_ids(report) == {"ordered-iteration"}
+        assert report.exit_code == 1
+
+    def test_violating_set_attribute(self, tmp_path):
+        source = (
+            "from typing import Set\n"
+            "class Engine:\n"
+            "    def __init__(self):\n"
+            "        self.jammers: Set[int] = set()\n"
+            "    def poll(self):\n"
+            "        return [j for j in self.jammers]\n"
+        )
+        report = run_lint(
+            tmp_path,
+            {"repro/radio/engine.py": source},
+            rules=["ordered-iteration"],
+        )
+        assert len(report.findings) == 1
+
+    def test_violating_list_materialization(self, tmp_path):
+        source = "def snapshot(live: frozenset):\n    return list(live)\n"
+        report = run_lint(
+            tmp_path,
+            {"repro/protocols/mod.py": source},
+            rules=["ordered-iteration"],
+        )
+        assert len(report.findings) == 1
+
+    def test_violating_dict_view_on_delivery_path(self, tmp_path):
+        source = (
+            "class P:\n"
+            "    def on_receive(self, ctx, env):\n"
+            "        for k, v in self.table.items():\n"
+            "            print(k, v)\n"
+        )
+        report = run_lint(
+            tmp_path,
+            {"repro/protocols/mod.py": source},
+            rules=["ordered-iteration"],
+        )
+        assert len(report.findings) == 1
+
+    def test_dict_view_off_delivery_path_ok(self, tmp_path):
+        source = (
+            "class P:\n"
+            "    def summarize(self):\n"
+            "        return [k for k, v in self.table.items()]\n"
+        )
+        report = run_lint(
+            tmp_path,
+            {"repro/protocols/mod.py": source},
+            rules=["ordered-iteration"],
+        )
+        assert report.findings == []
+
+    def test_out_of_scope_module_ignored(self, tmp_path):
+        source = (
+            "def fanout(targets: set):\n"
+            "    for t in targets:\n"
+            "        print(t)\n"
+        )
+        report = run_lint(
+            tmp_path,
+            {"repro/analysis/mod.py": source},
+            rules=["ordered-iteration"],
+        )
+        assert report.findings == []
+
+    def test_suppressed(self, tmp_path):
+        source = (
+            "def fanout(targets: set):\n"
+            "    for t in targets:"
+            "  # repro: lint-ok[ordered-iteration] order-insensitive sum\n"
+            "        print(t)\n"
+        )
+        report = run_lint(
+            tmp_path,
+            {"repro/protocols/mod.py": source},
+            rules=["ordered-iteration"],
+        )
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+
+# ---------------------------------------------------------------------------
+# registry-conformance
+
+BASE = "class BroadcastProtocolNode:\n    pass\n"
+IMPL = (
+    "from repro.protocols.base import BroadcastProtocolNode\n"
+    "class GoodProtocol(BroadcastProtocolNode):\n"
+    "    pass\n"
+    "class BadProtocol(GoodProtocol):\n"
+    "    pass\n"
+)
+
+
+def conformance_tree(registry_source, impl=IMPL):
+    return {
+        "repro/protocols/base.py": BASE,
+        "repro/protocols/impl.py": impl,
+        "repro/protocols/registry.py": registry_source,
+    }
+
+
+class TestRegistryConformance:
+    def test_passing(self, tmp_path):
+        registry = (
+            "from repro.protocols.impl import BadProtocol, GoodProtocol\n"
+            "PROTOCOLS = {'good': GoodProtocol, 'bad': BadProtocol}\n"
+        )
+        report = run_lint(
+            tmp_path,
+            conformance_tree(registry),
+            rules=["registry-conformance"],
+        )
+        assert report.findings == []
+
+    def test_violating_unregistered_subclass(self, tmp_path):
+        registry = (
+            "from repro.protocols.impl import GoodProtocol\n"
+            "PROTOCOLS = {'good': GoodProtocol}\n"
+        )
+        report = run_lint(
+            tmp_path,
+            conformance_tree(registry),
+            rules=["registry-conformance"],
+        )
+        assert len(report.findings) == 1
+        assert "BadProtocol" in report.findings[0].message
+        assert report.exit_code == 1
+
+    def test_suppressed(self, tmp_path):
+        registry = (
+            "from repro.protocols.impl import GoodProtocol\n"
+            "PROTOCOLS = {'good': GoodProtocol}\n"
+        )
+        impl = IMPL.replace(
+            "class BadProtocol(GoodProtocol):",
+            "class BadProtocol(GoodProtocol):"
+            "  # repro: lint-ok[registry-conformance] test-only stub",
+        )
+        report = run_lint(
+            tmp_path,
+            conformance_tree(registry, impl),
+            rules=["registry-conformance"],
+        )
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+    def test_experiment_constructed_outside_registry(self, tmp_path):
+        files = {
+            "repro/experiments/registry.py": (
+                "class Experiment:\n"
+                "    pass\n"
+                "_EXPERIMENTS = (Experiment(),)\n"
+            ),
+            "repro/experiments/rogue.py": (
+                "from repro.experiments.registry import Experiment\n"
+                "EXTRA = Experiment()\n"
+            ),
+        }
+        report = run_lint(
+            tmp_path, files, rules=["registry-conformance"]
+        )
+        assert len(report.findings) == 1
+        assert report.findings[0].module == "repro.experiments.rogue"
+
+
+# ---------------------------------------------------------------------------
+# no-received-mutation
+
+
+class TestNoReceivedMutation:
+    def test_passing_read_only(self, tmp_path):
+        source = (
+            "class P:\n"
+            "    def on_receive(self, ctx, env):\n"
+            "        self.seen = env.payload.value\n"
+            "        self.log.append(env.seq)\n"
+        )
+        report = run_lint(
+            tmp_path, {"mod.py": source}, rules=["no-received-mutation"]
+        )
+        assert report.findings == []
+
+    def test_violating_attribute_write(self, tmp_path):
+        source = (
+            "class P:\n"
+            "    def on_receive(self, ctx, env):\n"
+            "        env.payload.value = 42\n"
+        )
+        report = run_lint(
+            tmp_path, {"mod.py": source}, rules=["no-received-mutation"]
+        )
+        assert rule_ids(report) == {"no-received-mutation"}
+        assert report.exit_code == 1
+
+    def test_violating_mutator_call(self, tmp_path):
+        source = (
+            "class P:\n"
+            "    def on_receive(self, ctx, env):\n"
+            "        env.payload.relays.append((0, 0))\n"
+        )
+        report = run_lint(
+            tmp_path, {"mod.py": source}, rules=["no-received-mutation"]
+        )
+        assert len(report.findings) == 1
+
+    def test_violating_annotated_helper(self, tmp_path):
+        source = (
+            "from repro.radio.messages import Envelope\n"
+            "class P:\n"
+            "    def _on_committed(self, ctx, env: Envelope, msg):\n"
+            "        env.seq += 1\n"
+        )
+        report = run_lint(
+            tmp_path, {"mod.py": source}, rules=["no-received-mutation"]
+        )
+        assert len(report.findings) == 1
+
+    def test_suppressed(self, tmp_path):
+        source = (
+            "class P:\n"
+            "    def on_receive(self, ctx, env):\n"
+            "        env.payload.value = 42"
+            "  # repro: lint-ok[no-received-mutation] fixture\n"
+        )
+        report = run_lint(
+            tmp_path, {"mod.py": source}, rules=["no-received-mutation"]
+        )
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+
+# ---------------------------------------------------------------------------
+# framework behavior
+
+
+class TestFramework:
+    def test_suppression_without_reason_is_inert_and_warned(self, tmp_path):
+        source = (
+            "import random\n"
+            "a = random.random()  # repro: lint-ok[no-unseeded-rng]\n"
+        )
+        report = run_lint(tmp_path, {"mod.py": source})
+        assert "no-unseeded-rng" in rule_ids(report)  # not silenced
+        assert "bad-suppression" in rule_ids(report)  # and called out
+        assert report.exit_code == 1  # the error finding survives
+
+    def test_suppression_for_other_rule_does_not_silence(self, tmp_path):
+        source = (
+            "import random\n"
+            "a = random.random()"
+            "  # repro: lint-ok[frozen-payloads] wrong id\n"
+        )
+        report = run_lint(tmp_path, {"mod.py": source})
+        assert "no-unseeded-rng" in rule_ids(report)
+
+    def test_parse_failure_exit_code_2(self, tmp_path):
+        report = run_lint(tmp_path, {"mod.py": "def broken(:\n"})
+        assert report.parse_failures
+        assert report.exit_code == 2
+
+    def test_unknown_rule_id_raises(self, tmp_path):
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        with pytest.raises(KeyError):
+            lint_paths([str(tmp_path)], ["no-such-rule"])
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            lint_paths([str(tmp_path / "nope")])
+
+    def test_text_reporter(self, tmp_path):
+        report = run_lint(
+            tmp_path, {"mod.py": "import random\na = random.random()\n"}
+        )
+        text = format_text(report)
+        assert "error[no-unseeded-rng]" in text
+        assert "1 error(s)" in text
+
+    def test_json_reporter(self, tmp_path):
+        report = run_lint(
+            tmp_path, {"mod.py": "import random\na = random.random()\n"}
+        )
+        payload = json.loads(format_json(report))
+        assert payload["summary"]["errors"] == 1
+        assert payload["summary"]["clean"] is False
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "no-unseeded-rng"
+        assert finding["line"] == 2
+
+    def test_clean_report_shape(self, tmp_path):
+        report = run_lint(tmp_path, {"mod.py": "x = 1\n"})
+        payload = json.loads(format_json(report))
+        assert payload["summary"]["clean"] is True
+        assert report.exit_code == 0
