@@ -4,6 +4,10 @@ Paper claim: the Bhandari-Vaidya protocols achieve reliable broadcast for
 every t strictly below r(2r+1)/2 (against any adversary), and at
 ceil(r(2r+1)/2) (Koo's impossibility bound) the half-density strip blocks
 liveness while safety still holds.
+
+Scenario execution routes through :mod:`repro.exec` (deterministic
+per-trial seeding; pass ``executor=SweepExecutor(workers=N, cache=...)``
+to the runner to parallelize or memoize a larger grid).
 """
 
 from repro.experiments.runners import run_byzantine_threshold_sweep

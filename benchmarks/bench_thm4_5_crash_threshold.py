@@ -2,6 +2,10 @@
 
 Paper claim: crash-flood succeeds for every t < r(2r+1) and the strip
 partition defeats it at exactly t = r(2r+1).
+
+Scenario execution routes through :mod:`repro.exec` (deterministic
+per-trial seeding; pass ``executor=SweepExecutor(workers=N, cache=...)``
+to the runner to parallelize or memoize a larger grid).
 """
 
 from repro.experiments.runners import run_crash_threshold_sweep

@@ -4,6 +4,10 @@ Paper claim: CPA succeeds at t <= (2/3) r^2 (and at Koo's bound from [1]
 for small r); the impossibility bound ceil(r(2r+1)/2) defeats it.  The
 region between is "uncertain" in the theory -- the bench reports what the
 worst-case-construction adversary actually does there.
+
+Scenario execution routes through :mod:`repro.exec` (deterministic
+per-trial seeding; pass ``executor=SweepExecutor(workers=N, cache=...)``
+to the runner to parallelize or memoize a larger grid).
 """
 
 from repro.core.thresholds import (

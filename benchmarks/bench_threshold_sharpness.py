@@ -5,9 +5,17 @@ protocol fares against *random* maximal budget-respecting placements: the
 success fraction must be exactly 1.0 up to the threshold (that is the
 guarantee), and usually stays high just beyond it (the impossibility
 construction is special).
+
+Trial execution routes through :mod:`repro.exec` (the parallel cached
+sweep executor); the second bench exercises its memoization contract --
+an identical rerun must be 100% cache hits and dramatically faster.
 """
 
-from repro.core.thresholds import byzantine_linf_max_t
+import time
+
+from repro.analysis.sweep import byzantine_sharpness_run
+from repro.core.thresholds import byzantine_linf_max_t, koo_impossibility_bound
+from repro.exec import ResultCache, SweepExecutor
 from repro.experiments.runners import run_threshold_sharpness
 
 
@@ -27,4 +35,44 @@ def test_threshold_sharpness_r1(benchmark, save_table):
         "EXP-SHARP_byzantine_r1",
         rows,
         title="EXP-SHARP: success fraction vs budget (random placements)",
+    )
+
+
+def test_threshold_sharpness_cached_rerun(benchmark, save_table, tmp_path):
+    """The executor's memoization contract on the sharpness workload:
+    rerunning an identical sweep is 100% cache hits, byte-identical
+    aggregates, and at least 2x faster than the cold run."""
+    cache = ResultCache(tmp_path / "cache")
+    budgets = list(range(0, koo_impossibility_bound(1) + 2))
+
+    def sweep():
+        started = time.perf_counter()
+        run = byzantine_sharpness_run(
+            1, budgets, trials=4, executor=SweepExecutor(workers=1, cache=cache)
+        )
+        return run, time.perf_counter() - started
+
+    cold, cold_s = sweep()
+    assert cold.stats.cache_hits == 0
+
+    warm, warm_s = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert warm.points == cold.points  # byte-identical aggregates
+    assert warm.stats.hit_fraction == 1.0  # 100% cache hits
+    assert warm.stats.trials_computed == 0
+    assert warm_s * 2 <= cold_s, (cold_s, warm_s)  # >= 2x speedup
+    save_table(
+        "EXP-SHARP_exec_stats",
+        [
+            {**cold.stats.as_dict(), "run": "cold", "wall_clock_s": round(cold_s, 4)},
+            {**warm.stats.as_dict(), "run": "warm (cached)", "wall_clock_s": round(warm_s, 4)},
+        ],
+        columns=[
+            "run",
+            "wall_clock_s",
+            "units_total",
+            "cache_hits",
+            "cache_misses",
+            "trials_computed",
+        ],
+        title="EXP-SHARP: executor cache speedup (identical rerun)",
     )

@@ -7,17 +7,21 @@ fraction.  Below the threshold the fraction must be 1.0 (the theorems are
 worst-case guarantees); above it, random placements may or may not defeat
 the protocol -- the curve exposes how special the impossibility
 constructions are.
+
+Trial execution routes through :mod:`repro.exec`: pass an
+``executor`` (e.g. ``SweepExecutor(workers=4, cache=...)``) to
+parallelize and memoize; the default is the serial, uncached executor.
+Per-trial seeds are derived from ``(seed, scenario_key, trial_index)``
+(see :func:`repro.exec.derive_seed`), so the resulting
+:class:`SweepPoint` rows are identical for any worker count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
-from repro.experiments.scenarios import (
-    byzantine_broadcast_scenario,
-    crash_broadcast_scenario,
-)
+from repro.exec import ExecStats, ScenarioSpec, SweepExecutor
 
 
 @dataclass(frozen=True)
@@ -41,6 +45,74 @@ class SweepPoint:
         }
 
 
+@dataclass(frozen=True)
+class SweepRun:
+    """A sweep's aggregated points plus its execution statistics."""
+
+    points: List[SweepPoint]
+    stats: ExecStats
+
+
+def aggregate_point(
+    t: int,
+    trial_rows: Sequence[Dict[str, Any]],
+    safety_trivial: bool = False,
+) -> SweepPoint:
+    """Fold per-trial result rows into one :class:`SweepPoint`.
+
+    ``safety_trivial`` pins ``safety_fraction`` to 1.0 (crash faults
+    cannot lie, so safety cannot fail by construction).
+    """
+    trials = len(trial_rows)
+    successes = sum(1 for row in trial_rows if row["achieved"])
+    safeties = sum(1 for row in trial_rows if row["safe"])
+    undecided_total = sum(row["undecided"] for row in trial_rows)
+    return SweepPoint(
+        t=t,
+        trials=trials,
+        success_fraction=successes / trials,
+        safety_fraction=1.0 if safety_trivial else safeties / trials,
+        mean_undecided=undecided_total / trials,
+    )
+
+
+def byzantine_sharpness_run(
+    r: int,
+    budgets: Sequence[int],
+    protocol: str = "bv-two-hop",
+    strategy: str = "fabricator",
+    trials: int = 5,
+    seed: int = 0,
+    executor: Optional[SweepExecutor] = None,
+) -> SweepRun:
+    """Success fraction vs fault budget under random valid placements.
+
+    For each ``t`` the protocol is *told* ``t`` and the adversary places a
+    random maximal ``t``-bounded fault set; both sides scale together,
+    exactly as in the paper's model.  Returns the aggregated points plus
+    the executor's wall-clock / cache statistics.
+    """
+    executor = executor or SweepExecutor()
+    specs = [
+        ScenarioSpec(
+            kind="byzantine",
+            r=r,
+            t=t,
+            trials=trials,
+            protocol=protocol,
+            strategy=strategy,
+            placement="random",
+        )
+        for t in budgets
+    ]
+    result = executor.run(specs, root_seed=seed)
+    points = [
+        aggregate_point(t, rows)
+        for t, rows in zip(budgets, result.rows)
+    ]
+    return SweepRun(points=points, stats=result.stats)
+
+
 def byzantine_sharpness_sweep(
     r: int,
     budgets: Sequence[int],
@@ -48,41 +120,46 @@ def byzantine_sharpness_sweep(
     strategy: str = "fabricator",
     trials: int = 5,
     seed: int = 0,
+    executor: Optional[SweepExecutor] = None,
 ) -> List[SweepPoint]:
-    """Success fraction vs fault budget under random valid placements.
+    """:func:`byzantine_sharpness_run` returning only the points."""
+    return byzantine_sharpness_run(
+        r,
+        budgets,
+        protocol=protocol,
+        strategy=strategy,
+        trials=trials,
+        seed=seed,
+        executor=executor,
+    ).points
 
-    For each ``t`` the protocol is *told* ``t`` and the adversary places a
-    random maximal ``t``-bounded fault set; both sides scale together,
-    exactly as in the paper's model.
-    """
-    points: List[SweepPoint] = []
-    for t in budgets:
-        successes = 0
-        safeties = 0
-        undecided_total = 0
-        for trial in range(trials):
-            sc = byzantine_broadcast_scenario(
-                r=r,
-                t=t,
-                protocol=protocol,
-                strategy=strategy,
-                placement="random",
-                seed=seed * 1000 + t * 100 + trial,
-            )
-            out = sc.run()
-            successes += out.achieved
-            safeties += out.safe
-            undecided_total += len(out.undecided)
-        points.append(
-            SweepPoint(
-                t=t,
-                trials=trials,
-                success_fraction=successes / trials,
-                safety_fraction=safeties / trials,
-                mean_undecided=undecided_total / trials,
-            )
+
+def crash_sharpness_run(
+    r: int,
+    budgets: Sequence[int],
+    trials: int = 5,
+    seed: int = 0,
+    executor: Optional[SweepExecutor] = None,
+) -> SweepRun:
+    """Crash-stop analogue of :func:`byzantine_sharpness_run`."""
+    executor = executor or SweepExecutor()
+    specs = [
+        ScenarioSpec(
+            kind="crash",
+            r=r,
+            t=t,
+            trials=trials,
+            protocol="crash-flood",
+            placement="random",
         )
-    return points
+        for t in budgets
+    ]
+    result = executor.run(specs, root_seed=seed)
+    points = [
+        aggregate_point(t, rows, safety_trivial=True)
+        for t, rows in zip(budgets, result.rows)
+    ]
+    return SweepRun(points=points, stats=result.stats)
 
 
 def crash_sharpness_sweep(
@@ -90,29 +167,9 @@ def crash_sharpness_sweep(
     budgets: Sequence[int],
     trials: int = 5,
     seed: int = 0,
+    executor: Optional[SweepExecutor] = None,
 ) -> List[SweepPoint]:
-    """Crash-stop analogue of :func:`byzantine_sharpness_sweep`."""
-    points: List[SweepPoint] = []
-    for t in budgets:
-        successes = 0
-        undecided_total = 0
-        for trial in range(trials):
-            sc = crash_broadcast_scenario(
-                r=r,
-                t=t,
-                placement="random",
-                seed=seed * 1000 + t * 100 + trial,
-            )
-            out = sc.run()
-            successes += out.achieved
-            undecided_total += len(out.undecided)
-        points.append(
-            SweepPoint(
-                t=t,
-                trials=trials,
-                success_fraction=successes / trials,
-                safety_fraction=1.0,  # crash faults cannot lie
-                mean_undecided=undecided_total / trials,
-            )
-        )
-    return points
+    """:func:`crash_sharpness_run` returning only the points."""
+    return crash_sharpness_run(
+        r, budgets, trials=trials, seed=seed, executor=executor
+    ).points

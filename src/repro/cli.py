@@ -8,6 +8,7 @@ Usage (``python -m repro ...``)::
     python -m repro thresholds --radii 1 2 4 8
     python -m repro demo --protocol bv-two-hop --r 2 --t 4 \
         --strategy fabricator --map
+    python -m repro sweep byzantine --r 1 --trials 16 --workers 4
     python -m repro lint src/repro --format json
 
 All output is plain text tables (see
@@ -89,6 +90,119 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0 if outcome.safe else 1
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from repro.analysis.sweep import byzantine_sharpness_run, crash_sharpness_run
+    from repro.core.thresholds import (
+        byzantine_linf_max_t,
+        crash_linf_max_t,
+        koo_impossibility_bound,
+        crash_linf_threshold,
+    )
+    from repro.exec import ResultCache, SweepExecutor, default_cache_dir
+
+    if args.resume and args.no_cache:
+        print(
+            "repro sweep: --resume needs the cache; drop --no-cache",
+            file=sys.stderr,
+        )
+        return 2
+    cache = None
+    if not args.no_cache:
+        cache_dir = (
+            pathlib.Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+        )
+        cache = ResultCache(cache_dir)
+    executor = SweepExecutor(workers=args.workers, cache=cache)
+
+    if args.budgets:
+        budgets = list(args.budgets)
+    elif args.kind == "byzantine":
+        budgets = list(range(0, koo_impossibility_bound(args.r) + 2))
+    else:
+        budgets = list(range(0, crash_linf_threshold(args.r) + 2))
+
+    if args.resume:
+        from repro.exec import ScenarioSpec
+
+        specs = [
+            ScenarioSpec(
+                kind=args.kind,
+                r=args.r,
+                t=t,
+                trials=args.trials,
+                protocol=args.protocol
+                or ("bv-two-hop" if args.kind == "byzantine" else "crash-flood"),
+                strategy=args.strategy if args.kind == "byzantine" else None,
+                placement="random",
+            )
+            for t in budgets
+        ]
+        done, total = executor.checkpointed(specs, root_seed=args.seed)
+        print(f"resume: {done}/{total} work units already checkpointed")
+
+    protocol = args.protocol or (
+        "bv-two-hop" if args.kind == "byzantine" else "crash-flood"
+    )
+    if args.kind == "byzantine":
+        run = byzantine_sharpness_run(
+            args.r,
+            budgets,
+            protocol=protocol,
+            strategy=args.strategy,
+            trials=args.trials,
+            seed=args.seed,
+            executor=executor,
+        )
+        threshold = byzantine_linf_max_t(args.r)
+    else:
+        run = crash_sharpness_run(
+            args.r,
+            budgets,
+            trials=args.trials,
+            seed=args.seed,
+            executor=executor,
+        )
+        threshold = crash_linf_max_t(args.r)
+
+    rows = []
+    for pt in run.points:
+        entry = pt.row()
+        entry["regime"] = (
+            "guaranteed" if pt.t <= threshold else "beyond threshold"
+        )
+        rows.append(entry)
+    stats = run.stats.as_dict()
+    print(
+        format_table(
+            rows,
+            title=f"sweep: {args.kind} r={args.r} trials={args.trials} "
+            f"seed={args.seed} ({protocol})",
+        )
+    )
+    print()
+    print(format_table([stats], title="execution stats"))
+    if args.json:
+        report = {
+            "kind": args.kind,
+            "r": args.r,
+            "protocol": protocol,
+            "strategy": args.strategy if args.kind == "byzantine" else None,
+            "trials": args.trials,
+            "seed": args.seed,
+            "budgets": budgets,
+            "points": rows,
+            "stats": stats,
+        }
+        pathlib.Path(args.json).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import all_rules, format_json, format_text, lint_paths
 
@@ -163,6 +277,64 @@ def build_parser() -> argparse.ArgumentParser:
         "--map", action="store_true", help="print the commit-wave map"
     )
     p_demo.set_defaults(func=_cmd_demo)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a threshold-sharpness sweep (parallel + cached)",
+        description="Fan randomized sharpness trials over a worker pool "
+        "with deterministic per-trial seeding and on-disk work-unit "
+        "caching (see docs/EXECUTION.md). Aggregates are byte-identical "
+        "for any --workers value; rerunning an identical sweep is pure "
+        "cache hits.",
+    )
+    p_sweep.add_argument(
+        "kind", choices=["byzantine", "crash"], help="fault model to sweep"
+    )
+    p_sweep.add_argument("--r", type=int, default=1, help="radius")
+    p_sweep.add_argument(
+        "--budgets",
+        nargs="+",
+        type=int,
+        help="fault budgets t to sweep (default: 0..impossibility+1)",
+    )
+    p_sweep.add_argument(
+        "--trials", type=int, default=8, help="random placements per budget"
+    )
+    p_sweep.add_argument("--seed", type=int, default=0, help="root seed")
+    p_sweep.add_argument(
+        "--protocol",
+        choices=sorted(protocol_names()),
+        help="protocol (default: bv-two-hop / crash-flood by kind)",
+    )
+    p_sweep.add_argument(
+        "--strategy",
+        default="fabricator",
+        choices=sorted(BYZANTINE_STRATEGIES),
+        help="Byzantine strategy (ignored for crash sweeps)",
+    )
+    p_sweep.add_argument(
+        "--workers", type=int, default=1, help="worker processes"
+    )
+    p_sweep.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the work-unit cache entirely (no reads, no writes)",
+    )
+    p_sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="report how many work units a prior (possibly interrupted) "
+        "run already checkpointed, then continue from them",
+    )
+    p_sweep.add_argument(
+        "--cache-dir",
+        help="cache root (default: $REPRO_CACHE_DIR or "
+        "benchmarks/results/cache)",
+    )
+    p_sweep.add_argument(
+        "--json", help="also write a JSON report (points + stats) here"
+    )
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_lint = sub.add_parser(
         "lint",

@@ -1,0 +1,55 @@
+"""``repro.exec``: the parallel, cached sweep-execution layer.
+
+The repo's hot path is randomized trial sweeps (threshold sharpness,
+figure regeneration).  This package runs them at scale without giving up
+the simulator's reproducibility contract:
+
+- :mod:`repro.exec.seeds` -- per-trial seeds derived by stable hashing of
+  ``(root_seed, scenario_key, trial_index)``, so serial and parallel runs
+  agree byte-for-byte;
+- :mod:`repro.exec.specs` -- picklable scenario specifications and the
+  single-trial worker function;
+- :mod:`repro.exec.cache` -- content-addressed on-disk memoization of
+  completed work units (also the checkpoint/resume mechanism);
+- :mod:`repro.exec.executor` -- the chunked ``multiprocessing`` executor
+  with a serial fallback and execution statistics.
+
+See ``docs/EXECUTION.md`` for the design and the CLI (``repro sweep``).
+"""
+
+from repro.exec.cache import (
+    CACHE_SCHEMA_VERSION,
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    code_version_tag,
+    content_key,
+    default_cache_dir,
+)
+from repro.exec.executor import (
+    DEFAULT_CHUNK_SIZE,
+    ExecStats,
+    SweepExecutor,
+    SweepRunResult,
+    unit_cache_key,
+)
+from repro.exec.seeds import SEED_BITS, derive_seed
+from repro.exec.specs import KINDS, ScenarioSpec, run_trial
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "DEFAULT_CHUNK_SIZE",
+    "ExecStats",
+    "KINDS",
+    "ResultCache",
+    "SEED_BITS",
+    "ScenarioSpec",
+    "SweepExecutor",
+    "SweepRunResult",
+    "code_version_tag",
+    "content_key",
+    "default_cache_dir",
+    "derive_seed",
+    "run_trial",
+    "unit_cache_key",
+]

@@ -1,0 +1,145 @@
+"""Content-addressed disk cache for completed sweep work units.
+
+Each completed work unit (one chunk of trials at one scenario point) is
+persisted as a small JSON file under a cache root (by default
+``benchmarks/results/cache/``).  The file name is the SHA-256 of the work
+unit's canonical description: scenario parameters, root seed, the exact
+trial indices, and a code-version tag.  Consequences:
+
+- **memoization**: re-running an identical sweep is pure cache reads;
+- **checkpoint/resume**: an interrupted sweep leaves its finished units
+  behind, and the rerun recomputes only the missing ones;
+- **invalidation by construction**: change any scenario parameter, the
+  root seed, or the package version and the key -- hence the file --
+  changes, so stale results can never be returned;
+- **corruption safety**: a truncated or hand-edited file fails JSON or
+  schema validation and is treated as a miss (and removed), never
+  trusted.
+
+Writes are atomic (temp file + ``os.replace``) so a crash mid-write
+cannot leave a half-written unit that a resumed run would read.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro._version import __version__
+
+#: Bump when the cached row schema or the seed-derivation scheme changes
+#: incompatibly; old cache entries then miss instead of lying.
+CACHE_SCHEMA_VERSION = 1
+
+#: Default cache root, relative to the working directory (the repo root
+#: in CI and the benches).  Override per call, or process-wide with the
+#: ``REPRO_CACHE_DIR`` environment variable.
+DEFAULT_CACHE_DIR = pathlib.Path("benchmarks") / "results" / "cache"
+
+
+def default_cache_dir() -> pathlib.Path:
+    """The process-wide default cache root.
+
+    ``$REPRO_CACHE_DIR`` when set, else :data:`DEFAULT_CACHE_DIR`.
+    """
+    env = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    return pathlib.Path(env) if env else DEFAULT_CACHE_DIR
+
+
+def code_version_tag() -> str:
+    """The code-version component of every cache key.
+
+    Ties cached results to the package version *and* the executor's
+    schema version, so either kind of upgrade invalidates the cache.
+    """
+    return f"repro-{__version__}/exec-{CACHE_SCHEMA_VERSION}"
+
+
+def content_key(payload: Mapping[str, Any]) -> str:
+    """SHA-256 hex digest of a canonical-JSON rendering of ``payload``.
+
+    Canonical means sorted keys and fixed separators, so semantically
+    equal payloads hash identically regardless of construction order.
+    """
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """A directory of content-addressed work-unit results.
+
+    The cache never judges freshness by timestamps: the key *is* the
+    contract.  ``get`` returns ``None`` on any miss, including unreadable
+    or schema-violating files (which are deleted so they cannot shadow a
+    later write).
+    """
+
+    def __init__(self, root: pathlib.Path) -> None:
+        self.root = pathlib.Path(root)
+
+    def path_for(self, key: str) -> pathlib.Path:
+        """Where a unit with ``key`` lives on disk."""
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[List[Dict[str, Any]]]:
+        """The cached rows for ``key``, or ``None`` on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            blob = json.loads(raw)
+            if blob.get("key") != key:
+                raise ValueError("key mismatch")
+            rows = blob["rows"]
+            if not isinstance(rows, list) or not all(
+                isinstance(r, dict) for r in rows
+            ):
+                raise ValueError("rows schema violation")
+        except (ValueError, KeyError, TypeError):
+            # corrupted entry: recover by recomputing, never by trusting
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent cleanup
+                pass
+            return None
+        return rows
+
+    def put(
+        self,
+        key: str,
+        rows: List[Dict[str, Any]],
+        meta: Optional[Mapping[str, Any]] = None,
+    ) -> pathlib.Path:
+        """Atomically persist ``rows`` under ``key``; returns the path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        blob = {
+            "key": key,
+            "code_version": code_version_tag(),
+            "meta": dict(meta or {}),
+            "rows": rows,
+        }
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps(blob, sort_keys=True, indent=0), encoding="utf-8"
+        )
+        os.replace(tmp, path)
+        return path
+
+    def contains(self, key: str) -> bool:
+        """Whether a *valid* entry exists for ``key`` (corrupt = no)."""
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        """Number of entry files currently on disk."""
+        try:
+            return sum(1 for _ in self.root.glob("*.json"))
+        except OSError:  # pragma: no cover - racing removal
+            return 0

@@ -1,0 +1,268 @@
+"""The parallel, cached sweep executor.
+
+:class:`SweepExecutor` turns a list of :class:`~repro.exec.specs.
+ScenarioSpec` into per-trial result rows, fanning work out over a
+``multiprocessing`` pool (with a pure in-process serial path for
+``workers=1``) and memoizing completed work units on disk through
+:class:`~repro.exec.cache.ResultCache`.
+
+Determinism contract
+--------------------
+The executor's output is a pure function of ``(specs, root_seed)``:
+
+- every trial's seed comes from :func:`~repro.exec.seeds.derive_seed`
+  on ``(root_seed, spec.scenario_key(), trial_index)``, never from
+  worker identity or execution order;
+- work units are chunks of *trial indices*, chunked the same way
+  regardless of worker count;
+- results are reassembled in trial-index order in the parent process.
+
+So serial, parallel, cached, and resumed runs all produce byte-identical
+row lists -- pinned by ``tests/test_exec_golden.py``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.exec.cache import ResultCache, code_version_tag, content_key
+from repro.exec.seeds import derive_seed
+from repro.exec.specs import ScenarioSpec, run_trial
+
+#: Trials per work unit.  Independent of the worker count on purpose:
+#: cache keys embed the unit's trial indices, so chunking must not change
+#: when ``--workers`` does or cached units would never be rediscovered.
+DEFAULT_CHUNK_SIZE = 4
+
+
+@dataclass
+class ExecStats:
+    """Execution accounting for one :meth:`SweepExecutor.run` call."""
+
+    workers: int = 1
+    units_total: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    trials_total: int = 0
+    trials_computed: int = 0
+    wall_clock_s: float = 0.0
+    cache_enabled: bool = False
+
+    @property
+    def hit_fraction(self) -> float:
+        """Cache hits as a fraction of all work units (0.0 when none)."""
+        return self.cache_hits / self.units_total if self.units_total else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat dict form for JSON reports and stats tables."""
+        return {
+            "workers": self.workers,
+            "units_total": self.units_total,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_fraction": round(self.hit_fraction, 4),
+            "trials_total": self.trials_total,
+            "trials_computed": self.trials_computed,
+            "wall_clock_s": round(self.wall_clock_s, 4),
+            "cache_enabled": self.cache_enabled,
+        }
+
+
+@dataclass
+class SweepRunResult:
+    """Per-spec trial rows (trial-index order) plus execution stats."""
+
+    rows: List[List[Dict[str, Any]]] = field(default_factory=list)
+    stats: ExecStats = field(default_factory=ExecStats)
+
+
+def unit_cache_key(
+    spec: ScenarioSpec, root_seed: int, indices: Sequence[int]
+) -> str:
+    """The content hash identifying one work unit on disk.
+
+    Covers the scenario parameters, the root seed, the exact trial
+    indices, and the code-version tag -- any change to any of them is a
+    different key, i.e. a cache miss.
+    """
+    return content_key(
+        {
+            "scenario": spec.key_payload(),
+            "root_seed": int(root_seed),
+            "indices": [int(i) for i in indices],
+            "code_version": code_version_tag(),
+        }
+    )
+
+
+def _run_unit(
+    payload: Tuple[Dict[str, Any], int, Tuple[int, ...]]
+) -> List[Dict[str, Any]]:
+    """Worker entry point: run one chunk of trials.
+
+    Takes a plain-data payload (picklable under every start method) and
+    returns the trial rows in index order.  Module-level so
+    ``multiprocessing`` can import it by reference.
+    """
+    spec_dict, root_seed, indices = payload
+    spec = ScenarioSpec.from_dict(spec_dict)
+    key = spec.scenario_key()
+    return [
+        run_trial(spec, derive_seed(root_seed, key, index))
+        for index in indices
+    ]
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """The start method for worker pools: ``fork`` where available
+    (cheap, inherits ``sys.path``), else the platform default."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else None
+    )
+
+
+@dataclass
+class _Unit:
+    """One schedulable work unit (internal)."""
+
+    spec_index: int
+    indices: Tuple[int, ...]
+    key: str
+    rows: Optional[List[Dict[str, Any]]] = None
+
+
+class SweepExecutor:
+    """Runs scenario sweeps: chunked, optionally parallel, optionally
+    cached.
+
+    Parameters
+    ----------
+    workers:
+        Worker-process count.  ``1`` (the default) runs every trial in
+        the calling process -- no pool, no pickling -- which is also the
+        fallback wherever ``multiprocessing`` is unavailable.
+    cache:
+        A :class:`ResultCache` for memoization and checkpoint/resume, or
+        ``None`` (the default) to always recompute.
+    chunk_size:
+        Trials per work unit; keep it identical between runs that should
+        share cache entries (see :data:`DEFAULT_CHUNK_SIZE`).
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Optional[ResultCache] = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
+        self.workers = workers
+        self.cache = cache
+        self.chunk_size = chunk_size
+
+    # -- planning -----------------------------------------------------------
+
+    def _plan(
+        self, specs: Sequence[ScenarioSpec], root_seed: int
+    ) -> List[_Unit]:
+        """Chunk every spec's trial range into work units."""
+        units: List[_Unit] = []
+        for spec_index, spec in enumerate(specs):
+            for start in range(0, spec.trials, self.chunk_size):
+                indices = tuple(
+                    range(start, min(start + self.chunk_size, spec.trials))
+                )
+                units.append(
+                    _Unit(
+                        spec_index=spec_index,
+                        indices=indices,
+                        key=unit_cache_key(spec, root_seed, indices),
+                    )
+                )
+        return units
+
+    def checkpointed(
+        self, specs: Sequence[ScenarioSpec], root_seed: int = 0
+    ) -> Tuple[int, int]:
+        """``(cached_units, total_units)`` for a would-be run.
+
+        The resume probe: how much of the sweep an earlier (possibly
+        interrupted) run already banked under the current cache root.
+        """
+        units = self._plan(specs, root_seed)
+        if self.cache is None:
+            return 0, len(units)
+        done = sum(1 for u in units if self.cache.contains(u.key))
+        return done, len(units)
+
+    # -- execution ----------------------------------------------------------
+
+    def run(
+        self, specs: Sequence[ScenarioSpec], root_seed: int = 0
+    ) -> SweepRunResult:
+        """Execute every trial of every spec; see the module docstring
+        for the determinism contract.
+
+        Returns one row list per spec (in spec order, rows in
+        trial-index order) plus :class:`ExecStats`.
+        """
+        started = time.perf_counter()
+        stats = ExecStats(
+            workers=self.workers,
+            cache_enabled=self.cache is not None,
+            trials_total=sum(s.trials for s in specs),
+        )
+        units = self._plan(specs, root_seed)
+        stats.units_total = len(units)
+
+        pending: List[_Unit] = []
+        for unit in units:
+            cached = self.cache.get(unit.key) if self.cache else None
+            if cached is not None and len(cached) == len(unit.indices):
+                unit.rows = cached
+                stats.cache_hits += 1
+            else:
+                pending.append(unit)
+        stats.cache_misses = len(pending)
+        stats.trials_computed = sum(len(u.indices) for u in pending)
+
+        payloads = [
+            (specs[u.spec_index].as_dict(), int(root_seed), u.indices)
+            for u in pending
+        ]
+        if self.workers == 1 or len(pending) <= 1:
+            computed = [_run_unit(p) for p in payloads]
+        else:
+            ctx = _pool_context()
+            with ctx.Pool(processes=min(self.workers, len(pending))) as pool:
+                computed = pool.map(_run_unit, payloads)
+        for unit, rows in zip(pending, computed):
+            unit.rows = rows
+            if self.cache is not None:
+                spec = specs[unit.spec_index]
+                self.cache.put(
+                    unit.key,
+                    rows,
+                    meta={
+                        "scenario_key": spec.scenario_key(),
+                        "root_seed": int(root_seed),
+                        "indices": list(unit.indices),
+                    },
+                )
+
+        per_spec: List[List[Dict[str, Any]]] = [[] for _ in specs]
+        for unit in units:  # plan order == ascending trial index per spec
+            assert unit.rows is not None
+            per_spec[unit.spec_index].extend(unit.rows)
+        stats.wall_clock_s = time.perf_counter() - started
+        return SweepRunResult(rows=per_spec, stats=stats)

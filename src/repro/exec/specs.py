@@ -1,0 +1,162 @@
+"""Picklable sweep specifications and the single-trial runner.
+
+A :class:`ScenarioSpec` is the unit of *description*: one scenario point
+(fault kind, radius, budget, protocol, adversary, placement scheme) plus
+how many randomized trials to run at it.  It is a frozen dataclass of
+plain values so work units can cross process boundaries and so its
+canonical JSON form can be hashed -- the same string serves as the
+seed-derivation key and as part of the disk-cache key.
+
+:func:`run_trial` is the unit of *work*: build the scenario with a derived
+seed, simulate, and reduce the outcome to a small dict of plain metrics
+(everything the sweep aggregators and figure runners need, nothing that
+drags simulator state across the pickle boundary).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Fault kinds a spec can describe.  ``"byzantine"`` routes through
+#: :func:`repro.experiments.scenarios.byzantine_broadcast_scenario`,
+#: ``"crash"`` through
+#: :func:`repro.experiments.scenarios.crash_broadcast_scenario`.
+KINDS = ("byzantine", "crash")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One sweep point: a scenario family and a trial count.
+
+    Everything except ``trials`` identifies the scenario and feeds the
+    stable :meth:`scenario_key`; ``trials`` only says how many seeds to
+    draw from that scenario's stream, so extending a sweep from 5 to 50
+    trials reuses the first 5 trials' seeds (and their cached results).
+    """
+
+    kind: str
+    r: int
+    t: int
+    trials: int = 1
+    protocol: str = "bv-two-hop"
+    strategy: Optional[str] = "fabricator"
+    placement: str = "random"
+    metric: str = "linf"
+    enforce_budget: bool = True
+    validate: bool = False
+    max_rounds: int = 200
+    #: extra keyword arguments forwarded to the scenario builder
+    #: (protocol kwargs for Byzantine scenarios, e.g.
+    #: ``staggered_max_round`` for crash ones), kept as a sorted tuple of
+    #: pairs so the spec stays hashable and canonical.
+    scenario_kwargs: Tuple[Tuple[str, Any], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigurationError(
+                f"unknown scenario kind {self.kind!r}; expected one of {KINDS}"
+            )
+        if self.trials < 1:
+            raise ConfigurationError(
+                f"trials must be >= 1, got {self.trials}"
+            )
+        canonical = tuple(
+            sorted((str(k), v) for k, v in tuple(self.scenario_kwargs))
+        )
+        object.__setattr__(self, "scenario_kwargs", canonical)
+        if self.kind == "crash":
+            object.__setattr__(self, "strategy", None)
+
+    def key_payload(self) -> Dict[str, Any]:
+        """The scenario-identity fields as a JSON-ready mapping.
+
+        Excludes ``trials`` (see the class docstring): identity is the
+        scenario family, not how many samples were taken from it.
+        """
+        payload = {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name not in ("trials", "scenario_kwargs")
+        }
+        payload["scenario_kwargs"] = {k: v for k, v in self.scenario_kwargs}
+        return payload
+
+    def scenario_key(self) -> str:
+        """Canonical JSON identity string (stable across processes)."""
+        return json.dumps(
+            self.key_payload(), sort_keys=True, separators=(",", ":")
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (for pickling into worker payloads)."""
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["scenario_kwargs"] = [list(kv) for kv in self.scenario_kwargs]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`as_dict` output."""
+        payload = dict(data)
+        payload["scenario_kwargs"] = tuple(
+            (str(k), v) for k, v in payload.get("scenario_kwargs", ())
+        )
+        return cls(**payload)
+
+
+def run_trial(spec: ScenarioSpec, seed: int) -> Dict[str, Any]:
+    """Build, run, and grade one trial of ``spec`` with ``seed``.
+
+    Returns a flat dict of plain scalars -- the only shape that crosses
+    the worker/cache boundary: ``achieved`` / ``safe`` / ``live``
+    (booleans), ``undecided`` / ``rounds`` / ``messages`` / ``faults``
+    (counts).
+    """
+    # imported lazily so a spec can be constructed (e.g. for cache-key
+    # inspection) without paying for the simulator stack
+    from repro.experiments.scenarios import (
+        byzantine_broadcast_scenario,
+        crash_broadcast_scenario,
+    )
+
+    extra = dict(spec.scenario_kwargs)
+    if spec.kind == "byzantine":
+        sc = byzantine_broadcast_scenario(
+            r=spec.r,
+            t=spec.t,
+            protocol=spec.protocol,
+            strategy=spec.strategy or "fabricator",
+            placement=spec.placement,
+            metric=spec.metric,
+            seed=seed,
+            enforce_budget=spec.enforce_budget,
+            max_rounds=spec.max_rounds,
+            **extra,
+        )
+    else:
+        sc = crash_broadcast_scenario(
+            r=spec.r,
+            t=spec.t,
+            placement=spec.placement,
+            metric=spec.metric,
+            seed=seed,
+            enforce_budget=spec.enforce_budget,
+            max_rounds=spec.max_rounds,
+            protocol=spec.protocol,
+            **extra,
+        )
+    if spec.validate:
+        sc.validate()
+    out = sc.run()
+    return {
+        "achieved": bool(out.achieved),
+        "safe": bool(out.safe),
+        "live": bool(out.live),
+        "undecided": len(out.undecided),
+        "rounds": out.rounds,
+        "messages": out.messages,
+        "faults": len(sc.faulty_nodes),
+    }

@@ -3,13 +3,17 @@
 Each runner returns a list of dict-rows; the benches call them with small
 default parameters (laptop-scale) and print them via
 :func:`repro.experiments.report.format_table`.  Runners are deterministic
-given their arguments.
+given their arguments: every random draw flows through a
+``random.Random`` seeded by :func:`repro.exec.derive_seed`, and the
+simulation-heavy sweeps route trial execution through
+:class:`repro.exec.SweepExecutor` (pass ``executor=`` to parallelize or
+cache them; the default is the serial, uncached executor).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.percolation import percolation_curve
 from repro.analysis.reachability import crash_broadcast_coverage
@@ -38,6 +42,7 @@ from repro.core.thresholds import (
 )
 from repro.core.witnesses import verify_connectivity_map
 from repro.errors import WitnessError
+from repro.exec import ScenarioSpec, SweepExecutor, derive_seed
 from repro.experiments.scenarios import (
     byzantine_broadcast_scenario,
     crash_broadcast_scenario,
@@ -232,38 +237,54 @@ def run_fig8_crash_impossibility(
 def run_crash_threshold_sweep(
     radii: Sequence[int] = (1, 2),
     protocol: str = "crash-flood",
+    seed: int = 0,
+    executor: Optional[SweepExecutor] = None,
 ) -> List[Dict[str, Any]]:
     """EXP-THM45: simulated crash-flood around ``t = r(2r+1)``.
 
     Below the threshold the strip is trimmed to the budget (holes open) and
     the broadcast completes; at the threshold the untrimmed strip
-    partitions the far band.
+    partitions the far band.  Scenario runs route through ``executor``
+    (serial by default).
     """
-    rows = []
-    for r in radii:
+    executor = executor or SweepExecutor()
+    grid = [
+        (r, label, t, enforce)
+        for r in radii
         for label, t, enforce in (
             ("below", crash_linf_max_t(r), True),
             ("at", crash_linf_threshold(r), False),
-        ):
-            sc = crash_broadcast_scenario(
-                r=r, t=t, enforce_budget=enforce, protocol=protocol
-            )
-            sc.validate()
-            out = sc.run()
-            rows.append(
-                {
-                    "r": r,
-                    "regime": label,
-                    "t": t,
-                    "faults": len(sc.faulty_nodes),
-                    "achieved": out.achieved,
-                    "safe": out.safe,
-                    "live": out.live,
-                    "undecided": len(out.undecided),
-                    "rounds": out.rounds,
-                    "messages": out.messages,
-                }
-            )
+        )
+    ]
+    specs = [
+        ScenarioSpec(
+            kind="crash",
+            r=r,
+            t=t,
+            protocol=protocol,
+            placement="strip",
+            enforce_budget=enforce,
+            validate=True,
+        )
+        for r, label, t, enforce in grid
+    ]
+    result = executor.run(specs, root_seed=seed)
+    rows = []
+    for (r, label, t, _enforce), (trial,) in zip(grid, result.rows):
+        rows.append(
+            {
+                "r": r,
+                "regime": label,
+                "t": t,
+                "faults": trial["faults"],
+                "achieved": trial["achieved"],
+                "safe": trial["safe"],
+                "live": trial["live"],
+                "undecided": trial["undecided"],
+                "rounds": trial["rounds"],
+                "messages": trial["messages"],
+            }
+        )
     return rows
 
 
@@ -274,46 +295,61 @@ def run_byzantine_threshold_sweep(
     radii: Sequence[int] = (1, 2),
     protocol: str = "bv-two-hop",
     strategies: Sequence[str] = ("silent", "liar", "fabricator"),
+    seed: int = 0,
+    executor: Optional[SweepExecutor] = None,
 ) -> List[Dict[str, Any]]:
     """EXP-THM1: the exact Byzantine threshold, both sides, per strategy.
 
     Below (``t = byzantine_linf_max_t``) the protocol must achieve
     broadcast against every strategy; at Koo's bound
     (``t = ceil(r(2r+1)/2)``) the strip construction blocks liveness (and
-    safety must still hold).
+    safety must still hold).  Scenario runs route through ``executor``
+    (serial by default).
     """
+    executor = executor or SweepExecutor()
+    grid = [
+        (r, strategy, label, t, enforce)
+        for r in radii
+        for strategy in strategies
+        for label, t, enforce in (
+            ("below", byzantine_linf_max_t(r), True),
+            ("at", koo_impossibility_bound(r), True),
+        )
+    ]
+    specs = [
+        ScenarioSpec(
+            kind="byzantine",
+            r=r,
+            t=t,
+            protocol=protocol,
+            strategy=strategy,
+            placement="strip",
+            enforce_budget=enforce,
+            validate=True,
+        )
+        for r, strategy, label, t, enforce in grid
+    ]
+    result = executor.run(specs, root_seed=seed)
     rows = []
-    for r in radii:
-        for strategy in strategies:
-            for label, t, enforce in (
-                ("below", byzantine_linf_max_t(r), True),
-                ("at", koo_impossibility_bound(r), True),
-            ):
-                sc = byzantine_broadcast_scenario(
-                    r=r,
-                    t=t,
-                    protocol=protocol,
-                    strategy=strategy,
-                    enforce_budget=enforce,
-                )
-                sc.validate()
-                out = sc.run()
-                rows.append(
-                    {
-                        "r": r,
-                        "strategy": strategy,
-                        "regime": label,
-                        "t": t,
-                        "threshold_r(2r+1)/2": r * (2 * r + 1) / 2,
-                        "faults": len(sc.faulty_nodes),
-                        "achieved": out.achieved,
-                        "safe": out.safe,
-                        "live": out.live,
-                        "undecided": len(out.undecided),
-                        "rounds": out.rounds,
-                        "messages": out.messages,
-                    }
-                )
+    for (r, strategy, label, t, _enforce), (trial,) in zip(
+        grid, result.rows
+    ):
+        rows.append(
+            {
+                "r": r,
+                "strategy": strategy,
+                "regime": label,
+                "t": t,
+                "threshold_r(2r+1)/2": r * (2 * r + 1) / 2,
+                "faults": trial["faults"],
+                "achieved": trial["achieved"],
+                "safe": trial["safe"],
+                "live": trial["live"],
+                "undecided": trial["undecided"],
+                "rounds": trial["rounds"],
+                "messages": trial["messages"],
+            }
+        )
     return rows
 
 
@@ -323,41 +359,55 @@ def run_byzantine_threshold_sweep(
 def run_cpa_threshold_sweep(
     radii: Sequence[int] = (2, 3),
     strategies: Sequence[str] = ("liar",),
+    seed: int = 0,
+    executor: Optional[SweepExecutor] = None,
 ) -> List[Dict[str, Any]]:
     """EXP-THM6: CPA at Theorem 6's budget, at Koo's budget, and at the
-    impossibility bound; plus the bound comparison."""
-    rows = []
-    for r in radii:
-        budgets = {
+    impossibility bound; plus the bound comparison.  Scenario runs route
+    through ``executor`` (serial by default)."""
+    executor = executor or SweepExecutor()
+    grid = [
+        (r, strategy, label, t, enforce)
+        for r in radii
+        for strategy in strategies
+        for label, (t, enforce) in {
             "thm6_t=2r^2/3": (cpa_linf_max_t(r), True),
             "best_known": (cpa_best_known_max_t(r), True),
             "impossible": (koo_impossibility_bound(r), True),
-        }
-        for strategy in strategies:
-            for label, (t, enforce) in budgets.items():
-                sc = byzantine_broadcast_scenario(
-                    r=r,
-                    t=t,
-                    protocol="cpa",
-                    strategy=strategy,
-                    enforce_budget=enforce,
-                )
-                sc.validate()
-                out = sc.run()
-                rows.append(
-                    {
-                        "r": r,
-                        "strategy": strategy,
-                        "regime": label,
-                        "t": t,
-                        "koo_bound": round(koo_cpa_linf_bound(r), 2),
-                        "achieved": out.achieved,
-                        "safe": out.safe,
-                        "undecided": len(out.undecided),
-                        "rounds": out.rounds,
-                        "messages": out.messages,
-                    }
-                )
+        }.items()
+    ]
+    specs = [
+        ScenarioSpec(
+            kind="byzantine",
+            r=r,
+            t=t,
+            protocol="cpa",
+            strategy=strategy,
+            placement="strip",
+            enforce_budget=enforce,
+            validate=True,
+        )
+        for r, strategy, label, t, enforce in grid
+    ]
+    result = executor.run(specs, root_seed=seed)
+    rows = []
+    for (r, strategy, label, t, _enforce), (trial,) in zip(
+        grid, result.rows
+    ):
+        rows.append(
+            {
+                "r": r,
+                "strategy": strategy,
+                "regime": label,
+                "t": t,
+                "koo_bound": round(koo_cpa_linf_bound(r), 2),
+                "achieved": trial["achieved"],
+                "safe": trial["safe"],
+                "undecided": trial["undecided"],
+                "rounds": trial["rounds"],
+                "messages": trial["messages"],
+            }
+        )
     return rows
 
 
@@ -629,17 +679,20 @@ def run_section_x_attacks(r: int = 1) -> List[Dict[str, Any]]:
 
 
 def run_boundary_effects(
-    radii: Sequence[int] = (1, 2), side: int = 11, trials: int = 4
+    radii: Sequence[int] = (1, 2),
+    side: int = 11,
+    trials: int = 4,
+    seed: int = 0,
 ) -> List[Dict[str, Any]]:
     """EXP-BOUNDARY: why the paper uses the torus.
 
     Compares, per radius: the vertex connectivity from a central source
     to a corner on the bounded grid vs an interior pair on the torus (the
     crash-tolerance budget each supports), and the random-placement
-    success fraction at the torus-safe budget on both topologies.
+    success fraction at the torus-safe budget on both topologies.  Each
+    trial draws from its own ``random.Random`` seeded by
+    :func:`repro.exec.derive_seed`.
     """
-    import random as _random
-
     from repro.analysis.flows import local_vertex_connectivity
     from repro.faults.random_faults import random_bounded_placement
     from repro.grid.bounded import BoundedGrid
@@ -663,11 +716,12 @@ def run_boundary_effects(
 
         def success_fraction(topology) -> float:
             wins = 0
+            scenario_key = f"boundary:r={r}:side={side}:{type(topology).__name__}"
             for trial in range(trials):
                 faults = random_bounded_placement(
                     topology,
                     t,
-                    rng=_random.Random(trial),
+                    rng=random.Random(derive_seed(seed, scenario_key, trial)),
                     protect=center,
                 )
                 correct = set(topology.nodes()) - faults
@@ -748,23 +802,32 @@ def run_threshold_sharpness(
     protocol: str = "bv-two-hop",
     strategy: str = "fabricator",
     trials: int = 4,
+    seed: int = 0,
+    executor: Optional[SweepExecutor] = None,
 ) -> List[Dict[str, Any]]:
     """EXP-SHARP: success fraction vs budget under *random* placements.
 
     Below the exact threshold the fraction must be 1.0 (worst-case
     guarantee); above it, random placements may still succeed -- the
     impossibility construction is special, and the table shows by how
-    much.
+    much.  Trials fan out through ``executor`` (serial by default); pass
+    ``SweepExecutor(workers=N, cache=...)`` to parallelize/memoize.
     """
-    from repro.analysis.sweep import byzantine_sharpness_sweep
+    from repro.analysis.sweep import byzantine_sharpness_run
 
     budgets = list(range(0, koo_impossibility_bound(r) + 2))
-    points = byzantine_sharpness_sweep(
-        r, budgets, protocol=protocol, strategy=strategy, trials=trials
+    run = byzantine_sharpness_run(
+        r,
+        budgets,
+        protocol=protocol,
+        strategy=strategy,
+        trials=trials,
+        seed=seed,
+        executor=executor,
     )
     threshold = byzantine_linf_max_t(r)
     rows = []
-    for pt in points:
+    for pt in run.points:
         entry = pt.row()
         entry["regime"] = (
             "guaranteed" if pt.t <= threshold else "beyond threshold"

@@ -19,6 +19,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["demo", "--protocol", "gossip"])
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep", "byzantine"])
+        assert args.r == 1 and args.trials == 8 and args.workers == 1
+        assert not args.no_cache and not args.resume
+
+    def test_sweep_requires_kind(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "quantum"])
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -40,6 +49,29 @@ class TestCommands:
     def test_run_unknown_experiment(self, capsys):
         assert main(["run", "EXP-UNKNOWN"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+    def test_sweep_end_to_end_json_report(self, capsys, tmp_path):
+        """A tiny sweep writes a JSON report with points + exec stats,
+        and an identical rerun is served entirely from the cache."""
+        import json
+
+        report = tmp_path / "report.json"
+        args = [
+            "sweep", "crash", "--r", "1", "--budgets", "0", "1",
+            "--trials", "2", "--cache-dir", str(tmp_path / "cache"),
+            "--json", str(report),
+        ]
+        assert main(args) == 0
+        first = json.loads(report.read_text())
+        assert [p["t"] for p in first["points"]] == [0, 1]
+        assert first["stats"]["cache_misses"] == first["stats"]["units_total"]
+        assert main(args + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 work units already checkpointed" in out
+        second = json.loads(report.read_text())
+        assert second["points"] == first["points"]
+        assert second["stats"]["cache_hits"] == second["stats"]["units_total"]
+        assert second["stats"]["cache_misses"] == 0
 
     def test_demo_safe_run_exit_zero(self, capsys):
         code = main(

@@ -1,0 +1,154 @@
+"""Golden-trace regression suite for the sweep execution layer.
+
+Pins (a) serial-vs-parallel byte equality and (b) the *exact* per-trial
+and aggregate rows of two small scenarios -- Byzantine r=2 and crash
+r=2 -- under a fixed root seed.  Any change to the seed-derivation
+scheme, the scenario builders, the placement generators, or the engine
+that perturbs these traces fails loudly here instead of silently
+shifting every published sweep table.
+
+If a change is *intended* to alter traces (e.g. a new seed scheme), bump
+``repro.exec.cache.CACHE_SCHEMA_VERSION`` and regenerate the constants
+below by running the module under ``python -m`` (see ``_regenerate``).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sweep import SweepPoint, byzantine_sharpness_run, crash_sharpness_run
+from repro.exec import ScenarioSpec, SweepExecutor
+
+ROOT_SEED = 7
+
+BYZ_SPECS = [
+    ScenarioSpec(
+        kind="byzantine",
+        r=2,
+        t=t,
+        trials=2,
+        protocol="bv-two-hop",
+        strategy="fabricator",
+        placement="random",
+    )
+    for t in (2, 6)
+]
+
+CRASH_SPECS = [
+    ScenarioSpec(
+        kind="crash", r=2, t=t, trials=3, protocol="crash-flood",
+        placement="random",
+    )
+    for t in (5, 10, 11)
+]
+
+#: exact per-trial rows for BYZ_SPECS at ROOT_SEED (golden)
+BYZ_GOLDEN = [
+    [
+        {"achieved": True, "safe": True, "live": True, "undecided": 0,
+         "rounds": 5, "messages": 5282, "faults": 8},
+        {"achieved": True, "safe": True, "live": True, "undecided": 0,
+         "rounds": 5, "messages": 5546, "faults": 10},
+    ],
+    [
+        {"achieved": True, "safe": True, "live": True, "undecided": 0,
+         "rounds": 7, "messages": 8582, "faults": 33},
+        {"achieved": True, "safe": True, "live": True, "undecided": 0,
+         "rounds": 7, "messages": 8582, "faults": 33},
+    ],
+]
+
+#: exact per-trial rows for CRASH_SPECS at ROOT_SEED (golden)
+CRASH_GOLDEN = [
+    [
+        {"achieved": True, "safe": True, "live": True, "undecided": 0,
+         "rounds": 2, "messages": 144, "faults": 26},
+        {"achieved": True, "safe": True, "live": True, "undecided": 0,
+         "rounds": 2, "messages": 144, "faults": 26},
+        {"achieved": True, "safe": True, "live": True, "undecided": 0,
+         "rounds": 2, "messages": 143, "faults": 27},
+    ],
+    [
+        {"achieved": True, "safe": True, "live": True, "undecided": 0,
+         "rounds": 3, "messages": 113, "faults": 57},
+        {"achieved": True, "safe": True, "live": True, "undecided": 0,
+         "rounds": 3, "messages": 112, "faults": 58},
+        {"achieved": True, "safe": True, "live": True, "undecided": 0,
+         "rounds": 2, "messages": 112, "faults": 58},
+    ],
+    [
+        {"achieved": True, "safe": True, "live": True, "undecided": 0,
+         "rounds": 2, "messages": 106, "faults": 64},
+        {"achieved": True, "safe": True, "live": True, "undecided": 0,
+         "rounds": 3, "messages": 106, "faults": 64},
+        {"achieved": True, "safe": True, "live": True, "undecided": 0,
+         "rounds": 2, "messages": 107, "faults": 63},
+    ],
+]
+
+
+class TestGoldenTraces:
+    def test_byzantine_r2_exact_trial_rows(self):
+        result = SweepExecutor().run(BYZ_SPECS, root_seed=ROOT_SEED)
+        assert result.rows == BYZ_GOLDEN
+
+    def test_crash_r2_exact_trial_rows(self):
+        result = SweepExecutor().run(CRASH_SPECS, root_seed=ROOT_SEED)
+        assert result.rows == CRASH_GOLDEN
+
+    def test_byzantine_r2_exact_sweep_points(self):
+        run = byzantine_sharpness_run(
+            2, (2, 6), trials=2, seed=ROOT_SEED
+        )
+        assert run.points == [
+            SweepPoint(t=2, trials=2, success_fraction=1.0,
+                       safety_fraction=1.0, mean_undecided=0.0),
+            SweepPoint(t=6, trials=2, success_fraction=1.0,
+                       safety_fraction=1.0, mean_undecided=0.0),
+        ]
+
+    def test_crash_r2_exact_sweep_points(self):
+        run = crash_sharpness_run(2, (5, 10, 11), trials=3, seed=ROOT_SEED)
+        assert run.points == [
+            SweepPoint(t=5, trials=3, success_fraction=1.0,
+                       safety_fraction=1.0, mean_undecided=0.0),
+            SweepPoint(t=10, trials=3, success_fraction=1.0,
+                       safety_fraction=1.0, mean_undecided=0.0),
+            SweepPoint(t=11, trials=3, success_fraction=1.0,
+                       safety_fraction=1.0, mean_undecided=0.0),
+        ]
+
+
+class TestSerialParallelEquality:
+    def test_parallel_aggregates_byte_identical_byzantine(self):
+        """--workers 2 and --workers 1 agree byte-for-byte on the same
+        root seed (the acceptance criterion of the execution layer)."""
+        serial = SweepExecutor(workers=1, chunk_size=1).run(
+            BYZ_SPECS, root_seed=ROOT_SEED
+        )
+        parallel = SweepExecutor(workers=2, chunk_size=1).run(
+            BYZ_SPECS, root_seed=ROOT_SEED
+        )
+        assert serial.rows == parallel.rows == BYZ_GOLDEN
+
+    def test_parallel_aggregates_byte_identical_crash(self):
+        serial = SweepExecutor(workers=1, chunk_size=2).run(
+            CRASH_SPECS, root_seed=ROOT_SEED
+        )
+        parallel = SweepExecutor(workers=3, chunk_size=2).run(
+            CRASH_SPECS, root_seed=ROOT_SEED
+        )
+        assert serial.rows == parallel.rows == CRASH_GOLDEN
+
+
+def _regenerate() -> str:  # pragma: no cover - maintenance helper
+    """Print the current traces in golden-constant form."""
+    import pprint
+
+    byz = SweepExecutor().run(BYZ_SPECS, root_seed=ROOT_SEED).rows
+    crash = SweepExecutor().run(CRASH_SPECS, root_seed=ROOT_SEED).rows
+    return "BYZ_GOLDEN = {}\n\nCRASH_GOLDEN = {}".format(
+        pprint.pformat(byz), pprint.pformat(crash)
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(_regenerate())
