@@ -9,6 +9,7 @@ Usage (``python -m repro ...``)::
     python -m repro demo --protocol bv-two-hop --r 2 --t 4 \
         --strategy fabricator --map
     python -m repro sweep byzantine --r 1 --trials 16 --workers 4
+    python -m repro trace byzantine --r 2 --t 2 --seed 7 --jsonl run.jsonl
     python -m repro lint src/repro --format json
 
 All output is plain text tables (see
@@ -203,6 +204,67 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.scenarios import crash_broadcast_scenario
+    from repro.experiments.report import latency_rows, wavefront_rows
+    from repro.obs import (
+        JsonlRecorder,
+        PhaseProfiler,
+        RunMetrics,
+        metrics_summary,
+    )
+
+    if args.kind == "byzantine":
+        scenario = byzantine_broadcast_scenario(
+            r=args.r,
+            t=args.t,
+            protocol=args.protocol or "bv-two-hop",
+            strategy=args.strategy,
+            placement=args.placement,
+            seed=args.seed,
+        )
+    else:
+        scenario = crash_broadcast_scenario(
+            r=args.r,
+            t=args.t,
+            placement=args.placement,
+            seed=args.seed,
+            protocol=args.protocol or "crash-flood",
+        )
+    metrics = RunMetrics(source=scenario.source)
+    recorder = JsonlRecorder(record_deliveries=args.deliveries)
+    profiler = PhaseProfiler() if args.profile else None
+    outcome = scenario.run(observers=(metrics, recorder), profiler=profiler)
+    summary = metrics_summary(metrics)
+    if args.jsonl:
+        count = recorder.dump(args.jsonl)
+        print(f"wrote {count} events to {args.jsonl}")
+    if args.summary:
+        import pathlib
+
+        pathlib.Path(args.summary).write_text(
+            json.dumps(summary, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.summary}")
+    print(format_table([dict(outcome.summary())], title="outcome"))
+    print()
+    print(
+        format_table(
+            wavefront_rows(summary),
+            title=f"wave front from source {scenario.source} "
+            f"(commits={summary['commits']}, crashes={summary['crashes']})",
+        )
+    )
+    print()
+    print(format_table(latency_rows(summary), title="commit latency"))
+    if profiler is not None:
+        print()
+        print(format_table(profiler.rows(), title="engine phase profile"))
+    return 0 if outcome.safe else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import all_rules, format_json, format_text, lint_paths
 
@@ -335,6 +397,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", help="also write a JSON report (points + stats) here"
     )
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="replay one scenario with observability attached",
+        description="Run a single fixed-seed scenario with the repro.obs "
+        "instrumentation: dump the deterministic JSONL event stream "
+        "(byte-identical across runs for the same seed), write the "
+        "schema-versioned metrics summary, and print wave-front / "
+        "commit-latency tables (see docs/OBSERVABILITY.md).",
+    )
+    p_trace.add_argument(
+        "kind", choices=["byzantine", "crash"], help="scenario family"
+    )
+    p_trace.add_argument("--r", type=int, default=2, help="radius")
+    p_trace.add_argument("--t", type=int, default=2, help="fault budget")
+    p_trace.add_argument("--seed", type=int, default=0, help="scenario seed")
+    p_trace.add_argument(
+        "--protocol",
+        choices=sorted(protocol_names()),
+        help="protocol (default: bv-two-hop / crash-flood by kind)",
+    )
+    p_trace.add_argument(
+        "--strategy",
+        default="fabricator",
+        choices=sorted(BYZANTINE_STRATEGIES),
+        help="Byzantine strategy (ignored for crash scenarios)",
+    )
+    p_trace.add_argument(
+        "--placement", default="random", choices=["strip", "random"]
+    )
+    p_trace.add_argument("--jsonl", help="write the JSONL event stream here")
+    p_trace.add_argument(
+        "--summary", help="write the JSON metrics summary here"
+    )
+    p_trace.add_argument(
+        "--deliveries",
+        action="store_true",
+        help="also record one JSONL event per actual delivery (large)",
+    )
+    p_trace.add_argument(
+        "--profile",
+        action="store_true",
+        help="print wall-clock phase profile of the engine hot loop",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_lint = sub.add_parser(
         "lint",

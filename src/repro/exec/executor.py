@@ -87,16 +87,21 @@ def unit_cache_key(
 
     Covers the scenario parameters, the root seed, the exact trial
     indices, and the code-version tag -- any change to any of them is a
-    different key, i.e. a cache miss.
+    different key, i.e. a cache miss.  ``collect_metrics`` is excluded
+    from the scenario identity (it does not change the simulation) but
+    changes the cached row *shape*, so it joins the key when set --
+    conditionally, to keep every pre-existing metrics-free cache entry
+    valid.
     """
-    return content_key(
-        {
-            "scenario": spec.key_payload(),
-            "root_seed": int(root_seed),
-            "indices": [int(i) for i in indices],
-            "code_version": code_version_tag(),
-        }
-    )
+    payload = {
+        "scenario": spec.key_payload(),
+        "root_seed": int(root_seed),
+        "indices": [int(i) for i in indices],
+        "code_version": code_version_tag(),
+    }
+    if spec.collect_metrics:
+        payload["collect_metrics"] = True
+    return content_key(payload)
 
 
 def _run_unit(

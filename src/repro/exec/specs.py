@@ -49,6 +49,13 @@ class ScenarioSpec:
     enforce_budget: bool = True
     validate: bool = False
     max_rounds: int = 200
+    #: attach a :class:`repro.obs.RunMetrics` observer to every trial and
+    #: embed its schema-versioned summary in the result row under
+    #: ``"metrics"``.  Pure observation: it does not change the scenario,
+    #: so it is excluded from :meth:`scenario_key` (same seeds, same
+    #: simulation with or without it) -- but it *is* part of the work-unit
+    #: cache key, since it changes the row shape.
+    collect_metrics: bool = False
     #: extra keyword arguments forwarded to the scenario builder
     #: (protocol kwargs for Byzantine scenarios, e.g.
     #: ``staggered_max_round`` for crash ones), kept as a sorted tuple of
@@ -80,7 +87,7 @@ class ScenarioSpec:
         payload = {
             f.name: getattr(self, f.name)
             for f in fields(self)
-            if f.name not in ("trials", "scenario_kwargs")
+            if f.name not in ("trials", "scenario_kwargs", "collect_metrics")
         }
         payload["scenario_kwargs"] = {k: v for k, v in self.scenario_kwargs}
         return payload
@@ -113,7 +120,10 @@ def run_trial(spec: ScenarioSpec, seed: int) -> Dict[str, Any]:
     Returns a flat dict of plain scalars -- the only shape that crosses
     the worker/cache boundary: ``achieved`` / ``safe`` / ``live``
     (booleans), ``undecided`` / ``rounds`` / ``messages`` / ``faults``
-    (counts).
+    (counts).  With ``spec.collect_metrics`` the row additionally carries
+    ``"metrics"``: the JSON-exact :func:`repro.obs.metrics_summary` of a
+    :class:`repro.obs.RunMetrics` observer attached to the run (identical
+    for any worker count, and stable across the cache boundary).
     """
     # imported lazily so a spec can be constructed (e.g. for cache-key
     # inspection) without paying for the simulator stack
@@ -150,8 +160,13 @@ def run_trial(spec: ScenarioSpec, seed: int) -> Dict[str, Any]:
         )
     if spec.validate:
         sc.validate()
-    out = sc.run()
-    return {
+    metrics = None
+    if spec.collect_metrics:
+        from repro.obs import RunMetrics
+
+        metrics = RunMetrics(source=sc.source)
+    out = sc.run(observers=(metrics,) if metrics is not None else None)
+    row = {
         "achieved": bool(out.achieved),
         "safe": bool(out.safe),
         "live": bool(out.live),
@@ -160,3 +175,8 @@ def run_trial(spec: ScenarioSpec, seed: int) -> Dict[str, Any]:
         "messages": out.messages,
         "faults": len(sc.faulty_nodes),
     }
+    if metrics is not None:
+        from repro.obs import metrics_summary
+
+        row["metrics"] = metrics_summary(metrics)
+    return row

@@ -2,12 +2,14 @@
 
 Keeps formatting concerns out of the experiment logic: runners return rows
 (lists of dicts), and :func:`format_table` renders them the way the paper
-prints its result tables.
+prints its result tables.  :func:`wavefront_rows` and
+:func:`latency_rows` turn a :func:`repro.obs.metrics_summary` dict into
+per-round wave-front and commit-latency tables for ``repro trace``.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 
 def _render(value: Any) -> str:
@@ -44,3 +46,56 @@ def format_table(
     for r in rendered:
         lines.append("  ".join(cell.ljust(w) for cell, w in zip(r, widths)))
     return "\n".join(lines)
+
+
+def wavefront_rows(summary: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """Per-round wave-front table rows from a metrics summary.
+
+    One row per simulated round: transmissions, actual deliveries,
+    commits observed at that round's end, and the cumulative commit /
+    delivery wave-front radii from the source (empty strings where the
+    summary has no wave-front data, i.e. no source was designated).
+    """
+    tx = dict(summary.get("tx_by_round", ()))
+    deliveries = dict(summary.get("deliveries_by_round", ()))
+    commits = dict(summary.get("commits_by_round", ()))
+    commit_wave = dict(summary.get("commit_wavefront_by_round", ()))
+    delivery_wave = dict(summary.get("delivery_wavefront_by_round", ()))
+    rows = []
+    for rnd in range(summary.get("rounds", 0)):
+        rows.append(
+            {
+                "round": rnd,
+                "tx": tx.get(rnd, 0),
+                "delivered": deliveries.get(rnd, 0),
+                "commits": commits.get(rnd, 0),
+                "commit_radius": commit_wave.get(rnd, ""),
+                "delivery_radius": delivery_wave.get(rnd, ""),
+            }
+        )
+    return rows
+
+
+def latency_rows(summary: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """Commit-latency histogram rows from a metrics summary.
+
+    One row per commit round (``-1`` means committed during
+    ``on_start``), with the cumulative count and the cumulative fraction
+    of all observed commits.
+    """
+    latency = summary.get("commit_latency", {})
+    histogram = list(latency.get("histogram", ()))
+    total = sum(n for _, n in histogram)
+    rows = []
+    cumulative = 0
+    for rnd, count in histogram:
+        cumulative += count
+        rows.append(
+            {
+                "commit_round": rnd,
+                "commits": count,
+                "cumulative": cumulative,
+                "fraction": round(cumulative / total, 4) if total else 0.0,
+            }
+        )
+    return rows

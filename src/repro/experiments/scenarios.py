@@ -111,8 +111,17 @@ class BroadcastScenario:
             topology=self.topology,
         )
 
-    def run(self, record_events: bool = False) -> BroadcastOutcome:
-        """Simulate and grade."""
+    def run(
+        self,
+        record_events: bool = False,
+        observers=None,
+        profiler=None,
+    ) -> BroadcastOutcome:
+        """Simulate and grade.
+
+        ``observers`` / ``profiler`` attach :mod:`repro.obs`
+        instrumentation to the underlying engine; both default to off.
+        """
         processes: Dict[Coord, NodeProcess] = dict(self.byzantine_processes)
         processes.update(
             correct_process_map(
@@ -136,6 +145,8 @@ class BroadcastScenario:
             record_events=record_events,
             channel=self.channel,
             delivery=self.delivery,
+            observers=observers,
+            profiler=profiler,
         )
 
 

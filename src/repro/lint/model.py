@@ -164,14 +164,27 @@ _MUTATING_METHODS = {
 }
 
 
+#: hook name -> positional index (method form, ``self`` first) of the
+#: envelope parameter, for hooks that receive envelopes unannotated:
+#: the :class:`~repro.radio.node.NodeProcess` receive hook and the
+#: :class:`~repro.obs.metrics.EngineObserver` channel callbacks.
+_ENVELOPE_PARAM_INDEX = {
+    "on_receive": 2,       # (self, ctx, env)
+    "on_transmission": 1,  # (self, env, receivers)
+    "on_delivery": 2,      # (self, node, env)
+}
+
+
 def _received_params(func: ast.FunctionDef) -> Set[str]:
     """Parameter names of ``func`` holding received message objects.
 
     A parameter counts when its annotation is ``Envelope`` or a payload
-    type (``*Msg``); for a function literally named ``on_receive`` the
-    third positional parameter (after ``self``/``ctx``) counts even
-    unannotated, matching the :class:`~repro.radio.node.NodeProcess`
-    hook signature.
+    type (``*Msg``); for functions literally named after an
+    envelope-carrying hook (``on_receive``, or the observer callbacks
+    ``on_transmission`` / ``on_delivery``) the envelope's positional
+    parameter counts even unannotated, matching the
+    :class:`~repro.radio.node.NodeProcess` and
+    :class:`~repro.obs.metrics.EngineObserver` hook signatures.
     """
     roots: Set[str] = set()
     args = list(func.args.posonlyargs) + list(func.args.args)
@@ -182,8 +195,9 @@ def _received_params(func: ast.FunctionDef) -> Set[str]:
         label = name_of(head) if head is not None else ""
         if label == "Envelope" or label.endswith(_PAYLOAD_NAME_SUFFIX):
             roots.add(arg.arg)
-    if func.name == "on_receive" and len(args) >= 3:
-        roots.add(args[2].arg)
+    index = _ENVELOPE_PARAM_INDEX.get(func.name)
+    if index is not None and len(args) > index:
+        roots.add(args[index].arg)
     return roots
 
 
@@ -194,15 +208,19 @@ class NoReceivedMutationRule(Rule):
     Every receiver of a transmission gets the *same* envelope object;
     assigning to its attributes (or calling ``.append``-style mutators
     on anything reached through it) inside a receive handler rewrites
-    history for all later receivers.  Scope: any function annotated as
-    handling an ``Envelope`` / ``*Msg`` parameter, plus every function
-    named ``on_receive``.
+    history for all later receivers.  Observer callbacks see those very
+    objects too -- an observer that mutates an envelope corrupts the
+    simulation it claims to merely watch.  Scope: any function annotated
+    as handling an ``Envelope`` / ``*Msg`` parameter, plus every
+    function named ``on_receive``, ``on_transmission`` or
+    ``on_delivery``.
     """
 
     rule_id = "no-received-mutation"
     description = (
-        "on_receive handlers must not assign to, delete from, or call "
-        "mutating methods on received envelopes/payloads"
+        "on_receive handlers and observer callbacks (on_transmission/"
+        "on_delivery) must not assign to, delete from, or call mutating "
+        "methods on received envelopes/payloads"
     )
 
     def check_module(

@@ -1,0 +1,289 @@
+"""Deterministic export: JSONL event streams and metrics summaries.
+
+Two stable, schema-versioned renderings of an observed run:
+
+- :class:`JsonlRecorder` is an observer that turns the engine's event
+  stream into one canonical-JSON object per line.  Given the same seed,
+  two runs emit byte-identical JSONL -- events carry only simulation
+  facts (rounds, slots, sequence numbers, coordinates, payload reprs),
+  never wall-clock time or ids;
+- :func:`metrics_summary` folds a :class:`~repro.obs.metrics.RunMetrics`
+  into a plain-data summary whose JSON form round-trips exactly (lists,
+  string-keyed dicts, scalars only), so summaries can cross the work-unit
+  cache boundary and still compare equal.
+
+:func:`validate_event` / :func:`validate_jsonl` check event objects
+against the schema (used by tests and the CI trace smoke job).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List, Mapping, Optional, Tuple, TYPE_CHECKING
+
+from repro.geometry.coords import Coord
+from repro.radio.messages import Envelope
+from repro.obs.metrics import EngineObserver, RunMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.radio.engine import Engine, SimulationResult
+
+#: Version stamped into every JSONL header and metrics summary.  Bump on
+#: any incompatible change to event fields or summary keys.
+OBS_SCHEMA_VERSION = 1
+
+#: required keys per event kind (beyond ``kind`` itself)
+_EVENT_SCHEMA: Dict[str, Tuple[str, ...]] = {
+    "run_start": ("schema", "nodes", "topology"),
+    "round_start": ("round",),
+    "tx": ("round", "slot", "seq", "sender", "fanout", "payload"),
+    "deliver": ("round", "slot", "seq", "sender", "node"),
+    "commit": ("round", "node", "value"),
+    "crash": ("round", "node"),
+    "round_end": ("round", "transmissions"),
+    "run_end": ("rounds", "transmissions", "quiescent"),
+}
+
+
+def canonical_json(obj: Any) -> str:
+    """Canonical single-line JSON: sorted keys, fixed separators."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _coord(node: Coord) -> List[int]:
+    """A coordinate as a JSON-ready ``[x, y]`` pair."""
+    return [int(node[0]), int(node[1])]
+
+
+class JsonlRecorder(EngineObserver):
+    """Observer that records the run as one JSON object per event.
+
+    Parameters
+    ----------
+    record_deliveries:
+        Also emit one ``deliver`` event per actual reception.  Off by
+        default: every transmission fans out to a whole neighborhood, so
+        delivery events dominate trace size by an order of magnitude.
+
+    Payloads and committed values are rendered with ``repr`` -- payload
+    types are arbitrary protocol objects, and reprs of the frozen payload
+    dataclasses are deterministic.
+    """
+
+    def __init__(self, record_deliveries: bool = False) -> None:
+        self.record_deliveries = record_deliveries
+        self.events: List[Dict[str, Any]] = []
+        self._tx_this_round = 0
+
+    # -- observer hooks --------------------------------------------------
+
+    def on_run_start(self, engine: "Engine") -> None:
+        """Emit the schema-stamped header event."""
+        self.events.append(
+            {
+                "kind": "run_start",
+                "schema": OBS_SCHEMA_VERSION,
+                "nodes": len(engine.processes),
+                "topology": repr(engine.topology),
+            }
+        )
+
+    def on_round_start(self, round_: int) -> None:
+        """Emit a round marker."""
+        self._tx_this_round = 0
+        self.events.append({"kind": "round_start", "round": round_})
+
+    def on_transmission(
+        self, env: Envelope, receivers: Tuple[Coord, ...]
+    ) -> None:
+        """Emit one ``tx`` event with the channel-level fanout."""
+        self._tx_this_round += 1
+        self.events.append(
+            {
+                "kind": "tx",
+                "round": env.round,
+                "slot": env.slot,
+                "seq": env.seq,
+                "sender": _coord(env.sender),
+                "fanout": len(receivers),
+                "payload": repr(env.payload),
+            }
+        )
+
+    def on_delivery(self, node: Coord, env: Envelope) -> None:
+        """Emit one ``deliver`` event (when enabled)."""
+        if self.record_deliveries:
+            self.events.append(
+                {
+                    "kind": "deliver",
+                    "round": env.round,
+                    "slot": env.slot,
+                    "seq": env.seq,
+                    "sender": _coord(env.sender),
+                    "node": _coord(node),
+                }
+            )
+
+    def on_commit(self, node: Coord, round_: int, value: Any) -> None:
+        """Emit one ``commit`` event."""
+        self.events.append(
+            {
+                "kind": "commit",
+                "round": round_,
+                "node": _coord(node),
+                "value": repr(value),
+            }
+        )
+
+    def on_crash(self, node: Coord, round_: int) -> None:
+        """Emit one ``crash`` event."""
+        self.events.append(
+            {"kind": "crash", "round": round_, "node": _coord(node)}
+        )
+
+    def on_round_end(self, round_: int) -> None:
+        """Emit a round-end marker carrying the round's tx count."""
+        self.events.append(
+            {
+                "kind": "round_end",
+                "round": round_,
+                "transmissions": self._tx_this_round,
+            }
+        )
+
+    def on_run_end(self, result: "SimulationResult") -> None:
+        """Emit the trailer event with the run's final accounting."""
+        self.events.append(
+            {
+                "kind": "run_end",
+                "rounds": result.rounds,
+                "transmissions": result.trace.transmissions,
+                "quiescent": result.quiescent,
+                "hit_round_limit": result.hit_round_limit,
+                "hit_message_limit": result.hit_message_limit,
+            }
+        )
+
+    # -- serialization ---------------------------------------------------
+
+    def lines(self) -> List[str]:
+        """Every event as one canonical-JSON line (no trailing newline)."""
+        return [canonical_json(e) for e in self.events]
+
+    def dumps(self) -> str:
+        """The full JSONL document (newline-terminated)."""
+        return "".join(line + "\n" for line in self.lines())
+
+    def dump(self, path) -> int:
+        """Write the JSONL document to ``path``; returns the line count."""
+        text = self.dumps()
+        pathlib.Path(path).write_text(text, encoding="utf-8")
+        return len(self.events)
+
+
+def validate_event(event: Mapping[str, Any]) -> None:
+    """Check one parsed event object against the schema.
+
+    Raises :class:`ValueError` naming the offending kind or key; returns
+    ``None`` on success.
+    """
+    kind = event.get("kind")
+    if kind not in _EVENT_SCHEMA:
+        raise ValueError(f"unknown event kind {kind!r}")
+    missing = [k for k in _EVENT_SCHEMA[kind] if k not in event]
+    if missing:
+        raise ValueError(f"event kind {kind!r} missing keys {missing}")
+
+
+def validate_jsonl(text: str) -> int:
+    """Parse and validate a JSONL document; returns the event count.
+
+    The first line must be a ``run_start`` header carrying the supported
+    schema version; every line must parse as JSON and validate against
+    the per-kind schema.
+    """
+    count = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {lineno}: not valid JSON ({exc})")
+        validate_event(event)
+        if lineno == 1:
+            if event.get("kind") != "run_start":
+                raise ValueError("line 1: expected a run_start header")
+            if event.get("schema") != OBS_SCHEMA_VERSION:
+                raise ValueError(
+                    f"line 1: schema {event.get('schema')!r} unsupported "
+                    f"(expected {OBS_SCHEMA_VERSION})"
+                )
+        count += 1
+    if count == 0:
+        raise ValueError("empty JSONL document")
+    return count
+
+
+def _pairs(mapping: Mapping[int, Any]) -> List[List[Any]]:
+    """An int-keyed mapping as a round-sorted ``[[key, value], ...]``."""
+    return [[int(k), mapping[k]] for k in sorted(mapping)]
+
+
+def _node_count_stats(by_node: Mapping[Coord, int]) -> Dict[str, Any]:
+    """Aggregate a per-node counter into stable scalar statistics."""
+    if not by_node:
+        return {"nodes": 0, "total": 0, "max": 0, "mean": 0.0, "argmax": None}
+    peak = max(by_node.values())
+    busiest = min(n for n in by_node if by_node[n] == peak)
+    total = sum(by_node.values())
+    return {
+        "nodes": len(by_node),
+        "total": total,
+        "max": peak,
+        "mean": round(total / len(by_node), 6),
+        "argmax": _coord(busiest),
+    }
+
+
+def metrics_summary(metrics: RunMetrics) -> Dict[str, Any]:
+    """Fold a :class:`RunMetrics` into the stable, JSON-exact summary.
+
+    Every value is a scalar, a string-keyed dict, or a list -- the shapes
+    JSON round-trips without loss -- so a summary read back from the
+    work-unit cache compares equal to one computed in process.
+    """
+    hist = metrics.commit_latency_histogram()
+    commit_rounds = sorted(metrics.commit_round.values())
+    latency: Dict[str, Any] = {
+        "histogram": _pairs(hist),
+        "min": commit_rounds[0] if commit_rounds else None,
+        "max": commit_rounds[-1] if commit_rounds else None,
+        "mean": (
+            round(sum(commit_rounds) / len(commit_rounds), 6)
+            if commit_rounds
+            else None
+        ),
+    }
+    return {
+        "schema": OBS_SCHEMA_VERSION,
+        "source": _coord(metrics.source) if metrics.source is not None else None,
+        "rounds": metrics.rounds,
+        "transmissions": metrics.transmissions,
+        "deliveries": metrics.deliveries,
+        "commits": metrics.commits,
+        "crashes": metrics.crashes,
+        "quiescent": metrics.quiescent,
+        "tx_by_round": _pairs(metrics.tx_by_round),
+        "deliveries_by_round": _pairs(metrics.deliveries_by_round),
+        "commits_by_round": _pairs(metrics.commits_by_round),
+        "commit_latency": latency,
+        "commit_wavefront_by_round": [
+            [r, float(v)] for r, v in _pairs(metrics.commit_wavefront_by_round)
+        ],
+        "delivery_wavefront_by_round": [
+            [r, float(v)]
+            for r, v in _pairs(metrics.delivery_wavefront_by_round)
+        ],
+        "tx_per_node": _node_count_stats(metrics.tx_by_node),
+        "rx_per_node": _node_count_stats(metrics.rx_by_node),
+    }

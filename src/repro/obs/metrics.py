@@ -1,0 +1,219 @@
+"""Observer hooks and the :class:`RunMetrics` collector.
+
+The engine emits a small, fixed vocabulary of events while it runs; an
+:class:`EngineObserver` subscribes to any subset by overriding the
+corresponding hooks.  The protocol is strictly one-way -- observers
+receive engine state but the engine never reads an observer -- so
+attaching observers cannot change what a run computes, only what is
+recorded about it.
+
+Observer callbacks receive the *live* :class:`~repro.radio.messages.
+Envelope` objects that every receiver shares; like ``on_receive``
+handlers they must treat them as read-only (the ``no-received-mutation``
+lint rule enforces this for ``on_transmission`` / ``on_delivery``
+callbacks too).
+
+:class:`RunMetrics` is the standard collector: per-round transmission /
+delivery / commit counters, per-node message complexity, a
+commit-latency histogram, and the broadcast wave-front radius per round
+measured from a designated source node.  Its :meth:`RunMetrics.summary`
+is rendered into a stable JSON form by
+:func:`repro.obs.export.metrics_summary`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple, TYPE_CHECKING
+
+from repro.geometry.coords import Coord
+from repro.radio.messages import Envelope
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.radio.engine import Engine, SimulationResult
+
+
+class EngineObserver:
+    """Base class for engine observers; every hook is a no-op.
+
+    Subclasses override the hooks they care about.  Hooks fire in a
+    fixed order within a run: ``on_run_start``, then per round
+    ``on_round_start`` / ``on_transmission`` / ``on_delivery`` (one per
+    actual reception) / ``on_crash`` / ``on_commit`` / ``on_round_end``,
+    and finally ``on_run_end``.  Commits made inside ``on_start`` hooks
+    (before round 0) are reported with ``round_ == -1``.
+
+    Observers must not mutate anything they are handed -- envelopes and
+    payloads are shared by reference with every receiver.
+    """
+
+    def on_run_start(self, engine: "Engine") -> None:
+        """Called once, before any process ``on_start`` hook runs.
+
+        ``engine`` gives read access to the topology, schedule, and
+        crash map; observers typically snapshot what they need (e.g.
+        a distance function) and must not hold mutable references.
+        """
+
+    def on_round_start(self, round_: int) -> None:
+        """Called at the top of every round (TDMA frame)."""
+
+    def on_transmission(
+        self, env: Envelope, receivers: Tuple[Coord, ...]
+    ) -> None:
+        """Called for every transmission put on the air.
+
+        ``receivers`` is the transmitter's full neighborhood -- the
+        channel-level fanout, before crash / jamming / loss filtering.
+        """
+
+    def on_delivery(self, node: Coord, env: Envelope) -> None:
+        """Called for every *actual* reception of ``env`` by ``node``.
+
+        Unlike the fanout reported by :meth:`on_transmission`, this
+        fires only for receivers that really heard the transmission
+        (live, unjammed, not lost).
+        """
+
+    def on_commit(self, node: Coord, round_: int, value: Any) -> None:
+        """Called when ``node``'s process first reports a committed value.
+
+        ``round_`` is the round whose end first observed the commit
+        (``-1`` for commits made during ``on_start``).
+        """
+
+    def on_crash(self, node: Coord, round_: int) -> None:
+        """Called once per crashing node when its crash takes effect."""
+
+    def on_round_end(self, round_: int) -> None:
+        """Called after a round's slots fired (also for a round truncated
+        by the message budget -- partial rounds count)."""
+
+    def on_run_end(self, result: "SimulationResult") -> None:
+        """Called once with the finished result, before ``run`` returns."""
+
+
+class RunMetrics(EngineObserver):
+    """Structured per-run metrics, collected via the observer hooks.
+
+    Parameters
+    ----------
+    source:
+        The broadcast source the wave-front radius is measured from.
+        ``None`` disables wave-front tracking (all other metrics still
+        collect).
+
+    Attributes (raw, for programmatic access; see
+    :func:`repro.obs.export.metrics_summary` for the stable JSON form)
+    ----------------------------------------------------------------
+    transmissions / deliveries / commits / crashes:
+        Run totals.  ``deliveries`` counts actual receptions (post
+        crash/jam/loss filtering), which is why it can undercut the
+        trace's channel-fanout delivery count on faulty runs.
+    tx_by_round / deliveries_by_round / commits_by_round:
+        Per-round counters (round index -> count).
+    tx_by_node / rx_by_node:
+        Per-node message complexity (coordinate -> count).
+    commit_round:
+        node -> round at which its commit was first observed (-1 for
+        ``on_start`` commits).
+    commit_wavefront_by_round / delivery_wavefront_by_round:
+        round -> cumulative max metric distance from ``source`` of any
+        committed (resp. reached) node, recorded at each round end.
+    rounds:
+        Rounds accounted so far (budget-truncated partial rounds
+        included, matching the engine's reconciled accounting).
+    quiescent:
+        Copied from the result at run end (``None`` while running).
+    """
+
+    def __init__(self, source: Optional[Coord] = None) -> None:
+        self.source = source
+        self.transmissions = 0
+        self.deliveries = 0
+        self.commits = 0
+        self.crashes = 0
+        self.rounds = 0
+        self.quiescent: Optional[bool] = None
+        self.tx_by_round: Dict[int, int] = {}
+        self.deliveries_by_round: Dict[int, int] = {}
+        self.commits_by_round: Dict[int, int] = {}
+        self.tx_by_node: Dict[Coord, int] = {}
+        self.rx_by_node: Dict[Coord, int] = {}
+        self.commit_round: Dict[Coord, int] = {}
+        self.commit_wavefront_by_round: Dict[int, float] = {}
+        self.delivery_wavefront_by_round: Dict[int, float] = {}
+        self._distance = None  # bound from the topology at run start
+        self._commit_radius = 0.0
+        self._delivery_radius = 0.0
+
+    # -- observer hooks --------------------------------------------------
+
+    def on_run_start(self, engine: "Engine") -> None:
+        """Bind the topology's metric distance for wave-front tracking."""
+        if self.source is not None:
+            self.source = engine.topology.canonical(self.source)
+            self._distance = engine.topology.distance
+
+    def on_transmission(
+        self, env: Envelope, receivers: Tuple[Coord, ...]
+    ) -> None:
+        """Count one transmission against its round and its sender."""
+        self.transmissions += 1
+        self.tx_by_round[env.round] = self.tx_by_round.get(env.round, 0) + 1
+        self.tx_by_node[env.sender] = self.tx_by_node.get(env.sender, 0) + 1
+
+    def on_delivery(self, node: Coord, env: Envelope) -> None:
+        """Count one actual reception; advance the delivery wave-front."""
+        self.deliveries += 1
+        self.deliveries_by_round[env.round] = (
+            self.deliveries_by_round.get(env.round, 0) + 1
+        )
+        self.rx_by_node[node] = self.rx_by_node.get(node, 0) + 1
+        if self._distance is not None:
+            d = self._distance(self.source, node)
+            if d > self._delivery_radius:
+                self._delivery_radius = d
+
+    def on_commit(self, node: Coord, round_: int, value: Any) -> None:
+        """Record the commit round; advance the commit wave-front."""
+        self.commits += 1
+        self.commit_round[node] = round_
+        self.commits_by_round[round_] = (
+            self.commits_by_round.get(round_, 0) + 1
+        )
+        if self._distance is not None:
+            d = self._distance(self.source, node)
+            if d > self._commit_radius:
+                self._commit_radius = d
+
+    def on_crash(self, node: Coord, round_: int) -> None:
+        """Count one crash becoming effective."""
+        self.crashes += 1
+
+    def on_round_end(self, round_: int) -> None:
+        """Snapshot the cumulative wave-front radii for this round."""
+        self.rounds = max(self.rounds, round_ + 1)
+        if self._distance is not None:
+            self.commit_wavefront_by_round[round_] = self._commit_radius
+            self.delivery_wavefront_by_round[round_] = self._delivery_radius
+
+    def on_run_end(self, result: "SimulationResult") -> None:
+        """Copy end-of-run facts the counters cannot see."""
+        self.quiescent = result.quiescent
+        self.rounds = max(self.rounds, result.rounds)
+
+    # -- derived views ---------------------------------------------------
+
+    def commit_latency_histogram(self) -> Dict[int, int]:
+        """Commit round -> number of nodes whose commit was observed then."""
+        hist: Dict[int, int] = {}
+        for rnd in sorted(self.commit_round.values()):
+            hist[rnd] = hist.get(rnd, 0) + 1
+        return hist
+
+    def summary(self) -> Dict[str, Any]:
+        """The stable JSON-ready summary (see
+        :func:`repro.obs.export.metrics_summary`)."""
+        from repro.obs.export import metrics_summary
+
+        return metrics_summary(self)

@@ -27,7 +27,17 @@ slot) none, which is exactly the paper's crash-stop semantics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    TYPE_CHECKING,
+)
 
 from repro.errors import ConfigurationError, SimulationLimitError
 from repro.radio.channel import PERFECT_CHANNEL, ChannelImperfections
@@ -37,6 +47,10 @@ from repro.grid.topology import Topology
 from repro.radio.messages import Envelope
 from repro.radio.node import Context, NodeProcess, SilentProcess
 from repro.radio.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import EngineObserver
+    from repro.obs.profile import PhaseProfiler
 
 _INFINITY = float("inf")
 
@@ -93,6 +107,8 @@ class Engine:
         channel: Optional["ChannelImperfections"] = None,
         quiescent_after_idle_rounds: int = 1,
         delivery: str = "immediate",
+        observers: Optional[Sequence["EngineObserver"]] = None,
+        profiler: Optional["PhaseProfiler"] = None,
     ) -> None:
         """Configure a simulation.
 
@@ -134,6 +150,17 @@ class Engine:
             model, under which wave/latency measurements count protocol
             *steps* (one pnbd hop per round).  Both modes satisfy every
             ordering/atomicity invariant; only timing granularity differs.
+        observers:
+            :class:`~repro.obs.metrics.EngineObserver` instances notified
+            at transmission / delivery / commit / crash / round points.
+            Observers are pure listeners: the simulation computes exactly
+            the same run with or without them.  Default: none (and then
+            no collector state is allocated).
+        profiler:
+            A :class:`~repro.obs.profile.PhaseProfiler` accumulating
+            wall-clock time per hot-loop phase; ``None`` (default)
+            disables profiling at the cost of one ``is not None`` check
+            per phase boundary.
         """
         if not topology.is_finite:
             raise ConfigurationError("the engine requires a finite topology")
@@ -149,10 +176,12 @@ class Engine:
         for node in processes:
             if topology.canonical(node) not in node_set:
                 raise ConfigurationError(f"process given for non-node {node}")
-        self.processes: Dict[Coord, NodeProcess] = {
-            node: processes.get(node, None) or SilentProcess()
-            for node in self._all_nodes
-        }
+        # explicit None check: a process whose class defines a falsy
+        # __bool__/__len__ is still a real process, not a silent node
+        self.processes: Dict[Coord, NodeProcess] = {}
+        for node in self._all_nodes:
+            given = processes.get(node)
+            self.processes[node] = SilentProcess() if given is None else given
         # accept processes keyed by non-canonical coordinates
         for node, proc in processes.items():
             self.processes[topology.canonical(node)] = proc
@@ -199,6 +228,14 @@ class Engine:
             node: Context(node, self) for node in self._all_nodes
         }
         self._started = False
+        self._observers: Tuple["EngineObserver", ...] = tuple(observers or ())
+        self._profiler = profiler
+        #: nodes whose commit has already been reported to observers
+        self._decided: Set[Coord] = set()
+        #: nodes whose crash has already been announced (a node dead from
+        #: the start would otherwise be announced twice: once in _start,
+        #: once when round 0 skips it)
+        self._announced_crashes: Set[Coord] = set()
 
     # ------------------------------------------------------------------
 
@@ -210,14 +247,45 @@ class Engine:
         rnd = self.crash_round.get(node)
         return rnd is not None and at_round >= rnd
 
+    def _announce_crash(self, node: Coord, round_: int) -> None:
+        """Record a crash exactly once in the trace and to observers."""
+        if node in self._announced_crashes:
+            return
+        self._announced_crashes.add(node)
+        self.trace.on_crash(node, round_)
+        for obs in self._observers:
+            obs.on_crash(node, round_)
+
+    def _sweep_commits(self) -> None:
+        """Report newly committed nodes to observers (observer runs only).
+
+        A process commits inside its own hooks; the engine notices the
+        transition by polling ``committed_value`` once per node per
+        round, in canonical node order, so commit events are emitted
+        deterministically and at round granularity.
+        """
+        for node in self._all_nodes:
+            if node in self._decided:
+                continue
+            value = self.processes[node].committed_value()
+            if value is not None:
+                self._decided.add(node)
+                for obs in self._observers:
+                    obs.on_commit(node, self.round, value)
+
     def _start(self) -> None:
         self._started = True
+        for obs in self._observers:
+            obs.on_run_start(self)
         for node in self._all_nodes:
             if self._is_crashed(node, 0):
                 # dead from the start: never runs a single instruction
-                self.trace.on_crash(node, 0)
+                self._announce_crash(node, 0)
                 continue
             self.processes[node].on_start(self._contexts[node])
+        if self._observers:
+            # commits made during on_start are reported at round -1
+            self._sweep_commits()
 
     def _register_jam(self, node: Coord) -> bool:
         """Activate ``node``'s jammer for the current round (within the
@@ -249,13 +317,14 @@ class Engine:
         ctx = self._contexts[node]
         outbox = ctx._outbox
         copies = self.channel.tx_copies
+        prof = self._profiler
         while outbox:
             if (
                 self.max_messages is not None
                 and self.trace.transmissions >= self.max_messages
             ):
                 return False
-            payload, claimed = outbox.pop(0)
+            payload, claimed = outbox.popleft()
             sender = node if claimed is None else claimed
             receivers = self._neighbors[node]
             for _copy in range(copies):
@@ -268,6 +337,8 @@ class Engine:
                 )
                 self._seq += 1
                 self.trace.on_transmission(env, len(receivers))
+                for obs in self._observers:
+                    obs.on_transmission(env, receivers)
                 survivors = []
                 for nb in receivers:
                     if self._is_crashed(nb, self.round):
@@ -283,11 +354,16 @@ class Engine:
                 if self.delivery == "end-of-round":
                     self._pending_deliveries.append((env, tuple(survivors)))
                     continue
+                t0 = prof.begin() if prof is not None else 0.0
                 for nb in survivors:
+                    for obs in self._observers:
+                        obs.on_delivery(nb, env)
                     nb_ctx = self._contexts[nb]
                     if nb_ctx.halted:
                         continue
                     self.processes[nb].on_receive(nb_ctx, env)
+                if prof is not None:
+                    prof.end("deliver", t0)
         return True
 
     def _flush_pending_deliveries(self) -> None:
@@ -298,40 +374,78 @@ class Engine:
             for nb in receivers:
                 if self._is_crashed(nb, self.round):
                     continue
+                for obs in self._observers:
+                    obs.on_delivery(nb, env)
                 nb_ctx = self._contexts[nb]
                 if nb_ctx.halted:
                     continue
                 self.processes[nb].on_receive(nb_ctx, env)
 
+    def _close_round(self) -> None:
+        """Account the current round in the trace and to observers.
+
+        Called for completed frames *and* for frames truncated by the
+        message budget: a partially executed round still happened, so
+        ``SimulationResult.rounds`` and ``engine.round`` agree either
+        way (the budget-stop accounting fix).
+        """
+        prof = self._profiler
+        t0 = prof.begin() if prof is not None else 0.0
+        if self._observers:
+            self._sweep_commits()
+            for obs in self._observers:
+                obs.on_round_end(self.round)
+        if prof is not None:
+            prof.end("observe", t0)
+        self.trace.on_round_end(self.round)
+
     def _run_round(self) -> bool:
         """Execute one TDMA frame.  Returns False if a message-budget stop
         occurred mid-frame."""
         self._jammers_this_round.clear()
+        prof = self._profiler
+        for obs in self._observers:
+            obs.on_round_start(self.round)
         if self._pending_deliveries:
+            t0 = prof.begin() if prof is not None else 0.0
             self._flush_pending_deliveries()
+            if prof is not None:
+                prof.end("deliver", t0)
+        t0 = prof.begin() if prof is not None else 0.0
         for node in self._all_nodes:
             if self._is_crashed(node, self.round):
                 if self.crash_round.get(node) == self.round:
-                    self.trace.on_crash(node, self.round)
+                    self._announce_crash(node, self.round)
                     self._contexts[node]._outbox.clear()
                 continue
             ctx = self._contexts[node]
             if not ctx.halted:
                 self.processes[node].on_round(ctx)
+        if prof is not None:
+            prof.end("round_hooks", t0)
+            t0 = prof.begin()
         for slot, group in enumerate(self.schedule.slots):
             for node in group:
                 if self._is_crashed(node, self.round):
                     self._contexts[node]._outbox.clear()
                     continue
                 if not self._transmit(node, slot):
+                    if prof is not None:
+                        prof.end("transmit", t0)
+                    self._close_round()
                     return False
+        if prof is not None:
+            prof.end("transmit", t0)
+            t0 = prof.begin()
         for node in self._all_nodes:
             if self._is_crashed(node, self.round):
                 continue
             ctx = self._contexts[node]
             if not ctx.halted:
                 self.processes[node].on_round_end(ctx)
-        self.trace.on_round_end(self.round)
+        if prof is not None:
+            prof.end("round_end_hooks", t0)
+        self._close_round()
         return True
 
     def _quiescent(self, tx_this_round: int) -> bool:
@@ -380,7 +494,7 @@ class Engine:
                 f"(rounds={self.round + 1}, "
                 f"messages={self.trace.transmissions})"
             )
-        return SimulationResult(
+        result = SimulationResult(
             rounds=self.trace.rounds,
             quiescent=quiescent,
             hit_round_limit=hit_rounds,
@@ -389,3 +503,6 @@ class Engine:
             processes=dict(self.processes),
             crash_round=dict(self.crash_round),
         )
+        for obs in self._observers:
+            obs.on_run_end(result)
+        return result

@@ -10,7 +10,8 @@ the paper's model.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Tuple, TYPE_CHECKING
+from collections import deque
+from typing import Any, Callable, Deque, Optional, Tuple, TYPE_CHECKING
 
 from repro.geometry.coords import Coord
 from repro.radio.messages import Envelope
@@ -34,8 +35,10 @@ class Context:
         self._engine = engine
         #: queued (payload, claimed_sender) pairs; ``claimed_sender`` is
         #: ``None`` for honest broadcasts and the forged coordinate for
-        #: :meth:`broadcast_as` transmissions
-        self._outbox: List[Tuple[Any, Optional[Coord]]] = []
+        #: :meth:`broadcast_as` transmissions.  A deque: the engine drains
+        #: it FIFO from the left every slot, and ``popleft`` keeps that
+        #: O(1) where a list's ``pop(0)`` made chatty protocols O(n^2).
+        self._outbox: Deque[Tuple[Any, Optional[Coord]]] = deque()
         #: set True by a process that has terminated its local execution;
         #: the engine stops delivering to it (pure optimization -- a halted
         #: process ignores input by definition).
@@ -214,10 +217,12 @@ class FunctionProcess(NodeProcess):
         on_start: Optional[Callable[[Context], None]] = None,
         on_receive: Optional[Callable[[Context, Envelope], None]] = None,
         on_round: Optional[Callable[[Context], None]] = None,
+        on_round_end: Optional[Callable[[Context], None]] = None,
     ) -> None:
         self._start = on_start
         self._receive = on_receive
         self._round = on_round
+        self._round_end = on_round_end
 
     def on_start(self, ctx: Context) -> None:
         if self._start:
@@ -230,3 +235,7 @@ class FunctionProcess(NodeProcess):
     def on_round(self, ctx: Context) -> None:
         if self._round:
             self._round(ctx)
+
+    def on_round_end(self, ctx: Context) -> None:
+        if self._round_end:
+            self._round_end(ctx)

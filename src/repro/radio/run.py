@@ -117,12 +117,16 @@ def run_broadcast(
     record_events: bool = False,
     channel=None,
     delivery: str = "immediate",
+    observers=None,
+    profiler=None,
 ) -> BroadcastOutcome:
     """Run a configured broadcast and grade the outcome.
 
     ``correct_nodes`` is the set the grading quantifies over; the caller
     (usually a :mod:`repro.faults` scenario builder) knows which nodes are
     faulty.  Crashed nodes must *not* appear in ``correct_nodes``.
+    ``observers`` / ``profiler`` pass straight through to the
+    :class:`~repro.radio.engine.Engine` (see :mod:`repro.obs`).
     """
     canon_correct = {topology.canonical(n) for n in correct_nodes}
     for node in crash_round or {}:
@@ -140,6 +144,8 @@ def run_broadcast(
         record_events=record_events,
         channel=channel,
         delivery=delivery,
+        observers=observers,
+        profiler=profiler,
     )
     result = engine.run()
     return grade_outcome(result, value, canon_correct)

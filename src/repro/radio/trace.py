@@ -43,6 +43,7 @@ class Trace:
     transmissions: int = 0
     deliveries: int = 0
     rounds: int = 0
+    crashes: int = 0
     tx_by_node: Dict[Coord, int] = field(default_factory=dict)
     tx_by_round: Dict[int, int] = field(default_factory=dict)
 
@@ -65,7 +66,12 @@ class Trace:
             )
 
     def on_crash(self, node: Coord, round_: int) -> None:
-        """Record a crash taking effect at the start of ``round_``."""
+        """Record a crash taking effect at the start of ``round_``.
+
+        The engine announces each crash exactly once; the count feeds
+        :meth:`summary` whether or not events are recorded.
+        """
+        self.crashes += 1
         if self.record_events:
             self.events.append(
                 TraceEvent(kind="crash", round=round_, slot=-1, node=node)
@@ -94,4 +100,5 @@ class Trace:
             "transmissions": self.transmissions,
             "deliveries": self.deliveries,
             "transmitting_nodes": len(self.tx_by_node),
+            "crashes": self.crashes,
         }

@@ -92,3 +92,84 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "achieved" in out
         assert "S" in out  # the map was printed
+
+
+class TestTraceParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["trace", "byzantine"])
+        assert args.kind == "byzantine"
+        assert args.r == 2 and args.t == 2 and args.seed == 0
+        assert args.strategy == "fabricator"
+        assert args.placement == "random"
+        assert args.jsonl is None and args.summary is None
+        assert not args.deliveries and not args.profile
+
+    def test_requires_kind(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "quantum"])
+
+
+class TestTraceCommand:
+    ARGS = ["trace", "byzantine", "--r", "1", "--t", "1", "--seed", "7"]
+
+    def test_prints_tables(self, capsys):
+        assert main(list(self.ARGS)) == 0
+        out = capsys.readouterr().out
+        assert "outcome" in out
+        assert "wave front from source (0, 0)" in out
+        assert "commit latency" in out
+
+    def test_jsonl_byte_identical_across_runs(self, tmp_path, capsys):
+        """The acceptance bar: same seed, two invocations, exact bytes."""
+        paths = [tmp_path / n for n in ("a.jsonl", "b.jsonl")]
+        summaries = [tmp_path / n for n in ("a.json", "b.json")]
+        for jsonl, summary in zip(paths, summaries):
+            assert (
+                main(
+                    list(self.ARGS)
+                    + ["--jsonl", str(jsonl), "--summary", str(summary)]
+                )
+                == 0
+            )
+        capsys.readouterr()
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+        assert summaries[0].read_bytes() == summaries[1].read_bytes()
+
+    def test_jsonl_validates(self, tmp_path, capsys):
+        from repro.obs import OBS_SCHEMA_VERSION, validate_jsonl
+
+        jsonl = tmp_path / "t.jsonl"
+        summary = tmp_path / "t.json"
+        assert (
+            main(
+                list(self.ARGS)
+                + ["--jsonl", str(jsonl), "--summary", str(summary)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        count = validate_jsonl(jsonl.read_text(encoding="utf-8"))
+        assert count > 0
+        import json
+
+        data = json.loads(summary.read_text(encoding="utf-8"))
+        assert data["schema"] == OBS_SCHEMA_VERSION
+        assert data["transmissions"] > 0 and data["commits"] > 0
+
+    def test_profile_table(self, capsys):
+        assert main(list(self.ARGS) + ["--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "engine phase profile" in out
+        assert "transmit" in out
+
+    def test_crash_kind(self, capsys):
+        assert (
+            main(["trace", "crash", "--r", "1", "--t", "1", "--seed", "3"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "crashes=" in out

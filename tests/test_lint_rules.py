@@ -575,3 +575,63 @@ class TestFramework:
         payload = json.loads(format_json(report))
         assert payload["summary"]["clean"] is True
         assert report.exit_code == 0
+
+
+# ---------------------------------------------------------------------------
+# no-received-mutation: observer callbacks
+
+
+class TestNoReceivedMutationObservers:
+    """Observer callbacks see the live shared envelopes too; the rule
+    covers ``on_transmission`` / ``on_delivery`` like ``on_receive``."""
+
+    def test_passing_read_only_observer(self, tmp_path):
+        source = (
+            "class Obs:\n"
+            "    def on_transmission(self, env, receivers):\n"
+            "        self.total += len(receivers)\n"
+            "        self.last = env.seq\n"
+            "    def on_delivery(self, node, env):\n"
+            "        self.seen.append((node, env.seq))\n"
+        )
+        report = run_lint(
+            tmp_path, {"mod.py": source}, rules=["no-received-mutation"]
+        )
+        assert report.findings == []
+
+    def test_violating_on_transmission_write(self, tmp_path):
+        source = (
+            "class Obs:\n"
+            "    def on_transmission(self, env, receivers):\n"
+            "        env.seq = 0\n"
+        )
+        report = run_lint(
+            tmp_path, {"mod.py": source}, rules=["no-received-mutation"]
+        )
+        assert rule_ids(report) == {"no-received-mutation"}
+        assert report.exit_code == 1
+
+    def test_violating_on_delivery_mutator_call(self, tmp_path):
+        source = (
+            "class Obs:\n"
+            "    def on_delivery(self, node, env):\n"
+            "        env.payload.relays.append(node)\n"
+        )
+        report = run_lint(
+            tmp_path, {"mod.py": source}, rules=["no-received-mutation"]
+        )
+        assert len(report.findings) == 1
+
+    def test_receivers_param_not_treated_as_envelope(self, tmp_path):
+        """Only the envelope parameter is protected; the fanout tuple is
+        positional index 2 and mutating a *copy* of it is fine."""
+        source = (
+            "class Obs:\n"
+            "    def on_transmission(self, env, receivers):\n"
+            "        mine = list(receivers)\n"
+            "        mine.append((0, 0))\n"
+        )
+        report = run_lint(
+            tmp_path, {"mod.py": source}, rules=["no-received-mutation"]
+        )
+        assert report.findings == []

@@ -1,0 +1,293 @@
+"""Tests for repro.obs.metrics and repro.obs.profile.
+
+The observer layer's central promise is purity: attaching observers (or a
+profiler) never changes what a run computes, only what is recorded about
+it.  These tests pin that promise plus the collector semantics
+(per-round counters, wave-front radii, commit latency, crash counting).
+"""
+
+import pytest
+
+from repro.grid.torus import Torus
+from repro.obs import EngineObserver, PhaseProfiler, RunMetrics
+from repro.radio.engine import Engine
+from repro.radio.messages import Envelope
+from repro.radio.node import FunctionProcess, NodeProcess
+
+
+class Flooder(NodeProcess):
+    """Broadcasts at start; every receiver re-broadcasts once (1 hop/round
+    in end-of-round mode, a full cascade in immediate mode)."""
+
+    def __init__(self, origin=False):
+        self.origin = origin
+        self.heard = False
+
+    def on_start(self, ctx):
+        if self.origin:
+            ctx.broadcast("flood")
+
+    def on_receive(self, ctx, env):
+        if not self.heard:
+            self.heard = True
+            ctx.broadcast("flood")
+
+
+class RoundCommitter(NodeProcess):
+    """Commits to a fixed value during a chosen round's ``on_round``."""
+
+    def __init__(self, commit_round, value="v"):
+        self.commit_round = commit_round
+        self.value = value
+        self._committed = None
+
+    def on_round(self, ctx):
+        if ctx.round == self.commit_round:
+            self._committed = self.value
+
+    def committed_value(self):
+        return self._committed
+
+
+class StartCommitter(NodeProcess):
+    """Commits during ``on_start`` (before round 0)."""
+
+    def __init__(self, value="s"):
+        self.value = value
+
+    def committed_value(self):
+        return self.value
+
+
+def flood_processes(topology, origin):
+    return {
+        node: Flooder(origin=(node == origin)) for node in topology.nodes()
+    }
+
+
+class TestEngineObserverBase:
+    def test_all_hooks_are_noops(self):
+        obs = EngineObserver()
+        env = Envelope((0, 0), "x", 0, 0, 0)
+        obs.on_run_start(None)
+        obs.on_round_start(0)
+        obs.on_transmission(env, ((1, 1),))
+        obs.on_delivery((1, 1), env)
+        obs.on_commit((1, 1), 0, "v")
+        obs.on_crash((1, 1), 0)
+        obs.on_round_end(0)
+        obs.on_run_end(None)
+
+    def test_engine_without_observers_allocates_none(self):
+        eng = Engine(Torus.square(5, 1), {})
+        assert eng._observers == ()
+        assert eng._profiler is None
+
+
+class TestRunMetricsCounters:
+    def test_totals_match_trace(self):
+        t = Torus.square(5, 1)
+        metrics = RunMetrics()
+        eng = Engine(t, flood_processes(t, (0, 0)), observers=[metrics])
+        res = eng.run()
+        assert metrics.transmissions == res.trace.transmissions
+        # perfect channel, no crashes: every fanout slot is delivered
+        assert metrics.deliveries == res.trace.deliveries
+        assert metrics.rounds == res.rounds
+        assert metrics.quiescent is res.quiescent
+        assert sum(metrics.tx_by_round.values()) == metrics.transmissions
+        assert sum(metrics.tx_by_node.values()) == metrics.transmissions
+        assert sum(metrics.rx_by_node.values()) == metrics.deliveries
+        assert metrics.tx_by_round == res.trace.tx_by_round
+        assert metrics.tx_by_node == res.trace.tx_by_node
+
+    def test_observed_run_identical_to_unobserved(self):
+        t = Torus.square(5, 1)
+        plain = Engine(t, flood_processes(t, (1, 2))).run()
+        observed = Engine(
+            t, flood_processes(t, (1, 2)), observers=[RunMetrics()]
+        ).run()
+        assert observed.trace.summary() == plain.trace.summary()
+        assert observed.rounds == plain.rounds
+        assert observed.quiescent is plain.quiescent
+
+    def test_deliveries_exclude_crashed_receivers(self):
+        t = Torus.square(5, 1)
+        metrics = RunMetrics()
+        dead = (1, 1)  # a neighbor of the origin, dead from the start
+        eng = Engine(
+            t,
+            flood_processes(t, (0, 0)),
+            crash_round={dead: 0},
+            observers=[metrics],
+        )
+        res = eng.run()
+        # the trace counts channel fanout; the collector counts receptions
+        assert metrics.deliveries < res.trace.deliveries
+        assert dead not in metrics.rx_by_node
+        assert metrics.crashes == 1
+
+    def test_crash_counted_once_for_mid_run_crash(self):
+        t = Torus.square(5, 1)
+        metrics = RunMetrics()
+        Engine(
+            t,
+            flood_processes(t, (0, 0)),
+            crash_round={(2, 2): 1},
+            observers=[metrics],
+        ).run()
+        assert metrics.crashes == 1
+
+
+class TestCommitTracking:
+    def test_commit_rounds_and_histogram(self):
+        t = Torus.square(3, 1)
+        procs = {
+            (0, 0): RoundCommitter(0),
+            (1, 1): RoundCommitter(2),
+            (2, 2): RoundCommitter(2),
+        }
+        metrics = RunMetrics()
+        # silent processes: keep the engine alive past quiescence long
+        # enough to observe the late commits
+        Engine(
+            t,
+            procs,
+            max_rounds=4,
+            quiescent_after_idle_rounds=10,
+            observers=[metrics],
+        ).run()
+        assert metrics.commit_round[(0, 0)] == 0
+        assert metrics.commit_round[(1, 1)] == 2
+        assert metrics.commit_round[(2, 2)] == 2
+        assert metrics.commits == 3
+        assert metrics.commit_latency_histogram() == {0: 1, 2: 2}
+        assert metrics.commits_by_round == {0: 1, 2: 2}
+
+    def test_on_start_commit_reported_at_round_minus_one(self):
+        t = Torus.square(3, 1)
+        metrics = RunMetrics()
+        Engine(t, {(0, 0): StartCommitter()}, observers=[metrics]).run()
+        assert metrics.commit_round[(0, 0)] == -1
+        assert metrics.commit_latency_histogram() == {-1: 1}
+
+    def test_commit_reported_once(self):
+        t = Torus.square(3, 1)
+        events = []
+
+        class CommitLog(EngineObserver):
+            def on_commit(self, node, round_, value):
+                events.append((node, round_, value))
+
+        Engine(
+            t,
+            {(1, 1): RoundCommitter(1)},
+            max_rounds=4,
+            quiescent_after_idle_rounds=10,
+            observers=[CommitLog()],
+        ).run()
+        assert events == [((1, 1), 1, "v")]
+
+
+class TestWavefront:
+    def test_wavefront_monotone_and_bounded(self):
+        t = Torus.square(7, 1)
+        metrics = RunMetrics(source=(0, 0))
+        # end-of-round delivery: the flood advances one hop per round,
+        # so the radius grows by at most one neighborhood step per round
+        Engine(
+            t,
+            flood_processes(t, (0, 0)),
+            delivery="end-of-round",
+            observers=[metrics],
+        ).run()
+        radii = [
+            metrics.delivery_wavefront_by_round[r]
+            for r in sorted(metrics.delivery_wavefront_by_round)
+        ]
+        assert radii == sorted(radii)  # cumulative radius never shrinks
+        assert radii[-1] == max(t.distance((0, 0), n) for n in t.nodes())
+        # end-of-round mode: round 0 only puts the seed on the air; its
+        # receptions land at round 1, reaching exactly the neighbors
+        assert radii[0] == 0.0
+        assert radii[1] == 1.0
+
+    def test_no_source_disables_wavefront(self):
+        t = Torus.square(5, 1)
+        metrics = RunMetrics()
+        Engine(t, flood_processes(t, (0, 0)), observers=[metrics]).run()
+        assert metrics.delivery_wavefront_by_round == {}
+        assert metrics.commit_wavefront_by_round == {}
+        assert metrics.transmissions > 0
+
+    def test_source_canonicalized(self):
+        t = Torus.square(5, 1)
+        metrics = RunMetrics(source=(5, 5))  # == (0, 0) on a 5-torus
+        Engine(t, flood_processes(t, (0, 0)), observers=[metrics]).run()
+        assert metrics.source == (0, 0)
+
+
+class TestPhaseProfiler:
+    def test_fake_clock_totals(self):
+        ticks = iter([0.0, 1.0, 1.0, 3.0, 10.0, 14.0])
+        prof = PhaseProfiler(clock=lambda: next(ticks))
+        t0 = prof.begin()
+        prof.end("transmit", t0)
+        t0 = prof.begin()
+        prof.end("transmit", t0)
+        t0 = prof.begin()
+        prof.end("deliver", t0)
+        assert prof.total("transmit") == pytest.approx(3.0)
+        assert prof.total("deliver") == pytest.approx(4.0)
+        assert prof.total("unknown") == 0.0
+        assert prof.counts == {"transmit": 2, "deliver": 1}
+
+    def test_summary_and_rows(self):
+        ticks = iter([0.0, 3.0, 3.0, 4.0])
+        prof = PhaseProfiler(clock=lambda: next(ticks))
+        prof.end("a", prof.begin())
+        prof.end("b", prof.begin())
+        assert prof.summary() == {
+            "a": {"seconds": 3.0, "calls": 1},
+            "b": {"seconds": 1.0, "calls": 1},
+        }
+        rows = prof.rows()
+        assert [r["phase"] for r in rows] == ["a", "b"]
+        assert rows[0]["share"] == pytest.approx(0.75)
+        assert rows[1]["share"] == pytest.approx(0.25)
+
+    def test_profiled_run_is_unperturbed(self):
+        t = Torus.square(5, 1)
+        prof = PhaseProfiler()
+        plain = Engine(t, flood_processes(t, (0, 0))).run()
+        profiled = Engine(
+            t, flood_processes(t, (0, 0)), profiler=prof
+        ).run()
+        assert profiled.trace.summary() == plain.trace.summary()
+        assert set(prof.totals) >= {"transmit", "round_hooks", "deliver"}
+        assert all(v >= 0.0 for v in prof.totals.values())
+
+    def test_engine_times_observe_phase_only_with_observers(self):
+        t = Torus.square(3, 1)
+        prof = PhaseProfiler()
+        Engine(
+            t,
+            {(0, 0): Flooder(origin=True)},
+            observers=[RunMetrics()],
+            profiler=prof,
+        ).run()
+        assert prof.counts.get("observe", 0) > 0
+
+
+class TestFunctionProcessRoundEnd:
+    def test_on_round_end_dispatch(self):
+        calls = []
+        p = FunctionProcess(
+            on_round=lambda ctx: calls.append(("round", ctx.round)),
+            on_round_end=lambda ctx: calls.append(("round_end", ctx.round)),
+        )
+        t = Torus.square(3, 1)
+        Engine(t, {(0, 0): p}, max_rounds=2).run()
+        rounds = [c for c in calls if c[0] == "round"]
+        ends = [c for c in calls if c[0] == "round_end"]
+        assert len(rounds) == len(ends) > 0

@@ -383,3 +383,70 @@ class TestConfiguration:
         assert res.committed() == {}
         assert res.decided_nodes() == []
         assert len(res.undecided_nodes()) == 25
+
+
+class TestRegressionFixes:
+    """Regression pins for engine bugs fixed alongside the observer layer."""
+
+    def test_falsy_process_not_replaced_by_silent(self):
+        """A process whose class defines a falsy __bool__/__len__ is still
+        a real process; only a missing (None) entry means SilentProcess."""
+        t = Torus.square(5, 1)
+
+        class FalsyProcess(NodeProcess):
+            def __bool__(self):
+                return False
+
+        class EmptyProcess(NodeProcess):
+            def __len__(self):
+                return 0
+
+        falsy, empty = FalsyProcess(), EmptyProcess()
+        eng = Engine(t, {(0, 0): falsy, (1, 1): empty})
+        assert eng.processes[(0, 0)] is falsy
+        assert eng.processes[(1, 1)] is empty
+        assert isinstance(eng.processes[(2, 2)], SilentProcess)
+
+    def test_falsy_process_still_runs(self):
+        t = Torus.square(5, 1)
+        log = []
+
+        class FalsyBroadcaster(NodeProcess):
+            def __bool__(self):
+                return False
+
+            def on_start(self, ctx):
+                ctx.broadcast("present")
+
+        procs = {
+            (1, 1): FalsyBroadcaster(),
+            (1, 2): collector(log, "sink"),
+        }
+        Engine(t, procs).run()
+        assert [e[2] for e in log] == ["present"]
+
+    def test_message_budget_stop_accounts_partial_round(self):
+        """A round truncated mid-frame by the message budget still counts:
+        result.rounds and engine.round agree, and the trace saw the
+        round end."""
+        t = Torus.square(5, 1)
+        eng = Engine(
+            t, {(0, 0): Broadcaster(list(range(100)))}, max_messages=10
+        )
+        res = eng.run()
+        assert res.hit_message_limit
+        assert res.rounds == eng.round + 1 == 1
+        assert res.trace.rounds == 1
+
+    def test_message_budget_stop_in_later_round(self):
+        t = Torus.square(5, 1)
+
+        class Chatter(NodeProcess):
+            def on_round(self, ctx):
+                ctx.broadcast(ctx.round)
+
+        eng = Engine(t, {(0, 0): Chatter()}, max_messages=3)
+        res = eng.run()
+        assert res.hit_message_limit
+        # one tx per round: budget trips while draining round 3's outbox
+        assert res.rounds == eng.round + 1 == res.trace.rounds == 4

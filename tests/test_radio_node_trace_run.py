@@ -153,3 +153,76 @@ class TestGrading:
         )
         assert outcome.messages == 1
         assert outcome.rounds >= 1
+
+
+class TestFunctionProcessRoundEndHook:
+    def test_on_round_end_dispatch(self):
+        calls = []
+        p = FunctionProcess(
+            on_round=lambda ctx: calls.append("round"),
+            on_round_end=lambda ctx: calls.append("round_end"),
+        )
+        t = Torus.square(5, 1)
+        ctx = Engine(t, {}).context_of((0, 0))
+        p.on_round(ctx)
+        p.on_round_end(ctx)
+        assert calls == ["round", "round_end"]
+
+    def test_on_round_end_default_noop(self):
+        p = FunctionProcess(on_round=lambda ctx: None)
+        t = Torus.square(5, 1)
+        p.on_round_end(Engine(t, {}).context_of((0, 0)))
+
+    def test_engine_fires_on_round_end_after_transmissions(self):
+        """on_round_end sees the frame's receptions (immediate delivery)."""
+        t = Torus.square(5, 1)
+        log = []
+        heard = []
+        sender = FunctionProcess(on_start=lambda ctx: ctx.broadcast("m"))
+        listener = FunctionProcess(
+            on_receive=lambda ctx, env: heard.append(env.payload),
+            on_round_end=lambda ctx: log.append(list(heard)),
+        )
+        Engine(t, {(1, 1): sender, (1, 2): listener}).run()
+        assert log[0] == ["m"]
+
+
+class TestTraceCrashCounting:
+    def test_summary_counts_crashes(self):
+        tr = Trace()
+        tr.on_crash((1, 1), 2)
+        tr.on_crash((2, 2), 0)
+        assert tr.crashes == 2
+        assert tr.summary()["crashes"] == 2
+
+    def test_crash_counted_without_event_recording(self):
+        tr = Trace(record_events=False)
+        tr.on_crash((1, 1), 0)
+        assert tr.crashes == 1
+        assert tr.events == []
+
+    def test_dead_from_start_announced_once(self):
+        """A node dead from round 0 is skipped both in _start and in round
+        0's frame; the trace must still count its crash exactly once."""
+        t = Torus.square(5, 1)
+        sender = FunctionProcess(on_start=lambda ctx: ctx.broadcast("x"))
+        res = Engine(
+            t, {(1, 1): sender}, crash_round={(2, 2): 0}
+        ).run()
+        assert res.trace.crashes == 1
+        assert res.trace.summary()["crashes"] == 1
+
+    def test_mid_run_crash_counted_once(self):
+        t = Torus.square(5, 1)
+
+        class Chatter(NodeProcess):
+            def on_round(self, ctx):
+                ctx.broadcast(ctx.round)
+
+        res = Engine(
+            t,
+            {(0, 0): Chatter()},
+            crash_round={(3, 3): 2},
+            max_rounds=6,
+        ).run()
+        assert res.trace.crashes == 1
