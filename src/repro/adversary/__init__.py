@@ -1,0 +1,81 @@
+"""``repro.adversary``: automated worst-case adversary search.
+
+The paper's negative results are existence proofs: *some* locally
+bounded placement defeats reliable broadcast once ``t`` crosses the
+threshold.  The positive results say *no* placement below it does.
+This package operationalizes both directions -- given a protocol, a
+topology, and a budget, it *searches* the space of valid placements for
+one that defeats the protocol, and certifies whatever it finds:
+
+- :mod:`repro.adversary.budget` -- incremental per-neighborhood budget
+  accounting (:class:`FaultBudget`), the O(ball) feasibility check the
+  search's inner loop runs;
+- :mod:`repro.adversary.moves` -- add/remove/relocate/cluster mutation
+  kernels, all driven by an injected ``random.Random``;
+- :mod:`repro.adversary.objective` -- the scalar attack score
+  (:func:`score_row`) over metrics-bearing executor rows;
+- :mod:`repro.adversary.strategies` -- seeded greedy search,
+  hill-climbing with restarts, and simulated annealing
+  (:func:`run_search`), all evaluating candidate batches through the
+  parallel cached :class:`repro.exec.SweepExecutor`;
+- :mod:`repro.adversary.certify` -- independent re-validation and
+  deterministic JSONL replay of claimed counterexamples
+  (:func:`certify_placement`).
+
+Searches are deterministic for any worker count: same
+:class:`SearchConfig`, same :class:`SearchResult`.  See
+``docs/ADVERSARY.md`` for the search model and the CLI
+(``repro adversary``).
+"""
+
+from repro.adversary.budget import FaultBudget
+from repro.adversary.certify import Certificate, certify_placement, certify_result
+from repro.adversary.moves import (
+    MOVE_KERNELS,
+    add_fault,
+    cluster_fault,
+    relocate_fault,
+    remove_fault,
+)
+from repro.adversary.objective import (
+    UNDECIDED_WEIGHT,
+    WRONG_COMMIT_WEIGHT,
+    AttackScore,
+    final_wavefront,
+    score_row,
+)
+from repro.adversary.strategies import (
+    STRATEGIES,
+    PlacementEvaluator,
+    SearchConfig,
+    SearchResult,
+    greedy_search,
+    hill_climb,
+    run_search,
+    simulated_annealing,
+)
+
+__all__ = [
+    "AttackScore",
+    "Certificate",
+    "FaultBudget",
+    "MOVE_KERNELS",
+    "PlacementEvaluator",
+    "STRATEGIES",
+    "SearchConfig",
+    "SearchResult",
+    "UNDECIDED_WEIGHT",
+    "WRONG_COMMIT_WEIGHT",
+    "add_fault",
+    "certify_placement",
+    "certify_result",
+    "cluster_fault",
+    "final_wavefront",
+    "greedy_search",
+    "hill_climb",
+    "relocate_fault",
+    "remove_fault",
+    "run_search",
+    "score_row",
+    "simulated_annealing",
+]

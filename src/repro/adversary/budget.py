@@ -1,0 +1,161 @@
+"""Incremental fault-budget accounting for placement search.
+
+The locally-bounded model's validity check -- "no closed radius-``r``
+ball contains more than ``t`` faults" -- is what every search move must
+re-establish.  Recomputing it from scratch
+(:func:`repro.faults.placement.fault_counts_per_nbd`) costs
+``O(|faults| * |ball|)`` per candidate, which dominates a hill-climb's
+inner loop.  :class:`FaultBudget` maintains the per-center counts
+incrementally, so adding, removing, or feasibility-testing one fault is
+``O(|ball|)`` -- constant in the number of faults already placed.
+
+The invariant (checked against the batch counter in the tests): after
+any sequence of :meth:`FaultBudget.add` / :meth:`FaultBudget.remove`,
+the internal counts equal ``fault_counts_per_nbd(self.faults, r,
+metric, topology)`` and no count exceeds ``t``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional
+
+from repro.errors import InvalidPlacementError
+from repro.geometry.balls import closed_ball_points
+from repro.geometry.coords import Coord
+from repro.geometry.metrics import get_metric
+from repro.grid.topology import Topology
+
+
+class FaultBudget:
+    """A mutable fault placement that always respects the ``t`` budget.
+
+    All coordinates are canonicalized through ``topology`` when one is
+    given (the infinite grid otherwise).  Mutations refuse to violate
+    the budget: :meth:`add` raises unless :meth:`can_add` holds, so a
+    budget object is *always* a valid placement.
+    """
+
+    __slots__ = ("t", "r", "metric", "topology", "_faults", "_counts")
+
+    def __init__(
+        self,
+        t: int,
+        r: int,
+        metric="linf",
+        topology: Optional[Topology] = None,
+        faults: Iterable[Coord] = (),
+    ) -> None:
+        if t < 0:
+            raise InvalidPlacementError(f"budget t must be >= 0, got {t}")
+        self.t = t
+        self.r = r
+        self.metric = get_metric(metric)
+        self.topology = topology
+        self._faults: set = set()
+        self._counts: Dict[Coord, int] = {}
+        for f in faults:
+            node = self._canon(f)
+            if node not in self._faults:
+                self.add(node)
+
+    def _canon(self, node: Coord) -> Coord:
+        """Canonical (wrapped) form of a coordinate."""
+        if self.topology is not None:
+            return self.topology.canonical(node)
+        return (node[0], node[1])
+
+    def _ball(self, node: Coord) -> List[Coord]:
+        """The closed ball of centers whose neighborhood covers ``node``."""
+        return closed_ball_points(self.metric, node, self.r, self.topology)
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def faults(self) -> FrozenSet[Coord]:
+        """The current placement as an immutable set."""
+        return frozenset(self._faults)
+
+    def __contains__(self, node: Coord) -> bool:
+        """Whether ``node`` (canonicalized) is currently faulty."""
+        return self._canon(node) in self._faults
+
+    def __len__(self) -> int:
+        """Number of placed faults."""
+        return len(self._faults)
+
+    def __iter__(self) -> Iterator[Coord]:
+        """Iterate faults in sorted (deterministic) order."""
+        return iter(sorted(self._faults))
+
+    def count_at(self, center: Coord) -> int:
+        """Faults currently inside the closed ball around ``center``."""
+        return self._counts.get(self._canon(center), 0)
+
+    def worst(self) -> int:
+        """The maximum per-neighborhood count (0 when empty)."""
+        return max(self._counts.values(), default=0)
+
+    def headroom(self, node: Coord) -> int:
+        """How many more faults the tightest ball covering ``node`` can
+        take: ``t - max(count over the ball)``.  Nonpositive means a
+        fault at ``node`` would (or does) saturate some neighborhood."""
+        node = self._canon(node)
+        tightest = max(
+            (self._counts.get(c, 0) for c in self._ball(node)), default=0
+        )
+        return self.t - tightest
+
+    def can_add(self, node: Coord) -> bool:
+        """Whether placing a fault at ``node`` keeps every ball <= ``t``.
+
+        False when ``node`` is already faulty (adding it would be a
+        no-op, and search moves should not count it as progress).
+        """
+        node = self._canon(node)
+        if node in self._faults:
+            return False
+        return all(
+            self._counts.get(c, 0) + 1 <= self.t for c in self._ball(node)
+        )
+
+    # -- mutations --------------------------------------------------------
+
+    def add(self, node: Coord) -> None:
+        """Place a fault at ``node``; raise if the budget would break."""
+        node = self._canon(node)
+        if node in self._faults:
+            raise InvalidPlacementError(f"{node} is already faulty")
+        ball = self._ball(node)
+        for c in ball:
+            if self._counts.get(c, 0) + 1 > self.t:
+                raise InvalidPlacementError(
+                    f"adding {node} would put {self._counts.get(c, 0) + 1} "
+                    f"faults in the neighborhood of {c} (budget t={self.t})"
+                )
+        self._faults.add(node)
+        for c in ball:
+            self._counts[c] = self._counts.get(c, 0) + 1
+
+    def remove(self, node: Coord) -> None:
+        """Remove the fault at ``node``; raise if none is there."""
+        node = self._canon(node)
+        if node not in self._faults:
+            raise InvalidPlacementError(f"{node} is not faulty")
+        self._faults.discard(node)
+        for c in self._ball(node):
+            left = self._counts.get(c, 0) - 1
+            if left:
+                self._counts[c] = left
+            else:
+                self._counts.pop(c, None)
+
+    def copy(self) -> "FaultBudget":
+        """An independent deep copy (shares only the immutable config)."""
+        dup = FaultBudget.__new__(FaultBudget)
+        dup.t = self.t
+        dup.r = self.r
+        dup.metric = self.metric
+        dup.topology = self.topology
+        dup._faults = set(self._faults)
+        dup._counts = dict(self._counts)
+        return dup

@@ -1,0 +1,143 @@
+"""Counterexample certification: from search output to checkable artifact.
+
+A search result is a *claim* ("this placement defeats the protocol").
+Certification turns it into evidence that stands on its own:
+
+1. **budget validity** -- the placement is re-checked against the
+   locally-bounded model with the independent batch counter
+   (:func:`repro.faults.placement.validate_placement`), not the search's
+   own incremental tracker;
+2. **replay** -- the scenario is rebuilt through the *same* builder and
+   derived seed the search's evaluator used
+   (:func:`repro.exec.build_scenario`), re-run with a
+   :class:`~repro.obs.JsonlRecorder` and :class:`~repro.obs.RunMetrics`
+   attached, and re-graded;
+3. **trace** -- the replay's canonical JSONL stream is schema-validated
+   and content-hashed, so two certifications of the same counterexample
+   produce byte-identical traces with equal digests.
+
+The resulting :class:`Certificate` is plain data: it serializes to JSON
+and the trace to JSONL, and both are deterministic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pathlib
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Tuple
+
+from repro.adversary.objective import AttackScore, score_row
+from repro.adversary.strategies import PlacementEvaluator, SearchConfig
+from repro.exec import build_scenario, derive_seed
+from repro.faults.placement import max_faults_in_any_nbd, validate_placement
+from repro.geometry.coords import Coord
+from repro.obs import JsonlRecorder, RunMetrics, metrics_summary, validate_jsonl
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """One certified (or refuted) counterexample claim.
+
+    ``defeated`` is the replay's verdict; ``trace_sha256`` commits to
+    the exact JSONL evidence (``trace`` holds the document itself).
+    """
+
+    config: SearchConfig
+    faults: Tuple[Coord, ...]
+    worst_nbd: int
+    defeated: bool
+    score: AttackScore
+    seed: int
+    scenario_key: str
+    trace: str
+    trace_events: int
+    trace_sha256: str
+    metrics: Dict[str, Any]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (the trace document itself is elided --
+        write it with :meth:`write_trace`)."""
+        return {
+            "search_key": self.config.search_key(),
+            "scenario_key": self.scenario_key,
+            "faults": [list(f) for f in self.faults],
+            "num_faults": len(self.faults),
+            "worst_nbd": self.worst_nbd,
+            "budget_t": self.config.t,
+            "defeated": self.defeated,
+            "score": self.score.as_dict(),
+            "seed": self.seed,
+            "trace_events": self.trace_events,
+            "trace_sha256": self.trace_sha256,
+            "metrics": self.metrics,
+        }
+
+    def write_trace(self, path) -> int:
+        """Write the replay's JSONL trace to ``path``; returns the
+        event count."""
+        pathlib.Path(path).write_text(self.trace, encoding="utf-8")
+        return self.trace_events
+
+
+def certify_placement(
+    config: SearchConfig, faults: Iterable[Coord]
+) -> Certificate:
+    """Independently validate and replay one placement.
+
+    Raises :class:`~repro.errors.InvalidPlacementError` when the
+    placement breaks the ``t``-per-neighborhood budget -- an invalid
+    "counterexample" refutes nothing about the model.
+    """
+    evaluator = PlacementEvaluator(config)
+    placement = frozenset(
+        evaluator.topology.canonical(tuple(f)) for f in faults
+    )
+    validate_placement(
+        placement,
+        config.t,
+        config.r,
+        metric=config.metric,
+        topology=evaluator.topology,
+    )
+    spec = evaluator.spec_for(placement)
+    key = spec.scenario_key()
+    seed = derive_seed(config.seed, key, 0)
+    scenario = build_scenario(spec, seed)
+    scenario.validate()
+    recorder = JsonlRecorder()
+    metrics = RunMetrics(source=scenario.source)
+    outcome = scenario.run(observers=(recorder, metrics))
+    summary = metrics_summary(metrics)
+    row = {
+        "achieved": bool(outcome.achieved),
+        "undecided": len(outcome.undecided),
+        "wrong_commits": len(outcome.wrong_commits),
+        "metrics": summary,
+    }
+    score = score_row(row, evaluator.max_radius)
+    trace = recorder.dumps()
+    events = validate_jsonl(trace)
+    return Certificate(
+        config=config,
+        faults=tuple(sorted(placement)),
+        worst_nbd=max_faults_in_any_nbd(
+            placement, config.r, metric=config.metric,
+            topology=evaluator.topology,
+        ),
+        defeated=not outcome.achieved,
+        score=score,
+        seed=seed,
+        scenario_key=key,
+        trace=trace,
+        trace_events=events,
+        trace_sha256=hashlib.sha256(trace.encode("utf-8")).hexdigest(),
+        metrics=summary,
+    )
+
+
+def certify_result(result) -> Certificate:
+    """Certify a :class:`~repro.adversary.strategies.SearchResult`'s
+    best placement (convenience wrapper over
+    :func:`certify_placement`)."""
+    return certify_placement(result.config, result.best_faults)

@@ -1,0 +1,114 @@
+"""Mutation kernels: the neighborhood structure of placement search.
+
+Each kernel perturbs a :class:`~repro.adversary.budget.FaultBudget` in
+place -- one add, remove, relocate, or cluster step -- and reports
+whether it changed anything.  Kernels never construct their own
+generator: every random choice comes from the injected ``rng`` (the
+``adversary-injected-rng`` lint rule enforces this), and all candidate
+pools are sorted before a draw, so a kernel sequence is a pure function
+of ``(initial budget, rng state)``.
+
+All kernels share one signature, ``kernel(budget, rng, candidates)``,
+where ``candidates`` is the sorted pool of nodes a fault may occupy
+(the caller excludes the source).  :data:`MOVE_KERNELS` registers them
+by name for the strategies' uniform draw.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Sequence
+
+from repro.adversary.budget import FaultBudget
+from repro.geometry.coords import Coord
+
+#: a mutation kernel: perturb ``budget`` using draws from ``rng``,
+#: choosing among ``candidates``; True when the placement changed.
+MoveKernel = Callable[[FaultBudget, random.Random, Sequence[Coord]], bool]
+
+
+def _addable(
+    budget: FaultBudget, candidates: Sequence[Coord]
+) -> List[Coord]:
+    """The candidates a fault can legally move to, in sorted order."""
+    return [c for c in candidates if budget.can_add(c)]
+
+
+def add_fault(
+    budget: FaultBudget, rng: random.Random, candidates: Sequence[Coord]
+) -> bool:
+    """Place one new fault at a uniformly drawn legal candidate."""
+    pool = _addable(budget, candidates)
+    if not pool:
+        return False
+    budget.add(rng.choice(pool))
+    return True
+
+
+def remove_fault(
+    budget: FaultBudget, rng: random.Random, candidates: Sequence[Coord]
+) -> bool:
+    """Remove one uniformly drawn existing fault.
+
+    ``candidates`` is unused (kept for the uniform kernel signature).
+    """
+    current = sorted(budget.faults)
+    if not current:
+        return False
+    budget.remove(rng.choice(current))
+    return True
+
+
+def relocate_fault(
+    budget: FaultBudget, rng: random.Random, candidates: Sequence[Coord]
+) -> bool:
+    """Move one fault somewhere else legal.
+
+    Removing first frees budget headroom, so the destination pool is
+    computed *after* the removal; when nothing else is legal the fault
+    is put back (no change).
+    """
+    current = sorted(budget.faults)
+    if not current:
+        return False
+    victim = rng.choice(current)
+    budget.remove(victim)
+    pool = [c for c in _addable(budget, candidates) if c != victim]
+    if not pool:
+        budget.add(victim)
+        return False
+    budget.add(rng.choice(pool))
+    return True
+
+
+def cluster_fault(
+    budget: FaultBudget, rng: random.Random, candidates: Sequence[Coord]
+) -> bool:
+    """Add a fault *near* an existing one (crowd a neighborhood).
+
+    The defeating constructions concentrate faults so that some ball is
+    saturated; this kernel biases the search the same way by restricting
+    the destination pool to candidates whose closed ball already contains
+    at least one fault.  Falls back to no-op (not a uniform add) when no
+    such candidate is legal, so its bias is never silently diluted.
+    """
+    if not len(budget):
+        return False
+    pool = [
+        c
+        for c in _addable(budget, candidates)
+        if budget.count_at(c) > 0
+    ]
+    if not pool:
+        return False
+    budget.add(rng.choice(pool))
+    return True
+
+
+#: kernel name -> kernel, in the order strategies cycle through them
+MOVE_KERNELS: Dict[str, MoveKernel] = {
+    "add": add_fault,
+    "remove": remove_fault,
+    "relocate": relocate_fault,
+    "cluster": cluster_fault,
+}

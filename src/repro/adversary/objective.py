@@ -1,0 +1,93 @@
+"""Scalar attack objectives over trial rows.
+
+Search needs a total order on candidate placements.  The simulator's
+graded outcome (via :func:`repro.exec.run_trial` with
+``collect_metrics=True``) gives three progressively weaker signals of
+adversarial success, combined lexicographically by weight:
+
+1. **wrong commits** -- correct nodes that committed a value other than
+   the source's (a safety violation, the strongest possible defeat);
+2. **undecided nodes** -- correct nodes that never committed (a liveness
+   violation; Koo-style defeats show up here);
+3. **wavefront stall** -- how far short of the torus radius the commit
+   wavefront stopped, from :mod:`repro.obs` metrics.  This is the
+   gradient: placements that slow the front score better than ones the
+   broadcast sails through, even when neither defeats outright.
+
+Weights are powers of 10 with a gap larger than any count the supported
+tori can produce, so a single wrong commit always outranks any number of
+undecideds, which outrank any stall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+#: one safety violation beats any liveness count (tori stay < 10^3 nodes)
+WRONG_COMMIT_WEIGHT = 1_000_000
+#: one undecided node beats any stall amount
+UNDECIDED_WEIGHT = 1_000
+
+
+@dataclass(frozen=True)
+class AttackScore:
+    """The graded quality of one placement, higher is worse-for-protocol.
+
+    ``defeated`` is the binary verdict (broadcast not achieved);
+    ``value`` is the scalar the hill uses.  A defeated run always scores
+    at least :data:`UNDECIDED_WEIGHT` (one undecided or one wrong
+    commit), so ``value > 0`` does not imply defeat but defeat implies
+    ``value > 0``.
+    """
+
+    defeated: bool
+    wrong_commits: int
+    undecided: int
+    stall: float
+    value: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for JSON reports."""
+        return {
+            "defeated": self.defeated,
+            "wrong_commits": self.wrong_commits,
+            "undecided": self.undecided,
+            "stall": self.stall,
+            "value": self.value,
+        }
+
+
+def final_wavefront(metrics: Dict[str, Any]) -> float:
+    """The farthest commit-wavefront radius a run reached (0.0 if no
+    correct node ever committed)."""
+    series = metrics.get("commit_wavefront_by_round") or []
+    if not series:
+        return 0.0
+    return float(series[-1][1])
+
+
+def score_row(row: Dict[str, Any], max_radius: int) -> AttackScore:
+    """Score one :func:`repro.exec.run_trial` row (metrics required).
+
+    ``max_radius`` is the largest source distance on the torus (for an
+    L-infinity square torus of side ``s``, ``s // 2``); the stall term is
+    how far short of it the commit wavefront stopped.
+    """
+    if "metrics" not in row:
+        raise KeyError(
+            "score_row needs a metrics-bearing row; evaluate with "
+            "collect_metrics=True"
+        )
+    wrong = int(row.get("wrong_commits", 0))
+    undecided = int(row["undecided"])
+    stall = max(0.0, float(max_radius) - final_wavefront(row["metrics"]))
+    return AttackScore(
+        defeated=not bool(row["achieved"]),
+        wrong_commits=wrong,
+        undecided=undecided,
+        stall=stall,
+        value=(
+            wrong * WRONG_COMMIT_WEIGHT + undecided * UNDECIDED_WEIGHT + stall
+        ),
+    )

@@ -1,0 +1,531 @@
+"""Search strategies: greedy, hill-climb with restarts, annealing.
+
+All three strategies share the same skeleton: start from seeded initial
+placements (the paper's trimmed strip constructions plus random maximal
+placements), repeatedly *propose a batch* of mutated placements
+(:mod:`repro.adversary.moves`), evaluate the whole batch through the
+parallel cached executor (:class:`repro.exec.SweepExecutor`), and decide
+acceptances *serially in batch order*.  That split is what makes the
+search deterministic under parallelism: every random draw happens either
+before the batch is submitted or after its rows are back (and the
+executor's rows are a pure function of the specs), so the same
+:class:`SearchConfig` produces the same :class:`SearchResult` for any
+worker count -- pinned by ``tests/test_adversary_search.py``.
+
+Randomness is derived, never ambient: each strategy builds its generator
+from :func:`repro.exec.derive_seed` over the config's
+:meth:`~SearchConfig.search_key`, so two searches differing in any knob
+draw from unrelated streams.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, fields
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.adversary.budget import FaultBudget
+from repro.adversary.moves import MOVE_KERNELS
+from repro.adversary.objective import AttackScore, score_row
+from repro.errors import ConfigurationError
+from repro.exec import KINDS, ResultCache, ScenarioSpec, SweepExecutor, derive_seed
+from repro.experiments.scenarios import strip_torus
+from repro.faults.constructions import (
+    torus_byzantine_strip,
+    torus_crash_partition,
+)
+from repro.faults.placement import greedy_random_placement, trim_to_budget
+from repro.geometry.coords import Coord
+from repro.grid.torus import Torus
+
+#: a placement as passed between search phases
+Placement = FrozenSet[Coord]
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Everything a search run depends on (and nothing it does not).
+
+    Frozen and canonically serializable (:meth:`search_key`) for the
+    same reason :class:`~repro.exec.ScenarioSpec` is: the key seeds the
+    search's random streams and identifies its work in reports, so two
+    configs with equal fields are the *same* search.
+    """
+
+    kind: str
+    r: int
+    t: int
+    protocol: str = ""
+    byz_strategy: str = "silent"
+    metric: str = "linf"
+    torus_side: Optional[int] = None
+    max_rounds: int = 120
+    seed: int = 0
+    #: hard cap on simulator evaluations (distinct placements scored)
+    eval_budget: int = 96
+    #: proposals evaluated together per search step
+    batch_size: int = 8
+    #: independent starts for hill-climbing
+    restarts: int = 2
+    #: annealing start temperature, in objective-value units
+    init_temp: float = 2000.0
+    #: multiplicative temperature decay per batch
+    cooling: float = 0.85
+    #: return as soon as a defeating placement is scored
+    stop_on_defeat: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigurationError(
+                f"unknown kind {self.kind!r}; expected one of {KINDS}"
+            )
+        if self.t < 0:
+            raise ConfigurationError(f"t must be >= 0, got {self.t}")
+        if self.eval_budget < 1 or self.batch_size < 1 or self.restarts < 1:
+            raise ConfigurationError(
+                "eval_budget, batch_size, and restarts must all be >= 1"
+            )
+        if not self.protocol:
+            object.__setattr__(
+                self,
+                "protocol",
+                "bv-two-hop" if self.kind == "byzantine" else "crash-flood",
+            )
+        if self.torus_side is None:
+            object.__setattr__(
+                self, "torus_side", strip_torus(self.r, self.metric).width
+            )
+
+    def search_key(self) -> str:
+        """Canonical JSON identity (seed-derivation and report key)."""
+        payload = {f.name: getattr(self, f.name) for f in fields(self)}
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """The outcome of one strategy run.
+
+    ``best_faults`` is the highest-scoring placement seen (sorted tuple);
+    ``history`` records ``(evaluations so far, best value so far)`` at
+    each improvement, for convergence plots.
+    """
+
+    strategy: str
+    config: SearchConfig
+    best_faults: Tuple[Coord, ...]
+    best_score: AttackScore
+    defeated: bool
+    evaluations: int
+    history: Tuple[Tuple[int, float], ...]
+    cache_hits: int
+    cache_misses: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (what the CLI prints and tests compare)."""
+        return {
+            "strategy": self.strategy,
+            "search_key": self.config.search_key(),
+            "best_faults": [list(f) for f in self.best_faults],
+            "best_score": self.best_score.as_dict(),
+            "defeated": self.defeated,
+            "evaluations": self.evaluations,
+            "history": [list(h) for h in self.history],
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+
+class PlacementEvaluator:
+    """Scores placements through the parallel cached sweep executor.
+
+    Each placement becomes one explicit-mode :class:`ScenarioSpec`
+    (``trials=1``, ``collect_metrics=True``), so evaluation inherits the
+    executor's determinism and its on-disk memoization: re-running a
+    search against a warm cache recomputes nothing.  An in-memory memo
+    additionally dedupes within the run; only memo misses count against
+    ``config.eval_budget``.
+    """
+
+    def __init__(
+        self,
+        config: SearchConfig,
+        workers: int = 1,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        self.config = config
+        self.topology = Torus.square(config.torus_side, config.r, config.metric)
+        self.source = self.topology.canonical((0, 0))
+        self.candidates: Tuple[Coord, ...] = tuple(
+            sorted(n for n in self.topology.nodes() if n != self.source)
+        )
+        self.max_radius = int(
+            max(
+                self.topology.distance(self.source, n)
+                for n in self.topology.nodes()
+            )
+        )
+        # chunk_size=1: one placement per work unit, so any subset of an
+        # earlier search's placements is rediscoverable in the cache
+        self._executor = SweepExecutor(workers=workers, cache=cache, chunk_size=1)
+        self._memo: Dict[Placement, AttackScore] = {}
+        self.evaluations = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def spec_for(self, placement: Placement) -> ScenarioSpec:
+        """The explicit-mode spec that evaluates ``placement``."""
+        cfg = self.config
+        return ScenarioSpec(
+            kind=cfg.kind,
+            r=cfg.r,
+            t=cfg.t,
+            trials=1,
+            protocol=cfg.protocol,
+            strategy=cfg.byz_strategy if cfg.kind == "byzantine" else None,
+            placement="explicit",
+            metric=cfg.metric,
+            enforce_budget=False,
+            validate=False,
+            max_rounds=cfg.max_rounds,
+            collect_metrics=True,
+            scenario_kwargs=(
+                ("faults", tuple(sorted(placement))),
+                ("torus_side", cfg.torus_side),
+            ),
+        )
+
+    def remaining(self) -> int:
+        """Evaluations left before ``config.eval_budget`` is exhausted."""
+        return max(0, self.config.eval_budget - self.evaluations)
+
+    def evaluate(
+        self, placements: Sequence[Placement]
+    ) -> List[Optional[AttackScore]]:
+        """Score placements; memoized duplicates are free.
+
+        Returns one entry per input, in order.  Placements that would
+        exceed the remaining evaluation budget come back as ``None``
+        (never silently re-ordered), so callers pair inputs with outputs
+        by position and skip the ``None`` tail.
+        """
+        fresh: List[Placement] = []
+        seen_this_call = set()
+        for p in placements:
+            if p not in self._memo and p not in seen_this_call:
+                seen_this_call.add(p)
+                fresh.append(p)
+        fresh = fresh[: self.remaining()]
+        if fresh:
+            result = self._executor.run(
+                [self.spec_for(p) for p in fresh], root_seed=self.config.seed
+            )
+            self.evaluations += len(fresh)
+            self.cache_hits += result.stats.cache_hits
+            self.cache_misses += result.stats.cache_misses
+            for p, rows in zip(fresh, result.rows):
+                self._memo[p] = score_row(rows[0], self.max_radius)
+        return [self._memo.get(p) for p in placements]
+
+
+def _initial_placements(
+    evaluator: PlacementEvaluator, rng: random.Random
+) -> List[Placement]:
+    """Seed placements: the trimmed paper construction, then random
+    maximal budget-respecting placements (one per remaining slot up to
+    three).  The construction goes first -- at or above the threshold it
+    frequently defeats outright, ending the search in one batch."""
+    cfg = evaluator.config
+    topo = evaluator.topology
+    build = (
+        torus_byzantine_strip
+        if cfg.kind == "byzantine"
+        else torus_crash_partition
+    )
+    construction = trim_to_budget(
+        build(topo, evaluator.source),
+        cfg.t,
+        cfg.r,
+        metric=cfg.metric,
+        topology=topo,
+    )
+    out: List[Placement] = [frozenset(construction)]
+    for _ in range(3):
+        out.append(
+            frozenset(
+                greedy_random_placement(
+                    evaluator.candidates,
+                    cfg.t,
+                    cfg.r,
+                    metric=cfg.metric,
+                    topology=topo,
+                    rng=rng,
+                )
+            )
+        )
+    # dedupe, preserving order
+    unique: List[Placement] = []
+    for p in out:
+        if p not in unique:
+            unique.append(p)
+    return unique
+
+
+def _propose_batch(
+    current: Placement,
+    evaluator: PlacementEvaluator,
+    rng: random.Random,
+    kernel_names: Sequence[str],
+) -> List[Placement]:
+    """One batch of distinct mutations of ``current``.
+
+    Each slot rebuilds a :class:`FaultBudget` from ``current`` and
+    applies one randomly chosen kernel; failed or duplicate mutations
+    are retried a bounded number of times so a stuck neighborhood cannot
+    spin forever.
+    """
+    cfg = evaluator.config
+    proposals: List[Placement] = []
+    seen = {current}
+    attempts = 0
+    while len(proposals) < cfg.batch_size and attempts < cfg.batch_size * 8:
+        attempts += 1
+        budget = FaultBudget(
+            cfg.t, cfg.r, cfg.metric, evaluator.topology, faults=current
+        )
+        kernel = MOVE_KERNELS[rng.choice(list(kernel_names))]
+        if not kernel(budget, rng, evaluator.candidates):
+            continue
+        p = budget.faults
+        if p in seen:
+            continue
+        seen.add(p)
+        proposals.append(p)
+    return proposals
+
+
+def _finish(
+    strategy: str,
+    evaluator: PlacementEvaluator,
+    best: Placement,
+    best_score: AttackScore,
+    history: List[Tuple[int, float]],
+) -> SearchResult:
+    """Assemble the result record for any strategy."""
+    return SearchResult(
+        strategy=strategy,
+        config=evaluator.config,
+        best_faults=tuple(sorted(best)),
+        best_score=best_score,
+        defeated=best_score.defeated,
+        evaluations=evaluator.evaluations,
+        history=tuple(history),
+        cache_hits=evaluator.cache_hits,
+        cache_misses=evaluator.cache_misses,
+    )
+
+
+def _scored_pairs(
+    placements: Sequence[Placement],
+    scores: Sequence[Optional[AttackScore]],
+) -> List[Tuple[Placement, AttackScore]]:
+    """Zip placements with their scores, dropping budget-truncated
+    (``None``) entries."""
+    return [(p, s) for p, s in zip(placements, scores) if s is not None]
+
+
+def _best_of(
+    pairs: Sequence[Tuple[Placement, AttackScore]]
+) -> Tuple[Placement, AttackScore]:
+    """The first highest-value pair (ties keep earlier order)."""
+    best_i = max(range(len(pairs)), key=lambda i: (pairs[i][1].value, -i))
+    return pairs[best_i]
+
+
+def _seeded_start(
+    evaluator: PlacementEvaluator,
+    rng: random.Random,
+    history: List[Tuple[int, float]],
+) -> Tuple[Placement, AttackScore]:
+    """Evaluate the initial placements and return the best."""
+    inits = _initial_placements(evaluator, rng)
+    pairs = _scored_pairs(inits, evaluator.evaluate(inits))
+    best, best_score = _best_of(pairs)
+    history.append((evaluator.evaluations, best_score.value))
+    return best, best_score
+
+
+def greedy_search(
+    config: SearchConfig,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> SearchResult:
+    """Strictly improving local search from the seeded start.
+
+    Every batch mutates the incumbent; the best proposal replaces it
+    only when strictly better.  Stops at the first non-improving batch
+    (no restarts, no uphill moves): the cheap baseline the sharper
+    strategies are judged against.
+    """
+    evaluator = PlacementEvaluator(config, workers=workers, cache=cache)
+    rng = random.Random(derive_seed(config.seed, config.search_key(), 0))
+    history: List[Tuple[int, float]] = []
+    best, best_score = _seeded_start(evaluator, rng, history)
+    names = sorted(MOVE_KERNELS)
+    while evaluator.remaining() and not (
+        config.stop_on_defeat and best_score.defeated
+    ):
+        batch = _propose_batch(best, evaluator, rng, names)
+        if not batch:
+            break
+        pairs = _scored_pairs(batch, evaluator.evaluate(batch))
+        if not pairs:
+            break
+        cand, cand_score = _best_of(pairs)
+        if cand_score.value <= best_score.value:
+            break
+        best, best_score = cand, cand_score
+        history.append((evaluator.evaluations, best_score.value))
+    return _finish("greedy", evaluator, best, best_score, history)
+
+
+def hill_climb(
+    config: SearchConfig,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> SearchResult:
+    """Greedy ascent with random restarts.
+
+    Restart 0 climbs from the seeded start; later restarts climb from
+    fresh random maximal placements.  The returned best spans all
+    restarts.
+    """
+    evaluator = PlacementEvaluator(config, workers=workers, cache=cache)
+    rng = random.Random(derive_seed(config.seed, config.search_key(), 1))
+    names = sorted(MOVE_KERNELS)
+    history: List[Tuple[int, float]] = []
+    best, best_score = _seeded_start(evaluator, rng, history)
+    for restart in range(config.restarts):
+        if not evaluator.remaining() or (
+            config.stop_on_defeat and best_score.defeated
+        ):
+            break
+        if restart == 0:
+            cur, cur_score = best, best_score
+        else:
+            start = frozenset(
+                greedy_random_placement(
+                    evaluator.candidates,
+                    config.t,
+                    config.r,
+                    metric=config.metric,
+                    topology=evaluator.topology,
+                    rng=rng,
+                )
+            )
+            start_score = evaluator.evaluate([start])[0]
+            if start_score is None:
+                break
+            cur, cur_score = start, start_score
+        while evaluator.remaining() and not (
+            config.stop_on_defeat and cur_score.defeated
+        ):
+            batch = _propose_batch(cur, evaluator, rng, names)
+            if not batch:
+                break
+            pairs = _scored_pairs(batch, evaluator.evaluate(batch))
+            if not pairs:
+                break
+            cand, cand_score = _best_of(pairs)
+            if cand_score.value <= cur_score.value:
+                break
+            cur, cur_score = cand, cand_score
+            if cur_score.value > best_score.value:
+                best, best_score = cur, cur_score
+                history.append((evaluator.evaluations, best_score.value))
+        if cur_score.value > best_score.value:
+            best, best_score = cur, cur_score
+            history.append((evaluator.evaluations, best_score.value))
+    return _finish("hill-climb", evaluator, best, best_score, history)
+
+
+def simulated_annealing(
+    config: SearchConfig,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> SearchResult:
+    """Batch simulated annealing from the seeded start.
+
+    Each batch proposes mutations of the *walker* (which may sit below
+    the best-so-far); acceptances are decided serially in batch order --
+    downhill moves accepted with probability ``exp(delta / T)`` -- and
+    the temperature cools once per batch.  The uphill tolerance is what
+    lets the walker cross the valleys that stop :func:`greedy_search`.
+    """
+    evaluator = PlacementEvaluator(config, workers=workers, cache=cache)
+    rng = random.Random(derive_seed(config.seed, config.search_key(), 2))
+    names = sorted(MOVE_KERNELS)
+    history: List[Tuple[int, float]] = []
+    best, best_score = _seeded_start(evaluator, rng, history)
+    cur, cur_score = best, best_score
+    temp = config.init_temp
+    while evaluator.remaining() and not (
+        config.stop_on_defeat and best_score.defeated
+    ):
+        batch = _propose_batch(cur, evaluator, rng, names)
+        if not batch:
+            break
+        pairs = _scored_pairs(batch, evaluator.evaluate(batch))
+        if not pairs:
+            break
+        for cand, cand_score in pairs:
+            delta = cand_score.value - cur_score.value
+            if delta >= 0:
+                accept = True
+            else:
+                # bounded exponent: temp decays geometrically, never 0
+                accept = rng.random() < pow(
+                    2.718281828459045, max(-60.0, delta / max(temp, 1e-9))
+                )
+            if accept:
+                cur, cur_score = cand, cand_score
+                if cur_score.value > best_score.value:
+                    best, best_score = cur, cur_score
+                    history.append((evaluator.evaluations, best_score.value))
+        temp *= config.cooling
+    return _finish("anneal", evaluator, best, best_score, history)
+
+
+#: strategy name -> entry point (the CLI's ``--strategy`` values)
+STRATEGIES: Dict[
+    str, Callable[[SearchConfig, int, Optional[ResultCache]], SearchResult]
+] = {
+    "greedy": greedy_search,
+    "hill-climb": hill_climb,
+    "anneal": simulated_annealing,
+}
+
+
+def run_search(
+    config: SearchConfig,
+    strategy: str = "anneal",
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> SearchResult:
+    """Dispatch to a named strategy (see :data:`STRATEGIES`)."""
+    if strategy not in STRATEGIES:
+        raise ConfigurationError(
+            f"unknown strategy {strategy!r}; expected one of "
+            f"{sorted(STRATEGIES)}"
+        )
+    return STRATEGIES[strategy](config, workers=workers, cache=cache)

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.reachability import crash_broadcast_coverage
 from repro.analysis.stats import mean, stdev
+from repro.exec.seeds import derive_seed
 from repro.geometry.coords import Coord
 from repro.grid.topology import Topology
 
@@ -85,7 +86,9 @@ def percolation_curve(
         raise ValueError(f"trials must be >= 1, got {trials}")
     points: List[PercolationPoint] = []
     for i, p in enumerate(probabilities):
-        rng = random.Random((seed, i, round(p * 1e9)).__hash__())
+        rng = random.Random(
+            derive_seed(seed, f"percolation-curve:p={round(p * 1e9)}", i)
+        )
         coverages = [
             percolation_trial(topology, source, p, rng) for _ in range(trials)
         ]
@@ -160,7 +163,9 @@ def cluster_statistics_curve(
     the percolation bench)."""
     rows: List[Dict[str, float]] = []
     for i, p in enumerate(probabilities):
-        rng = random.Random(f"clusters-{seed}-{i}-{p}")
+        rng = random.Random(
+            derive_seed(seed, f"percolation-clusters:p={p}", i)
+        )
         stats = [
             cluster_statistics(topology, p, rng) for _ in range(trials)
         ]

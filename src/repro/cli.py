@@ -265,6 +265,76 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0 if outcome.safe else 1
 
 
+def _cmd_adversary(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from repro.adversary import SearchConfig, certify_result, run_search
+    from repro.exec import ResultCache, default_cache_dir
+
+    cache = None
+    if not args.no_cache:
+        cache_dir = (
+            pathlib.Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+        )
+        cache = ResultCache(cache_dir)
+    config = SearchConfig(
+        kind=args.kind,
+        r=args.r,
+        t=args.t,
+        protocol=args.protocol or "",
+        byz_strategy=args.byz_strategy,
+        torus_side=args.side,
+        max_rounds=args.max_rounds,
+        seed=args.seed,
+        eval_budget=args.budget,
+    )
+    result = run_search(
+        config, strategy=args.strategy, workers=args.workers, cache=cache
+    )
+    summary = {
+        "kind": args.kind,
+        "strategy": args.strategy,
+        "t": args.t,
+        "r": args.r,
+        "defeated": result.defeated,
+        "evaluations": result.evaluations,
+        "best_value": round(result.best_score.value, 2),
+        "faults": len(result.best_faults),
+        "cache_hits": result.cache_hits,
+        "cache_misses": result.cache_misses,
+    }
+    print(format_table([summary], title="adversary search"))
+    report = result.as_dict()
+    if result.defeated:
+        cert = certify_result(result)
+        report["certificate"] = cert.as_dict()
+        print()
+        print(
+            format_table(
+                [
+                    {
+                        "worst_nbd": cert.worst_nbd,
+                        "budget_t": config.t,
+                        "defeated": cert.defeated,
+                        "trace_events": cert.trace_events,
+                        "trace_sha256": cert.trace_sha256[:16],
+                    }
+                ],
+                title="certificate (re-validated + replayed)",
+            )
+        )
+        if args.trace:
+            cert.write_trace(args.trace)
+            print(f"wrote {cert.trace_events} events to {args.trace}")
+    if args.json:
+        pathlib.Path(args.json).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import all_rules, format_json, format_text, lint_paths
 
@@ -442,6 +512,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="print wall-clock phase profile of the engine hot loop",
     )
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_adv = sub.add_parser(
+        "adversary",
+        help="search for a worst-case fault placement",
+        description="Automated adversary search (see docs/ADVERSARY.md): "
+        "explore valid locally-bounded placements for one that defeats "
+        "reliable broadcast, evaluating candidates in parallel with "
+        "work-unit caching. A found counterexample is independently "
+        "re-validated and replayed to a deterministic JSONL trace.",
+    )
+    p_adv.add_argument(
+        "kind", choices=["byzantine", "crash"], help="fault model to attack"
+    )
+    p_adv.add_argument("--r", type=int, default=1, help="radius")
+    p_adv.add_argument("--t", type=int, default=2, help="fault budget")
+    p_adv.add_argument(
+        "--strategy",
+        default="anneal",
+        choices=["greedy", "hill-climb", "anneal"],
+        help="search strategy",
+    )
+    p_adv.add_argument(
+        "--protocol",
+        choices=sorted(protocol_names()),
+        help="protocol (default: bv-two-hop / crash-flood by kind)",
+    )
+    p_adv.add_argument(
+        "--byz-strategy",
+        default="silent",
+        choices=sorted(BYZANTINE_STRATEGIES),
+        help="Byzantine message strategy (ignored for crash searches)",
+    )
+    p_adv.add_argument(
+        "--budget",
+        type=int,
+        default=48,
+        help="max placement evaluations (simulator runs)",
+    )
+    p_adv.add_argument("--seed", type=int, default=0, help="search seed")
+    p_adv.add_argument(
+        "--side", type=int, help="torus side (default: the strip torus)"
+    )
+    p_adv.add_argument(
+        "--max-rounds", type=int, default=120, help="simulation round cap"
+    )
+    p_adv.add_argument(
+        "--workers", type=int, default=1, help="worker processes"
+    )
+    p_adv.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the work-unit cache entirely (no reads, no writes)",
+    )
+    p_adv.add_argument(
+        "--cache-dir",
+        help="cache root (default: $REPRO_CACHE_DIR or "
+        "benchmarks/results/cache)",
+    )
+    p_adv.add_argument(
+        "--trace", help="write the certificate's JSONL trace here"
+    )
+    p_adv.add_argument(
+        "--json", help="write the full search report (+certificate) here"
+    )
+    p_adv.set_defaults(func=_cmd_adversary)
 
     p_lint = sub.add_parser(
         "lint",

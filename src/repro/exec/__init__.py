@@ -33,7 +33,7 @@ from repro.exec.executor import (
     unit_cache_key,
 )
 from repro.exec.seeds import SEED_BITS, derive_seed
-from repro.exec.specs import KINDS, ScenarioSpec, run_trial
+from repro.exec.specs import KINDS, ScenarioSpec, build_scenario, run_trial
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -46,6 +46,7 @@ __all__ = [
     "ScenarioSpec",
     "SweepExecutor",
     "SweepRunResult",
+    "build_scenario",
     "code_version_tag",
     "content_key",
     "default_cache_dir",

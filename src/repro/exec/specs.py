@@ -114,16 +114,14 @@ class ScenarioSpec:
         return cls(**payload)
 
 
-def run_trial(spec: ScenarioSpec, seed: int) -> Dict[str, Any]:
-    """Build, run, and grade one trial of ``spec`` with ``seed``.
+def build_scenario(spec: ScenarioSpec, seed: int):
+    """Construct the :class:`~repro.experiments.scenarios.BroadcastScenario`
+    one trial of ``spec`` runs.
 
-    Returns a flat dict of plain scalars -- the only shape that crosses
-    the worker/cache boundary: ``achieved`` / ``safe`` / ``live``
-    (booleans), ``undecided`` / ``rounds`` / ``messages`` / ``faults``
-    (counts).  With ``spec.collect_metrics`` the row additionally carries
-    ``"metrics"``: the JSON-exact :func:`repro.obs.metrics_summary` of a
-    :class:`repro.obs.RunMetrics` observer attached to the run (identical
-    for any worker count, and stable across the cache boundary).
+    Split out of :func:`run_trial` so certification
+    (:mod:`repro.adversary.certify`) can replay the *exact* scenario a
+    sweep row came from -- same builder, same derived seed -- and attach
+    its own instrumentation.
     """
     # imported lazily so a spec can be constructed (e.g. for cache-key
     # inspection) without paying for the simulator stack
@@ -134,7 +132,7 @@ def run_trial(spec: ScenarioSpec, seed: int) -> Dict[str, Any]:
 
     extra = dict(spec.scenario_kwargs)
     if spec.kind == "byzantine":
-        sc = byzantine_broadcast_scenario(
+        return byzantine_broadcast_scenario(
             r=spec.r,
             t=spec.t,
             protocol=spec.protocol,
@@ -146,18 +144,32 @@ def run_trial(spec: ScenarioSpec, seed: int) -> Dict[str, Any]:
             max_rounds=spec.max_rounds,
             **extra,
         )
-    else:
-        sc = crash_broadcast_scenario(
-            r=spec.r,
-            t=spec.t,
-            placement=spec.placement,
-            metric=spec.metric,
-            seed=seed,
-            enforce_budget=spec.enforce_budget,
-            max_rounds=spec.max_rounds,
-            protocol=spec.protocol,
-            **extra,
-        )
+    return crash_broadcast_scenario(
+        r=spec.r,
+        t=spec.t,
+        placement=spec.placement,
+        metric=spec.metric,
+        seed=seed,
+        enforce_budget=spec.enforce_budget,
+        max_rounds=spec.max_rounds,
+        protocol=spec.protocol,
+        **extra,
+    )
+
+
+def run_trial(spec: ScenarioSpec, seed: int) -> Dict[str, Any]:
+    """Build, run, and grade one trial of ``spec`` with ``seed``.
+
+    Returns a flat dict of plain scalars -- the only shape that crosses
+    the worker/cache boundary: ``achieved`` / ``safe`` / ``live``
+    (booleans), ``undecided`` / ``rounds`` / ``messages`` / ``faults``
+    (counts).  With ``spec.collect_metrics`` the row additionally carries
+    ``"wrong_commits"`` (correct nodes that committed a wrong value) and
+    ``"metrics"``: the JSON-exact :func:`repro.obs.metrics_summary` of a
+    :class:`repro.obs.RunMetrics` observer attached to the run (identical
+    for any worker count, and stable across the cache boundary).
+    """
+    sc = build_scenario(spec, seed)
     if spec.validate:
         sc.validate()
     metrics = None
@@ -178,5 +190,6 @@ def run_trial(spec: ScenarioSpec, seed: int) -> Dict[str, Any]:
     if metrics is not None:
         from repro.obs import metrics_summary
 
+        row["wrong_commits"] = len(out.wrong_commits)
         row["metrics"] = metrics_summary(metrics)
     return row

@@ -135,6 +135,12 @@ _EXPERIMENTS: Tuple[Experiment, ...] = (
         runners.run_threshold_sharpness,
     ),
     Experiment(
+        "EXP-ADV",
+        "Theorems 1, 4-5 (searched adversaries)",
+        "Random vs searched placements at the threshold boundary",
+        runners.run_adversarial_sharpness,
+    ),
+    Experiment(
         "EXP-BOUNDARY",
         "Section I (boundary anomalies)",
         "Bounded grid vs torus: corner connectivity and crash tolerance",

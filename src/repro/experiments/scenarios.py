@@ -6,17 +6,23 @@ produces a graded :class:`~repro.radio.run.BroadcastOutcome`.  The two
 builders cover the experiment axes of the paper:
 
 - :func:`byzantine_broadcast_scenario`: Byzantine faults placed by a named
-  scheme (the half-density strip construction, or random budget-respecting
-  placements) running a named strategy;
+  scheme (the half-density strip construction, random budget-respecting
+  placements, or an explicit caller-supplied fault set) running a named
+  strategy;
 - :func:`crash_broadcast_scenario`: crash faults placed by the full-strip
-  construction or randomly, dead-from-start or staggered.
+  construction, randomly, or explicitly; dead-from-start or staggered.
+
+The ``placement="explicit"`` mode (``faults=...``) exists for the
+adversary search engine (:mod:`repro.adversary`): candidate placements
+are evaluated by round-tripping them through the same builders every
+other experiment uses, so a searched counterexample replays exactly.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Set
+from typing import Any, Dict, Iterable, Optional, Set
 
 from repro.errors import ConfigurationError
 from repro.faults.byzantine import make_byzantine
@@ -150,6 +156,52 @@ class BroadcastScenario:
         )
 
 
+def _resolve_torus(
+    r: int,
+    metric,
+    placement: str,
+    torus: Optional[Torus],
+    torus_side: Optional[int],
+) -> Torus:
+    """The torus a scenario runs on: explicit object, explicit side, or
+    the placement-appropriate default (strip constructions need the wider
+    two-strip torus)."""
+    if torus is not None:
+        if torus_side is not None and torus.width != torus_side:
+            raise ConfigurationError(
+                f"both torus ({torus.width} wide) and torus_side="
+                f"{torus_side} given; pass one"
+            )
+        return torus
+    if torus_side is not None:
+        return Torus.square(torus_side, r, metric)
+    if placement in ("strip", "explicit"):
+        return strip_torus(r, metric)
+    return recommended_torus(r, metric)
+
+
+def _explicit_faults(
+    faults: Optional[Iterable[Coord]], topology: Torus
+) -> Set[Coord]:
+    """Canonicalize a caller-supplied fault set for ``explicit`` mode."""
+    if faults is None:
+        raise ConfigurationError(
+            'placement="explicit" needs faults=<iterable of coordinates>'
+        )
+    return {topology.canonical(tuple(f)) for f in faults}
+
+
+def _reject_stray_faults(
+    faults: Optional[Iterable[Coord]], placement: str
+) -> None:
+    """Refuse a ``faults=`` argument that ``placement`` would ignore."""
+    if faults is not None and placement != "explicit":
+        raise ConfigurationError(
+            f'faults=... only makes sense with placement="explicit", '
+            f"got placement={placement!r}"
+        )
+
+
 def byzantine_broadcast_scenario(
     r: int,
     t: int,
@@ -160,6 +212,8 @@ def byzantine_broadcast_scenario(
     value: int = 1,
     seed: int = 0,
     torus: Optional[Torus] = None,
+    torus_side: Optional[int] = None,
+    faults: Optional[Iterable[Coord]] = None,
     enforce_budget: bool = True,
     max_rounds: int = 200,
     **protocol_kwargs: Any,
@@ -171,18 +225,23 @@ def byzantine_broadcast_scenario(
     placement:
         ``"strip"`` -- the half-density two-strip construction, trimmed to
         the budget ``t`` (the paper's worst case); ``"random"`` -- a random
-        maximal budget-respecting placement.
+        maximal budget-respecting placement; ``"explicit"`` -- the exact
+        fault set passed as ``faults`` (the adversary-search evaluation
+        path).
     strategy:
         A name from :data:`repro.faults.byzantine.BYZANTINE_STRATEGIES`.
+    torus_side:
+        Side of the square torus to run on (mutually exclusive with
+        ``torus``); defaults to the placement-appropriate recommendation.
     enforce_budget:
         Trim the placement down to the budget.  Disable to *exceed* the
         budget deliberately (impossibility demonstrations run the strip at
         ``t`` equal to the bound while telling the protocol the same
-        ``t``).
+        ``t``), or to trust a placement already maintained under budget
+        (explicit placements from :mod:`repro.adversary`).
     """
-    if torus is None:
-        torus = strip_torus(r, metric) if placement == "strip" else recommended_torus(r, metric)
-    topology = torus
+    _reject_stray_faults(faults, placement)
+    topology = _resolve_torus(r, metric, placement, torus, torus_side)
     source = (0, 0)
     rng = random.Random(seed)
     if placement == "strip":
@@ -191,9 +250,12 @@ def byzantine_broadcast_scenario(
         faults = random_bounded_placement(
             topology, t, rng=rng, protect=source
         )
+    elif placement == "explicit":
+        faults = _explicit_faults(faults, topology)
     else:
         raise ConfigurationError(
-            f'unknown placement {placement!r}; expected "strip" or "random"'
+            f"unknown placement {placement!r}; expected "
+            '"strip", "random", or "explicit"'
         )
     if enforce_budget:
         faults = trim_to_budget(
@@ -290,6 +352,8 @@ def crash_broadcast_scenario(
     value: int = 1,
     seed: int = 0,
     torus: Optional[Torus] = None,
+    torus_side: Optional[int] = None,
+    faults: Optional[Iterable[Coord]] = None,
     enforce_budget: bool = True,
     staggered_max_round: Optional[int] = None,
     max_rounds: int = 200,
@@ -300,21 +364,25 @@ def crash_broadcast_scenario(
     ``placement="strip"`` uses the Theorem 4 two-strip partition; trimmed
     to the budget when ``enforce_budget`` (yielding the Theorem 5
     achievable regime), untrimmed otherwise (the impossibility regime).
-    ``staggered_max_round`` switches from dead-from-start to random crash
-    rounds.
+    ``placement="explicit"`` runs the exact ``faults`` set (the
+    adversary-search evaluation path); ``torus_side`` picks the square
+    torus side.  ``staggered_max_round`` switches from dead-from-start to
+    random crash rounds.
     """
-    if torus is None:
-        torus = strip_torus(r, metric) if placement == "strip" else recommended_torus(r, metric)
-    topology = torus
+    _reject_stray_faults(faults, placement)
+    topology = _resolve_torus(r, metric, placement, torus, torus_side)
     source = (0, 0)
     rng = random.Random(seed)
     if placement == "strip":
         faults = torus_crash_partition(topology, source)
     elif placement == "random":
         faults = random_bounded_placement(topology, t, rng=rng, protect=source)
+    elif placement == "explicit":
+        faults = _explicit_faults(faults, topology)
     else:
         raise ConfigurationError(
-            f'unknown placement {placement!r}; expected "strip" or "random"'
+            f"unknown placement {placement!r}; expected "
+            '"strip", "random", or "explicit"'
         )
     if enforce_budget:
         faults = trim_to_budget(

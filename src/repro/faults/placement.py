@@ -17,6 +17,8 @@ import random
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import InvalidPlacementError
+from repro.exec.seeds import derive_seed
+from repro.geometry.balls import closed_ball_points
 from repro.geometry.coords import Coord
 from repro.geometry.metrics import get_metric
 from repro.grid.topology import Topology
@@ -25,14 +27,12 @@ from repro.grid.topology import Topology
 def _closed_ball(
     p: Coord, r: int, metric, topology: Optional[Topology]
 ) -> List[Coord]:
-    """Closed metric ball around ``p``; wrapped when a topology is given."""
-    m = get_metric(metric)
-    px, py = p
-    pts = [(px + dx, py + dy) for dx, dy in m.offsets(r)]
-    pts.append((px, py))
-    if topology is not None:
-        pts = [topology.canonical(q) for q in pts]
-    return pts
+    """Closed metric ball around ``p``; wrapped when a topology is given.
+
+    Thin wrapper over :func:`repro.geometry.balls.closed_ball_points` --
+    the single implementation of the budget's counting geometry.
+    """
+    return closed_ball_points(metric, p, r, topology)
 
 
 def fault_counts_per_nbd(
@@ -74,6 +74,22 @@ def max_faults_per_nbd(
     return (counts[center], center)
 
 
+def max_faults_in_any_nbd(
+    faulty: Iterable[Coord],
+    r: int,
+    metric="linf",
+    topology: Optional[Topology] = None,
+) -> int:
+    """The worst per-neighborhood fault count of a placement.
+
+    The quantity every budget check compares against ``t``; callers that
+    only need the number (not the witness center) should use this rather
+    than re-deriving it from :func:`fault_counts_per_nbd`.
+    """
+    worst, _ = max_faults_per_nbd(faulty, r, metric, topology)
+    return worst
+
+
 def is_valid_placement(
     faulty: Iterable[Coord],
     t: int,
@@ -82,8 +98,7 @@ def is_valid_placement(
     topology: Optional[Topology] = None,
 ) -> bool:
     """Whether no neighborhood contains more than ``t`` faults."""
-    worst, _ = max_faults_per_nbd(faulty, r, metric, topology)
-    return worst <= t
+    return max_faults_in_any_nbd(faulty, r, metric, topology) <= t
 
 
 def validate_placement(
@@ -158,7 +173,10 @@ def greedy_random_placement(
     ``O(|candidates| * |ball|)``.
     """
     m = get_metric(metric)
-    rng = rng or random.Random(0)
+    if rng is None:
+        rng = random.Random(
+            derive_seed(0, "repro.faults.placement.greedy_random_placement", 0)
+        )
     order = list(candidates)
     rng.shuffle(order)
     counts: Dict[Coord, int] = {}

@@ -17,6 +17,7 @@ from __future__ import annotations
 import random
 from typing import Optional, Set
 
+from repro.exec.seeds import derive_seed
 from repro.faults.placement import greedy_random_placement
 from repro.geometry.coords import Coord
 from repro.grid.topology import Topology
@@ -35,7 +36,10 @@ def iid_failures(
     """
     if not 0.0 <= p_fail <= 1.0:
         raise ValueError(f"p_fail must be in [0, 1], got {p_fail}")
-    rng = rng or random.Random(0)
+    if rng is None:
+        rng = random.Random(
+            derive_seed(0, "repro.faults.random_faults.iid_failures", 0)
+        )
     src = topology.canonical(protect)
     return {
         node
@@ -56,7 +60,12 @@ def random_bounded_placement(
     ``protect`` (the source) is never chosen.  With ``target_count`` the
     placement stops early once that many faults are placed.
     """
-    rng = rng or random.Random(0)
+    if rng is None:
+        rng = random.Random(
+            derive_seed(
+                0, "repro.faults.random_faults.random_bounded_placement", 0
+            )
+        )
     src = topology.canonical(protect)
     candidates = [n for n in topology.nodes() if n != src]
     return greedy_random_placement(

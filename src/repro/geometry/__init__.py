@@ -29,6 +29,7 @@ from repro.geometry.metrics import (
 from repro.geometry.balls import (
     ball_offsets,
     ball_size,
+    closed_ball_points,
     linf_ball_size,
     l2_ball_size,
     l1_ball_size,
@@ -65,6 +66,7 @@ __all__ = [
     "get_metric",
     "ball_offsets",
     "ball_size",
+    "closed_ball_points",
     "linf_ball_size",
     "l2_ball_size",
     "l1_ball_size",

@@ -96,6 +96,25 @@ def ball_points(metric, center: Coord, r: int) -> List[Coord]:
     return [(cx + dx, cy + dy) for dx, dy in get_metric(metric).offsets(r)]
 
 
+def closed_ball_points(
+    metric, center: Coord, r: int, topology=None
+) -> List[Coord]:
+    """All lattice points within radius ``r`` of ``center``, including it.
+
+    This is the *closed* metric ball the locally-bounded fault budget is
+    counted over (paper, Section II).  With a finite ``topology`` every
+    point is wrapped to its canonical coordinate, so the returned list
+    may contain duplicates only if the topology is smaller than the
+    ball -- which topology constructors reject.
+    """
+    cx, cy = center
+    pts = [(cx + dx, cy + dy) for dx, dy in get_metric(metric).offsets(r)]
+    pts.append((cx, cy))
+    if topology is not None:
+        pts = [topology.canonical(q) for q in pts]
+    return pts
+
+
 def half_ball_points(
     metric, center: Coord, r: int, direction: Coord, *, strict: bool = True
 ) -> List[Coord]:

@@ -88,6 +88,85 @@ class NoUnseededRngRule(Rule):
 
 
 # ---------------------------------------------------------------------------
+# adversary mutation kernels
+
+
+def _is_adversary_moves_module(name: str) -> bool:
+    """Whether a dotted module name is an adversary ``moves`` module."""
+    parts = name.split(".")
+    return "adversary" in parts and parts[-1] == "moves"
+
+
+@register
+class AdversaryInjectedRngRule(Rule):
+    """Mutation kernels must *receive* their generator, never own one.
+
+    Scope: ``moves`` modules inside an ``adversary`` package -- the
+    search's mutation kernels.  The search strategies replay kernel
+    sequences deterministically by owning the single ``random.Random``
+    and threading it through every kernel call; a kernel that constructs
+    its own generator (or draws from the global module) forks the random
+    stream and silently breaks the serial-equals-parallel contract.
+    Flags:
+
+    - any public top-level function without an ``rng`` parameter;
+    - any ``random.Random`` / ``random.SystemRandom`` construction
+      inside the module (on top of the global-draw checks
+      :class:`NoUnseededRngRule` already applies everywhere).
+    """
+
+    rule_id = "adversary-injected-rng"
+    description = (
+        "adversary mutation kernels must take an injected random.Random "
+        "('rng' parameter) and never construct their own generator"
+    )
+
+    def check_module(
+        self, ctx: LintContext, module: SourceModule
+    ) -> Iterator[Finding]:
+        """Check one adversary ``moves`` module."""
+        if not _is_adversary_moves_module(module.name):
+            return
+        for node in module.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            args = node.args
+            names = {
+                a.arg
+                for a in (
+                    list(args.posonlyargs)
+                    + list(args.args)
+                    + list(args.kwonlyargs)
+                )
+            }
+            if "rng" not in names:
+                yield self.finding(
+                    module,
+                    node,
+                    f"mutation kernel '{node.name}' takes no 'rng' "
+                    "parameter; kernels must use an injected "
+                    "random.Random",
+                )
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "random"
+                and node.func.attr in _ALLOWED_RANDOM_MEMBERS
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"random.{node.func.attr}(...) constructed inside a "
+                    "mutation-kernel module; kernels receive their "
+                    "generator from the strategy",
+                )
+
+
+# ---------------------------------------------------------------------------
 # ordered iteration
 
 #: modules whose iteration order feeds the on-air transmission order

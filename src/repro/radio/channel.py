@@ -72,8 +72,15 @@ class ChannelImperfections:
         )
 
     def make_rng(self) -> random.Random:
-        """The private loss generator for one engine run."""
-        return random.Random(f"channel-loss-{self.seed}")
+        """The private loss generator for one engine run.
+
+        Seeded through :func:`repro.exec.seeds.derive_seed` so the loss
+        stream is process-independent and statistically unrelated to any
+        scenario stream sharing the same integer seed.
+        """
+        from repro.exec.seeds import derive_seed
+
+        return random.Random(derive_seed(self.seed, "channel-loss", 0))
 
 
 PERFECT_CHANNEL = ChannelImperfections()

@@ -1,0 +1,165 @@
+"""The incremental budget tracker vs the batch counter, plus the
+mutation kernels' determinism and validity guarantees."""
+
+import random
+
+import pytest
+
+from repro.adversary import FaultBudget, MOVE_KERNELS
+from repro.errors import InvalidPlacementError
+from repro.exec import derive_seed
+from repro.faults.placement import (
+    fault_counts_per_nbd,
+    max_faults_in_any_nbd,
+)
+from repro.grid.torus import Torus
+
+
+def assert_consistent(budget, topology=None):
+    """The invariant: incremental counts == batch recount, budget held."""
+    expected = fault_counts_per_nbd(
+        budget.faults, budget.r, metric=budget.metric, topology=topology
+    )
+    assert budget._counts == expected
+    assert budget.worst() <= budget.t
+
+
+class TestFaultBudget:
+    def test_empty(self):
+        b = FaultBudget(2, 1)
+        assert len(b) == 0
+        assert b.worst() == 0
+        assert b.faults == frozenset()
+        assert (0, 0) not in b
+
+    def test_add_remove_matches_batch_counter(self):
+        torus = Torus.square(9, 1)
+        rng = random.Random(derive_seed(0, "budget-fuzz", 0))
+        b = FaultBudget(3, 1, topology=torus)
+        nodes = sorted(torus.nodes())
+        for _ in range(200):
+            node = rng.choice(nodes)
+            if node in b:
+                b.remove(node)
+            elif b.can_add(node):
+                b.add(node)
+            assert_consistent(b, torus)
+
+    def test_add_refuses_budget_violation(self):
+        b = FaultBudget(1, 1)
+        b.add((0, 0))
+        assert not b.can_add((1, 0))
+        with pytest.raises(InvalidPlacementError):
+            b.add((1, 0))
+        # far away is fine
+        assert b.can_add((5, 5))
+
+    def test_add_duplicate_raises(self):
+        b = FaultBudget(2, 1)
+        b.add((0, 0))
+        assert not b.can_add((0, 0))
+        with pytest.raises(InvalidPlacementError):
+            b.add((0, 0))
+
+    def test_remove_missing_raises(self):
+        b = FaultBudget(2, 1)
+        with pytest.raises(InvalidPlacementError):
+            b.remove((3, 3))
+
+    def test_canonicalization_on_torus(self):
+        torus = Torus.square(7, 1)
+        b = FaultBudget(2, 1, topology=torus)
+        b.add((7, 7))  # wraps to (0, 0)
+        assert (0, 0) in b
+        with pytest.raises(InvalidPlacementError):
+            b.add((0, 0))
+
+    def test_worst_matches_placement_module(self):
+        torus = Torus.square(9, 1)
+        b = FaultBudget(
+            3, 1, topology=torus, faults=[(0, 0), (1, 1), (4, 4), (5, 4)]
+        )
+        assert b.worst() == max_faults_in_any_nbd(
+            b.faults, 1, topology=torus
+        )
+
+    def test_headroom(self):
+        b = FaultBudget(2, 1)
+        assert b.headroom((0, 0)) == 2
+        b.add((0, 0))
+        assert b.headroom((1, 1)) == 1
+        b.add((1, 1))
+        assert b.headroom((0, 1)) == 0
+
+    def test_copy_is_independent(self):
+        torus = Torus.square(7, 1)
+        b = FaultBudget(2, 1, topology=torus, faults=[(3, 3)])
+        dup = b.copy()
+        dup.add((6, 6))
+        assert (6, 6) in dup
+        assert (6, 6) not in b
+        assert_consistent(b, torus)
+        assert_consistent(dup, torus)
+
+    def test_iteration_is_sorted(self):
+        b = FaultBudget(2, 1, faults=[(5, 5), (0, 0), (3, 1)])
+        assert list(b) == sorted(b.faults)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(InvalidPlacementError):
+            FaultBudget(-1, 1)
+
+
+class TestMoveKernels:
+    def make(self, t=2, faults=((3, 3),)):
+        torus = Torus.square(9, 1)
+        budget = FaultBudget(t, 1, topology=torus, faults=faults)
+        candidates = tuple(
+            sorted(n for n in torus.nodes() if n != (0, 0))
+        )
+        return torus, budget, candidates
+
+    @pytest.mark.parametrize("name", sorted(MOVE_KERNELS))
+    def test_kernels_preserve_validity(self, name):
+        torus, budget, candidates = self.make()
+        rng = random.Random(derive_seed(0, f"kernel:{name}", 0))
+        kernel = MOVE_KERNELS[name]
+        for _ in range(40):
+            kernel(budget, rng, candidates)
+            assert_consistent(budget, torus)
+            assert (0, 0) not in budget
+
+    @pytest.mark.parametrize("name", sorted(MOVE_KERNELS))
+    def test_kernels_deterministic_given_seed(self, name):
+        kernel = MOVE_KERNELS[name]
+        results = []
+        for _ in range(2):
+            _, budget, candidates = self.make()
+            rng = random.Random(derive_seed(7, f"kernel:{name}", 1))
+            changes = [kernel(budget, rng, candidates) for _ in range(20)]
+            results.append((changes, budget.faults))
+        assert results[0] == results[1]
+
+    def test_remove_on_empty_is_noop(self):
+        _, budget, candidates = self.make(faults=())
+        rng = random.Random(1)
+        assert not MOVE_KERNELS["remove"](budget, rng, candidates)
+        assert not MOVE_KERNELS["relocate"](budget, rng, candidates)
+        assert not MOVE_KERNELS["cluster"](budget, rng, candidates)
+
+    def test_cluster_adds_near_existing_fault(self):
+        torus, budget, candidates = self.make(t=3, faults=((4, 4),))
+        rng = random.Random(derive_seed(0, "kernel:cluster-near", 0))
+        assert MOVE_KERNELS["cluster"](budget, rng, candidates)
+        new = set(budget.faults) - {(4, 4)}
+        (added,) = new
+        assert torus.distance(added, (4, 4)) <= 2 * budget.r
+
+    def test_add_saturated_is_noop(self):
+        torus = Torus.square(3, 1)  # one ball covers everything at r=1
+        budget = FaultBudget(1, 1, topology=torus, faults=[(1, 1)])
+        candidates = tuple(
+            sorted(n for n in torus.nodes() if n != (0, 0))
+        )
+        rng = random.Random(2)
+        assert not MOVE_KERNELS["add"](budget, rng, candidates)

@@ -1,0 +1,235 @@
+"""End-to-end adversary search: finds counterexamples exactly above the
+thresholds, never below, deterministically for any worker count."""
+
+import json
+
+import pytest
+
+from repro.adversary import (
+    AttackScore,
+    SearchConfig,
+    UNDECIDED_WEIGHT,
+    WRONG_COMMIT_WEIGHT,
+    certify_placement,
+    certify_result,
+    run_search,
+    score_row,
+)
+from repro.core.thresholds import (
+    crash_linf_threshold,
+    koo_impossibility_bound,
+)
+from repro.errors import ConfigurationError, InvalidPlacementError
+from repro.exec import ResultCache
+from repro.experiments.scenarios import byzantine_broadcast_scenario
+
+
+def config(kind, t, **overrides):
+    """A small fast r=1 search config."""
+    defaults = dict(
+        kind=kind,
+        r=1,
+        t=t,
+        byz_strategy="silent",
+        seed=1,
+        eval_budget=24,
+        max_rounds=60,
+    )
+    defaults.update(overrides)
+    return SearchConfig(**defaults)
+
+
+class TestSearchConfig:
+    def test_defaults_resolved(self):
+        cfg = config("byzantine", 2)
+        assert cfg.protocol == "bv-two-hop"
+        assert cfg.torus_side == 11  # strip torus for r=1
+        cfg = config("crash", 3)
+        assert cfg.protocol == "crash-flood"
+
+    def test_search_key_is_canonical_json(self):
+        cfg = config("byzantine", 2)
+        payload = json.loads(cfg.search_key())
+        assert payload["kind"] == "byzantine"
+        assert payload["t"] == 2
+        assert cfg.search_key() == config("byzantine", 2).search_key()
+        assert cfg.search_key() != config("byzantine", 2, seed=9).search_key()
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            config("gamma-ray", 2)
+        with pytest.raises(ConfigurationError):
+            config("byzantine", -1)
+        with pytest.raises(ConfigurationError):
+            config("byzantine", 2, eval_budget=0)
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ConfigurationError):
+            run_search(config("byzantine", 2), strategy="oracle")
+
+
+class TestObjective:
+    def test_weights_are_lexicographic(self):
+        full_wave = {"commit_wavefront_by_round": [[0, 5.0]]}
+        base = {"achieved": True, "undecided": 0, "metrics": full_wave}
+        wrong = score_row({**base, "wrong_commits": 1}, 5)
+        undecided = score_row({**base, "undecided": 400}, 5)
+        stalled = score_row(
+            {**base, "metrics": {"commit_wavefront_by_round": [[0, 1.0]]}},
+            5,
+        )
+        assert wrong.value > undecided.value > stalled.value
+        assert wrong.value == WRONG_COMMIT_WEIGHT
+        assert undecided.value == 400 * UNDECIDED_WEIGHT
+        assert stalled.stall == 4.0
+
+    def test_metrics_required(self):
+        with pytest.raises(KeyError):
+            score_row({"achieved": True, "undecided": 0}, 5)
+
+    def test_defeated_flag(self):
+        row = {"achieved": False, "undecided": 3, "metrics": {}}
+        score = score_row(row, 5)
+        assert score.defeated
+        assert isinstance(score, AttackScore)
+
+
+@pytest.mark.parametrize("strategy", ["greedy", "hill-climb", "anneal"])
+class TestThresholdBoundary:
+    """Every strategy rediscovers the impossibility exactly at the
+    threshold (r=1: Byzantine t=2, crash t=3) and finds nothing below
+    it within the same budget -- Theorems 1/4/5, operationalized."""
+
+    def test_byzantine_found_at_koo_bound(self, strategy):
+        t = koo_impossibility_bound(1)
+        assert t == 2
+        result = run_search(config("byzantine", t), strategy=strategy)
+        assert result.defeated
+        assert result.best_score.value >= UNDECIDED_WEIGHT
+
+    def test_byzantine_none_below(self, strategy):
+        result = run_search(config("byzantine", 1), strategy=strategy)
+        assert not result.defeated
+        # the search tried (beyond the initial seeds) but stayed within
+        # budget; greedy may stop early on its first plateau
+        assert 4 <= result.evaluations <= 24
+
+    def test_crash_found_at_threshold(self, strategy):
+        t = crash_linf_threshold(1)
+        assert t == 3
+        result = run_search(config("crash", t), strategy=strategy)
+        assert result.defeated
+
+    def test_crash_none_below(self, strategy):
+        result = run_search(
+            config("crash", 2, eval_budget=12), strategy=strategy
+        )
+        assert not result.defeated
+
+
+class TestDeterminism:
+    def test_serial_equals_parallel(self):
+        cfg = config("byzantine", 2)
+        serial = run_search(cfg, strategy="anneal", workers=1)
+        parallel = run_search(cfg, strategy="anneal", workers=4)
+        assert json.dumps(serial.as_dict(), sort_keys=True) == json.dumps(
+            parallel.as_dict(), sort_keys=True
+        )
+
+    def test_repeat_run_identical(self):
+        cfg = config("crash", 3)
+        a = run_search(cfg, strategy="hill-climb")
+        b = run_search(cfg, strategy="hill-climb")
+        assert a.as_dict() == b.as_dict()
+
+    def test_different_seeds_may_differ_but_both_valid(self):
+        r1 = run_search(config("byzantine", 2, seed=1), strategy="greedy")
+        r2 = run_search(config("byzantine", 2, seed=2), strategy="greedy")
+        for r in (r1, r2):
+            assert r.defeated
+            certify_result(r)  # raises if the placement is invalid
+
+    def test_cached_rerun_is_pure_hits(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cfg = config("byzantine", 2)
+        first = run_search(cfg, strategy="anneal", cache=cache)
+        assert first.cache_misses > 0
+        again = run_search(cfg, strategy="anneal", cache=cache)
+        assert again.cache_misses == 0
+        assert again.cache_hits == first.evaluations
+        assert again.as_dict()["best_faults"] == first.as_dict()["best_faults"]
+
+
+class TestCertification:
+    def test_certificate_validates_and_replays(self):
+        result = run_search(config("byzantine", 2), strategy="anneal")
+        cert = certify_result(result)
+        assert cert.defeated
+        assert cert.worst_nbd <= cert.config.t
+        assert cert.trace_events > 0
+        assert cert.trace.count("\n") == cert.trace_events
+        assert len(cert.trace_sha256) == 64
+        payload = cert.as_dict()
+        assert payload["defeated"] is True
+        assert payload["num_faults"] == len(result.best_faults)
+
+    def test_certificate_is_deterministic(self):
+        result = run_search(config("crash", 3), strategy="greedy")
+        a = certify_result(result)
+        b = certify_result(result)
+        assert a.trace_sha256 == b.trace_sha256
+        assert a.as_dict() == b.as_dict()
+
+    def test_trace_roundtrip(self, tmp_path):
+        result = run_search(config("byzantine", 2), strategy="greedy")
+        cert = certify_result(result)
+        out = tmp_path / "cert.jsonl"
+        assert cert.write_trace(out) == cert.trace_events
+        assert out.read_text() == cert.trace
+
+    def test_invalid_placement_refused(self):
+        cfg = config("byzantine", 1)
+        # a 2-in-one-ball placement against t=1
+        with pytest.raises(InvalidPlacementError):
+            certify_placement(cfg, [(3, 3), (3, 4)])
+
+    def test_below_threshold_certificate_not_defeated(self):
+        cfg = config("byzantine", 1)
+        cert = certify_placement(cfg, [(3, 3), (6, 6)])
+        assert not cert.defeated
+        assert cert.worst_nbd <= 1
+
+
+class TestExplicitScenarioMode:
+    def test_explicit_faults_used_verbatim(self):
+        sc = byzantine_broadcast_scenario(
+            r=1,
+            t=2,
+            placement="explicit",
+            faults=[(3, 3), (14, 6)],  # (14, 6) wraps on the side-11 torus
+            enforce_budget=False,
+        )
+        assert sc.faulty_nodes == {(3, 3), (3, 6)}
+
+    def test_explicit_requires_faults(self):
+        with pytest.raises(ConfigurationError):
+            byzantine_broadcast_scenario(r=1, t=2, placement="explicit")
+
+    def test_stray_faults_rejected(self):
+        with pytest.raises(ConfigurationError):
+            byzantine_broadcast_scenario(
+                r=1, t=2, placement="random", faults=[(3, 3)]
+            )
+
+    def test_torus_side_conflict_rejected(self):
+        from repro.grid.torus import Torus
+
+        with pytest.raises(ConfigurationError):
+            byzantine_broadcast_scenario(
+                r=1,
+                t=2,
+                placement="explicit",
+                faults=[(3, 3)],
+                torus=Torus.square(9, 1),
+                torus_side=11,
+            )

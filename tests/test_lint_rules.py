@@ -59,6 +59,7 @@ EXPECTED_RULES = {
     "ordered-iteration",
     "registry-conformance",
     "no-received-mutation",
+    "adversary-injected-rng",
 }
 
 
@@ -122,6 +123,81 @@ class TestNoUnseededRng:
         assert report.findings == []
         assert len(report.suppressed) == 1
         assert report.exit_code == 0
+
+
+# ---------------------------------------------------------------------------
+# adversary-injected-rng
+
+
+class TestAdversaryInjectedRng:
+    def test_passing_kernel(self, tmp_path):
+        source = (
+            "def add_fault(budget, rng, candidates):\n"
+            "    return bool(rng.choice(sorted(candidates)))\n"
+            "def _helper(candidates):\n"
+            "    return sorted(candidates)\n"
+        )
+        report = run_lint(
+            tmp_path,
+            {"repro/adversary/moves.py": source},
+            rules=["adversary-injected-rng"],
+        )
+        assert report.findings == []
+
+    def test_violating_missing_rng_param(self, tmp_path):
+        source = (
+            "def add_fault(budget, candidates):\n"
+            "    return budget\n"
+        )
+        report = run_lint(
+            tmp_path,
+            {"repro/adversary/moves.py": source},
+            rules=["adversary-injected-rng"],
+        )
+        assert rule_ids(report) == {"adversary-injected-rng"}
+        assert len(report.findings) == 1
+        assert report.exit_code == 1
+
+    def test_violating_own_generator(self, tmp_path):
+        source = (
+            "import random\n"
+            "def add_fault(budget, rng, candidates):\n"
+            "    other = random.Random(7)\n"
+            "    return other.random()\n"
+        )
+        report = run_lint(
+            tmp_path,
+            {"repro/adversary/moves.py": source},
+            rules=["adversary-injected-rng"],
+        )
+        assert len(report.findings) == 1
+
+    def test_out_of_scope_module_ignored(self, tmp_path):
+        source = (
+            "import random\n"
+            "def search(config):\n"
+            "    return random.Random(config)\n"
+        )
+        report = run_lint(
+            tmp_path,
+            {"repro/adversary/strategies.py": source},
+            rules=["adversary-injected-rng"],
+        )
+        assert report.findings == []
+
+    def test_suppressed(self, tmp_path):
+        source = (
+            "def add_fault(budget, candidates):"
+            "  # repro: lint-ok[adversary-injected-rng] fixture\n"
+            "    return budget\n"
+        )
+        report = run_lint(
+            tmp_path,
+            {"repro/adversary/moves.py": source},
+            rules=["adversary-injected-rng"],
+        )
+        assert report.findings == []
+        assert len(report.suppressed) == 1
 
 
 # ---------------------------------------------------------------------------

@@ -189,8 +189,15 @@ class TestSweepMetrics:
         bare_spec = ScenarioSpec(kind="byzantine", r=1, t=1, trials=6)
         bare = SweepExecutor(workers=1).run([bare_spec], root_seed=7)
         with_metrics = SweepExecutor(workers=1).run([self.SPEC], root_seed=7)
+        # collect_metrics adds observation-only keys ("metrics" and the
+        # wrong-commit count the adversary objective reads); everything
+        # the simulation itself produced must be untouched
         stripped = [
-            {k: v for k, v in row.items() if k != "metrics"}
+            {
+                k: v
+                for k, v in row.items()
+                if k not in ("metrics", "wrong_commits")
+            }
             for row in with_metrics.rows[0]
         ]
         assert stripped == bare.rows[0]

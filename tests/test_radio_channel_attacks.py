@@ -294,6 +294,69 @@ class TestLossAndRetransmission:
         assert out.safe  # safety is loss-immune (missing info only)
 
 
+class TestAttackEdgeCases:
+    """Schedule and boundary corner cases for the attack strategies."""
+
+    def test_zero_round_jam_schedule_is_harmless(self):
+        """An empty attack schedule (``rounds_to_jam=0``) never fires:
+        the broadcast completes exactly as if the node were correct."""
+        torus = recommended_torus(1)
+        node = (3, 3)
+        jammer = RoundJammer(rounds_to_jam=0)
+        correct = set(torus.nodes()) - {node}
+        processes = correct_process_map(
+            torus, "crash-flood", 0, (0, 0), 1, correct
+        )
+        processes[node] = jammer
+        out = run_broadcast(
+            torus,
+            processes,
+            1,
+            correct,
+            channel=ChannelImperfections(allow_jamming=True),
+            max_rounds=60,
+        )
+        assert out.achieved, out.summary()
+        assert jammer.jams_effective == 0
+
+    def test_attack_from_crashed_node_never_fires(self):
+        """A spoofing attacker crash-stopped at round 0 emits nothing:
+        the Byzantine fault degrades to a plain crash and safety holds."""
+        torus = recommended_torus(1)
+        attacker = (3, 3)
+        correct = set(torus.nodes()) - {attacker}
+        processes = correct_process_map(torus, "cpa", 1, (0, 0), 1, correct)
+        processes[attacker] = SourceImpersonator(0, source=(0, 0))
+        out = run_broadcast(
+            torus,
+            processes,
+            1,
+            correct,
+            crash_round={attacker: 0},
+            channel=ChannelImperfections(allow_spoofing=True),
+            max_rounds=60,
+        )
+        assert out.safe
+        assert not out.wrong_commits
+
+    def test_framer_forged_senders_wrap_on_torus(self):
+        """A framer on the torus boundary forges sender coordinates that
+        canonicalize onto the grid -- no off-grid identities leak."""
+        t = Torus.square(7, 1)
+        log = []
+        eng = Engine(
+            t,
+            {(0, 0): NeighborFramer("bad"), (1, 0): collector(log)},
+            channel=ChannelImperfections(allow_spoofing=True),
+            max_rounds=3,
+        )
+        eng.run()
+        senders = {e.sender for e in log}
+        assert senders <= set(t.nodes())
+        assert (6, 6) in senders  # forged (-1, -1), wrapped
+        assert len(senders) == 8  # one identity per L-inf r=1 offset
+
+
 class TestRetransmittingProcess:
     def test_repeats_validation(self):
         with pytest.raises(ConfigurationError):
