@@ -17,7 +17,8 @@ by name for the strategies' uniform draw.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Sequence
+from types import MappingProxyType
+from typing import Callable, List, Mapping, Sequence
 
 from repro.adversary.budget import FaultBudget
 from repro.geometry.coords import Coord
@@ -106,9 +107,9 @@ def cluster_fault(
 
 
 #: kernel name -> kernel, in the order strategies cycle through them
-MOVE_KERNELS: Dict[str, MoveKernel] = {
+MOVE_KERNELS: Mapping[str, MoveKernel] = MappingProxyType({
     "add": add_fault,
     "remove": remove_fault,
     "relocate": relocate_fault,
     "cluster": cluster_fault,
-}
+})

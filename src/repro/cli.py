@@ -336,12 +336,26 @@ def _cmd_adversary(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.lint import all_rules, format_json, format_text, lint_paths
+    from repro.lint import (
+        all_rules,
+        format_json,
+        format_sarif,
+        format_text,
+        lint_paths,
+        write_baseline,
+    )
 
     if args.list_rules:
         for rule in all_rules():
-            print(f"{rule.rule_id:24s} {rule.description}")
+            tag = " [deep]" if rule.deep else ""
+            print(f"{rule.rule_id:24s} {rule.description}{tag}")
         return 0
+    if args.write_baseline and not args.baseline:
+        print(
+            "repro lint: --write-baseline requires --baseline PATH",
+            file=sys.stderr,
+        )
+        return 2
     if args.paths:
         paths = list(args.paths)
     else:
@@ -355,14 +369,36 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         else None
     )
     try:
-        report = lint_paths(paths, rule_ids)
-    except (FileNotFoundError, KeyError) as exc:
+        report = lint_paths(
+            paths,
+            rule_ids,
+            deep=args.deep,
+            # when (re)writing, a missing baseline is fine (first run);
+            # when gating, a missing baseline is a usage error
+            baseline_path=args.baseline
+            if args.baseline
+            and (not args.write_baseline or os.path.exists(args.baseline))
+            else None,
+        )
+    except (FileNotFoundError, KeyError, ValueError) as exc:
         message = exc.args[0] if exc.args else exc
         print(f"repro lint: {message}", file=sys.stderr)
         return 2
-    rendered = (
-        format_json(report) if args.format == "json" else format_text(report)
-    )
+    if args.write_baseline:
+        count = write_baseline(args.baseline, report)
+        print(
+            f"wrote {args.baseline}: {count} baselined finding(s) "
+            f"({len(report.findings)} newly accepted)"
+        )
+        return 0
+    if args.sarif:
+        pathlib.Path(args.sarif).write_text(format_sarif(report) + "\n")
+    if args.format == "json":
+        rendered = format_json(report)
+    elif args.format == "sarif":
+        rendered = format_sarif(report)
+    else:
+        rendered = format_text(report)
     print(rendered)
     return report.exit_code
 
@@ -590,7 +626,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="files/directories to lint (default: the repro package)",
     )
     p_lint.add_argument(
-        "--format", choices=["text", "json"], default="text",
+        "--format", choices=["text", "json", "sarif"], default="text",
         help="report format",
     )
     p_lint.add_argument(
@@ -601,6 +637,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="list available rules and exit",
+    )
+    p_lint.add_argument(
+        "--deep",
+        action="store_true",
+        help="also run the whole-program analysis passes "
+        "(nondet-taint, cache-key-soundness, fork-safety)",
+    )
+    p_lint.add_argument(
+        "--sarif",
+        metavar="PATH",
+        help="additionally write a SARIF 2.1.0 report to PATH",
+    )
+    p_lint.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="fingerprint baseline: matching findings are reported "
+        "but do not fail the run",
+    )
+    p_lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the current findings into --baseline and exit 0",
     )
     p_lint.set_defaults(func=_cmd_lint)
     return parser

@@ -17,15 +17,32 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field, fields
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Tuple
 
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.scenarios import BroadcastScenario
 
 #: Fault kinds a spec can describe.  ``"byzantine"`` routes through
 #: :func:`repro.experiments.scenarios.byzantine_broadcast_scenario`,
 #: ``"crash"`` through
 #: :func:`repro.experiments.scenarios.crash_broadcast_scenario`.
 KINDS = ("byzantine", "crash")
+
+#: :class:`ScenarioSpec` fields that are *deliberately* outside the
+#: scenario/cache key, with the reason -- audited statically by the
+#: ``cache-key-soundness`` lint pass: any spec field read in the call
+#: closure of :func:`run_trial` must either feed
+#: :meth:`ScenarioSpec.key_payload` or appear here with a reason.
+KEY_EXEMPT_FIELDS: Dict[str, str] = {
+    "collect_metrics": (
+        "pure observation: it never changes the simulation, so it is "
+        "excluded from scenario_key() on purpose (same seeds either "
+        "way); it joins unit_cache_key conditionally because it "
+        "changes the cached row shape"
+    ),
+}
 
 
 @dataclass(frozen=True)
@@ -114,7 +131,7 @@ class ScenarioSpec:
         return cls(**payload)
 
 
-def build_scenario(spec: ScenarioSpec, seed: int):
+def build_scenario(spec: ScenarioSpec, seed: int) -> "BroadcastScenario":
     """Construct the :class:`~repro.experiments.scenarios.BroadcastScenario`
     one trial of ``spec`` runs.
 

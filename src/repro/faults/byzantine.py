@@ -29,7 +29,8 @@ Strategies provided (strongest first, for the protocols in this library):
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, Type
+from types import MappingProxyType
+from typing import Any, Mapping, Type
 
 from repro.errors import ConfigurationError
 from repro.geometry.metrics import get_metric
@@ -177,13 +178,13 @@ class RandomNoiseByzantine(NodeProcess):
             ctx.broadcast(SourceMsg(self.wrong_value))  # fake source (ignored)
 
 
-BYZANTINE_STRATEGIES: Dict[str, Type[NodeProcess]] = {
+BYZANTINE_STRATEGIES: Mapping[str, Type[NodeProcess]] = MappingProxyType({
     "silent": SilentByzantine,
     "liar": EagerLiarByzantine,
     "duplicitous": DuplicitousByzantine,
     "fabricator": FabricatingByzantine,
     "noise": RandomNoiseByzantine,
-}
+})
 """Registry of strategy names for the scenario builders."""
 
 

@@ -21,8 +21,12 @@ from repro.geometry.coords import Coord
 
 
 def dead_from_start(faulty: Iterable[Coord]) -> Dict[Coord, int]:
-    """All faulty nodes crash before executing anything."""
-    return {f: 0 for f in faulty}
+    """All faulty nodes crash before executing anything.
+
+    ``faulty`` is usually a set; the schedule is built in sorted order
+    so the mapping (and anything that iterates it) is deterministic.
+    """
+    return {f: 0 for f in sorted(faulty)}
 
 
 def staggered_crashes(
@@ -31,8 +35,14 @@ def staggered_crashes(
     rng: Optional[random.Random] = None,
 ) -> Dict[Coord, int]:
     """Each faulty node crashes at an independent uniform round in
-    ``[0, max_round]``."""
+    ``[0, max_round]``.
+
+    Draws happen in sorted node order: when ``faulty`` is a set, pairing
+    draws with raw set-iteration order would couple every crash round to
+    the interpreter's hash seeding -- the exact bug class the
+    ``nondet-taint`` lint pass exists to catch.
+    """
     if max_round < 0:
         raise ValueError(f"max_round must be >= 0, got {max_round}")
     rng = rng or random.Random(0)
-    return {f: rng.randint(0, max_round) for f in faulty}
+    return {f: rng.randint(0, max_round) for f in sorted(faulty)}

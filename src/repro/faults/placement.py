@@ -50,7 +50,10 @@ def fault_counts_per_nbd(
     """
     counts: Dict[Coord, int] = {}
     seen: Set[Coord] = set()
-    for f in faulty:
+    # sorted so the returned dict's insertion order is canonical even
+    # when ``faulty`` arrives as a set (counts are order-free, but
+    # downstream iteration over the result should not vary per run)
+    for f in sorted(faulty):
         cf = topology.canonical(f) if topology is not None else (f[0], f[1])
         if cf in seen:
             continue

@@ -14,7 +14,8 @@ with translations to pivot around an arbitrary center.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from types import MappingProxyType
+from typing import Callable, Iterable, List, Mapping, Sequence, Tuple
 
 from repro.geometry.coords import Coord
 
@@ -65,7 +66,7 @@ def mirror_anti(p: Coord) -> Coord:
     return (-p[1], -p[0])
 
 
-DIHEDRAL_TRANSFORMS: Dict[str, Transform] = {
+DIHEDRAL_TRANSFORMS: Mapping[str, Transform] = MappingProxyType({
     "identity": identity,
     "rot90": rot90,
     "rot180": rot180,
@@ -74,7 +75,7 @@ DIHEDRAL_TRANSFORMS: Dict[str, Transform] = {
     "mirror_y": mirror_y,
     "mirror_diag": mirror_diag,
     "mirror_anti": mirror_anti,
-}
+})
 """All eight elements of D4, keyed by name."""
 
 

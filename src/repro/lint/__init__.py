@@ -9,32 +9,60 @@ package enforces them with an AST-based linter so they survive growth.
 Shipped rules (see :mod:`repro.lint.determinism`, :mod:`repro.lint.model`
 and :mod:`repro.lint.conformance` for the full contracts):
 
-========================  ==================================================
-rule id                   invariant
-========================  ==================================================
-``no-unseeded-rng``       library code draws only from injected/seeded
-                          ``random.Random`` generators
-``no-envelope-forgery``   only ``repro.radio`` constructs ``Envelope``
-``frozen-payloads``       payload dataclasses are ``frozen=True``
-``ordered-iteration``     engine/protocol code iterates sets (and
-                          delivery-path dict views) via ``sorted(...)``
-``registry-conformance``  protocols and experiments are registered
-``no-received-mutation``  receive handlers never mutate received messages
-========================  ==================================================
+=========================  =================================================
+rule id                    invariant
+=========================  =================================================
+``no-unseeded-rng``        library code draws only from injected/seeded
+                           ``random.Random`` generators
+``no-envelope-forgery``    only ``repro.radio`` constructs ``Envelope``
+``frozen-payloads``        payload dataclasses are ``frozen=True``
+``ordered-iteration``      engine/protocol code iterates sets (and
+                           delivery-path dict views) via ``sorted(...)``
+``registry-conformance``   protocols and experiments are registered
+``no-received-mutation``   receive handlers never mutate received messages
+``adversary-injected-rng`` move kernels draw only from their injected rng
+=========================  =================================================
+
+Three whole-program passes (:mod:`repro.lint.analysis`) run under
+``repro lint --deep``, powered by an interprocedural project model
+(symbol tables, class hierarchy, call graph):
+
+=========================  =================================================
+rule id                    invariant
+=========================  =================================================
+``nondet-taint``           no nondeterminism source (module rng, time,
+                           urandom, uuid, set/dict iteration order) reaches
+                           ``Engine.run`` / ``run_trial`` /
+                           ``build_scenario`` / move kernels except through
+                           ``derive_seed``
+``cache-key-soundness``    every ``ScenarioSpec`` field read in
+                           ``run_trial``'s call closure is in the cache key
+                           or explicitly exempted in ``KEY_EXEMPT_FIELDS``
+``fork-safety``            pool-submitted closures carry no mutable
+                           defaults, rebind no globals, mutate no module
+                           state, and read only frozen registries
+=========================  =================================================
 
 Violations can be silenced per line with
-``# repro: lint-ok[rule-id] reason`` (the reason is mandatory).  Run via
-``python -m repro lint [paths...]`` or programmatically through
-:func:`lint_paths`.
+``# repro: lint-ok[rule-id] reason`` (the reason is mandatory), or
+accepted as known debt in the checked-in ``lint-baseline.json``
+(:mod:`repro.lint.baseline`).  Run via ``python -m repro lint
+[paths...]`` or programmatically through :func:`lint_paths`; see
+``docs/LINTING.md`` for the full guide.
 """
 
+from repro.lint.baseline import fingerprint, load_baseline, write_baseline
 from repro.lint.findings import Finding, Severity, Suppression
-from repro.lint.reporters import format_json, format_text
+from repro.lint.reporters import format_json, format_sarif, format_text
 from repro.lint.rules import REGISTRY, Rule, all_rules, get_rules, register
 from repro.lint.runner import LintReport, lint_modules, lint_paths
 from repro.lint.sources import LintContext, ParseFailure, SourceModule
 
 __all__ = [
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+    "format_sarif",
     "Finding",
     "Severity",
     "Suppression",

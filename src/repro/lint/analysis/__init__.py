@@ -1,0 +1,43 @@
+"""Whole-program analysis layer for the deep lint passes.
+
+The per-file rules in :mod:`repro.lint` check what a single AST can
+prove.  The determinism contract of :mod:`repro.exec` is a *whole
+program* property: a nondeterministic draw three calls upstream of
+:func:`repro.exec.specs.run_trial` corrupts cached sweep rows exactly as
+badly as one inside it.  This subpackage supplies the missing layer:
+
+- :mod:`repro.lint.analysis.project` -- the :class:`ProjectModel`:
+  per-module symbol tables, an import graph with re-export chasing, a
+  call graph with class-method resolution (CHA over project subclasses),
+  and interprocedural set-valuedness propagation;
+- :mod:`repro.lint.analysis.taint` -- the ``nondet-taint`` pass;
+- :mod:`repro.lint.analysis.cachekey` -- the ``cache-key-soundness``
+  pass;
+- :mod:`repro.lint.analysis.forksafety` -- the ``fork-safety`` pass.
+
+The passes are registered like any other rule but carry
+``deep = True``: they only run under ``repro lint --deep`` (or when
+selected explicitly with ``--rules``), because building the project
+model over a large tree costs real time and the per-file rules should
+stay instant.
+"""
+
+from repro.lint.analysis.project import (
+    CallEdge,
+    ClassInfo,
+    FunctionInfo,
+    ModuleBinding,
+    ModuleTable,
+    ProjectModel,
+    TypeRef,
+)
+
+__all__ = [
+    "CallEdge",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleBinding",
+    "ModuleTable",
+    "ProjectModel",
+    "TypeRef",
+]

@@ -1,0 +1,267 @@
+"""``cache-key-soundness``: every spec field read must be in the key.
+
+The sweep cache (:mod:`repro.exec.cache`) reuses work-unit rows keyed by
+``unit_cache_key`` -- which is built from
+:meth:`repro.exec.specs.ScenarioSpec.key_payload`.  If any code reachable
+from :func:`~repro.exec.specs.run_trial` reads a ``ScenarioSpec`` field
+that is *not* part of that key, two specs differing only in that field
+hash identically and one silently serves the other's cached rows: stale
+results masquerading as ground truth.
+
+This pass proves the complement statically:
+
+1. recover the field list from the ``ScenarioSpec`` class body;
+2. recover the *key field* set from ``key_payload``'s exclusion tuple
+   (``f.name not in (...)``) and its explicit ``payload["..."] = ...``
+   re-adds;
+3. recover the sanctioned exemptions from the module-level
+   ``KEY_EXEMPT_FIELDS`` dict (field -> reason, reason mandatory);
+4. collect every ``<spec>.field`` attribute read in the call closure of
+   ``run_trial`` (receivers typed ``ScenarioSpec`` via annotations or
+   inference; the spec's own methods are exempt -- they *define* the
+   key) and flag any read outside ``key fields | exemptions``.
+
+Exemption hygiene is checked too: an exempt entry that names an unknown
+field, an already-keyed field, or carries no reason is reported as a
+warning anchored at the table.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.analysis.project import FunctionInfo, ProjectModel
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import Rule, register
+from repro.lint.sources import LintContext
+
+#: name of the spec class whose fields feed the cache key
+SPEC_CLASS = "ScenarioSpec"
+#: module suffix where the spec class and key live
+SPEC_MODULE_SUFFIX = "exec.specs"
+#: name of the module-level exemption table (field -> reason)
+EXEMPT_TABLE = "KEY_EXEMPT_FIELDS"
+
+
+def _spec_module(model: ProjectModel) -> Optional[str]:
+    for name in sorted(model.tables):
+        if name == SPEC_MODULE_SUFFIX or name.endswith(
+            "." + SPEC_MODULE_SUFFIX
+        ):
+            return name
+    return None
+
+
+def _spec_fields(cls_node: ast.ClassDef) -> List[str]:
+    """Dataclass field names from the class body, in declaration order."""
+    out: List[str] = []
+    for stmt in cls_node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            ann = stmt.annotation
+            head = ""
+            if isinstance(ann, ast.Subscript):
+                head = getattr(ann.value, "id", "") or getattr(
+                    ann.value, "attr", ""
+                )
+            if head == "ClassVar":
+                continue
+            out.append(stmt.target.id)
+    return out
+
+
+def _key_fields(
+    fields: List[str], key_payload: ast.AST
+) -> Tuple[Set[str], bool]:
+    """``(key fields, recognized)`` from the ``key_payload`` body.
+
+    Recognizes the canonical shape: a comprehension filtering
+    ``f.name not in (<str>, ...)`` plus explicit
+    ``payload["name"] = ...`` re-adds.  ``recognized`` is False when no
+    exclusion filter was found (then the pass assumes *all* fields are
+    keyed rather than guessing).
+    """
+    excluded: Set[str] = set()
+    readded: Set[str] = set()
+    recognized = False
+    for node in ast.walk(key_payload):
+        if isinstance(node, ast.Compare) and len(node.ops) == 1 and (
+            isinstance(node.ops[0], ast.NotIn)
+        ):
+            comp = node.comparators[0]
+            if isinstance(comp, (ast.Tuple, ast.List, ast.Set)):
+                names = [
+                    e.value
+                    for e in comp.elts
+                    if isinstance(e, ast.Constant)
+                    and isinstance(e.value, str)
+                ]
+                if names:
+                    recognized = True
+                    excluded.update(names)
+        elif isinstance(node, ast.Assign):
+            for tgt in node.targets:
+                if (
+                    isinstance(tgt, ast.Subscript)
+                    and isinstance(tgt.slice, ast.Constant)
+                    and isinstance(tgt.slice.value, str)
+                ):
+                    readded.add(tgt.slice.value)
+    if not recognized:
+        return set(fields), False
+    return (set(fields) - excluded) | (readded & set(fields)), True
+
+
+def _exempt_entries(
+    model: ProjectModel, spec_module: str
+) -> Tuple[Dict[str, str], Optional[ast.AST]]:
+    """Parse the ``KEY_EXEMPT_FIELDS`` literal: field -> reason."""
+    binding = model.bindings.get(f"{spec_module}.{EXEMPT_TABLE}")
+    if binding is None:
+        return {}, None
+    value = binding.value
+    if isinstance(value, ast.Call) and value.args:
+        value = value.args[0]  # unwrap MappingProxyType({...})
+    entries: Dict[str, str] = {}
+    if isinstance(value, ast.Dict):
+        for k, v in zip(value.keys, value.values):
+            if isinstance(k, ast.Constant) and isinstance(k.value, str):
+                reason = (
+                    v.value
+                    if isinstance(v, ast.Constant)
+                    and isinstance(v.value, str)
+                    else ""
+                )
+                entries[k.value] = reason
+    return entries, binding.value
+
+
+@register
+class CacheKeySoundnessRule(Rule):
+    """Prove every reachable ``ScenarioSpec`` read is key-covered."""
+
+    rule_id = "cache-key-soundness"
+    deep = True
+    description = (
+        "every ScenarioSpec field read reachable from run_trial must be "
+        "in scenario_key()/key_payload or listed in KEY_EXEMPT_FIELDS"
+    )
+
+    def check_project(self, ctx: LintContext) -> Iterator[Finding]:
+        """Run the cache-key pass over the whole lint context."""
+        model = ctx.project
+        spec_module = _spec_module(model)
+        if spec_module is None:
+            return
+        spec_cls = model.classes.get(f"{spec_module}.{SPEC_CLASS}")
+        if spec_cls is None:
+            return
+        run_trial = model.functions.get(f"{spec_module}.run_trial")
+        if run_trial is None:
+            return
+        fields = _spec_fields(spec_cls.node)
+        key_payload = spec_cls.methods.get("key_payload")
+        if key_payload is None:
+            yield self.finding(
+                spec_cls.module,
+                spec_cls.node,
+                f"{SPEC_CLASS} has no key_payload() method; the cache "
+                "key cannot be audited",
+            )
+            return
+        key_fields, _ = _key_fields(fields, key_payload.node)
+        exempt, table_node = _exempt_entries(model, spec_module)
+
+        yield from self._check_exemptions(
+            spec_cls, fields, key_fields, exempt, table_node
+        )
+        yield from self._check_reads(
+            model, spec_cls.qualname, run_trial, fields, key_fields,
+            set(exempt),
+        )
+
+    def _check_exemptions(
+        self,
+        spec_cls,
+        fields: List[str],
+        key_fields: Set[str],
+        exempt: Dict[str, str],
+        table_node: Optional[ast.AST],
+    ) -> Iterator[Finding]:
+        anchor = table_node if table_node is not None else spec_cls.node
+        for name in sorted(exempt):
+            problem = None
+            if name not in fields:
+                problem = f"names unknown field {name!r}"
+            elif name in key_fields:
+                problem = (
+                    f"names field {name!r} which is already part of the "
+                    "key (remove the stale entry)"
+                )
+            elif not exempt[name].strip():
+                problem = f"entry for {name!r} has no reason"
+            if problem:
+                f = self.finding(
+                    spec_cls.module,
+                    anchor,
+                    f"{EXEMPT_TABLE} {problem}",
+                )
+                yield Finding(
+                    rule_id=f.rule_id,
+                    severity=Severity.WARNING,
+                    path=f.path,
+                    line=f.line,
+                    col=f.col,
+                    message=f.message,
+                    module=f.module,
+                )
+
+    def _check_reads(
+        self,
+        model: ProjectModel,
+        spec_qualname: str,
+        run_trial: FunctionInfo,
+        fields: List[str],
+        key_fields: Set[str],
+        exempt: Set[str],
+    ) -> Iterator[Finding]:
+        field_set = set(fields)
+        covered = key_fields | exempt
+        parents = model.reachable_from([run_trial.qualname])
+        seen: Set[Tuple[str, int, int, str]] = set()
+        for qualname in sorted(parents):
+            fn = model.functions.get(qualname)
+            if fn is None or fn.cls == spec_qualname:
+                continue
+            env = model.local_env(fn)
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Attribute):
+                    continue
+                if node.attr not in field_set or node.attr in covered:
+                    continue
+                base_t = model.expr_type(fn, env, node.value)
+                if base_t is None or base_t.cls != spec_qualname:
+                    continue
+                key = (
+                    fn.module.name,
+                    node.lineno,
+                    node.col_offset,
+                    node.attr,
+                )
+                if key in seen:
+                    continue
+                seen.add(key)
+                chain = " -> ".join(
+                    model.call_chain(parents, qualname)
+                )
+                yield self.finding(
+                    fn.module,
+                    node,
+                    f"ScenarioSpec.{node.attr} is read here (reachable "
+                    f"from run_trial via {chain}) but is not part of "
+                    "key_payload() and not listed in "
+                    f"{EXEMPT_TABLE}; cached rows could be reused "
+                    f"across specs differing in {node.attr!r}",
+                )

@@ -1,0 +1,1032 @@
+"""The project model: symbol tables, import graph, call graph, types.
+
+Everything the deep passes know about the program lives here, computed
+once per lint run from the parsed :class:`~repro.lint.sources.
+SourceModule` list (no imports are executed -- this is still a static
+tool that must survive unimportable code).
+
+The model is deliberately a *linter's* model, not a compiler's:
+
+- types are a three-field lattice (:class:`TypeRef`: project class,
+  container kind, element type) -- enough to resolve ``self.processes[
+  nb].on_receive(...)`` through a ``Mapping[Coord, NodeProcess]``
+  annotation, and to know that ``sorted(faulty)`` is no longer a set;
+- method calls resolve through the static receiver type *and* every
+  project subclass override (class-hierarchy analysis), because the
+  engine dispatches protocol behavior virtually;
+- ``from repro.exec import derive_seed`` chases the re-export chain to
+  the defining module, so barrier/sink matching works on canonical
+  qualified names;
+- set-valuedness flows interprocedurally: a call site passing a set
+  into an ``Iterable`` (or unannotated) parameter marks that parameter
+  set-valued, to a fixpoint, so iteration-order hazards surface in the
+  callee where they actually bite.
+
+Unresolved *project-internal* imports are recorded in
+:attr:`ProjectModel.warnings`; the self-check test pins that list empty
+over ``src/repro`` so the model provably covers the tree it gates.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.sources import LintContext, SourceModule
+
+#: annotation heads meaning "this is a set"
+_SET_HEADS = {"set", "Set", "frozenset", "FrozenSet", "AbstractSet",
+              "MutableSet"}
+#: annotation heads meaning "this is a mapping"
+_DICT_HEADS = {"dict", "Dict", "Mapping", "MutableMapping", "DefaultDict",
+               "OrderedDict", "Counter"}
+#: annotation heads with a guaranteed iteration order
+_SEQ_HEADS = {"list", "List", "Sequence", "MutableSequence", "tuple",
+              "Tuple", "Deque", "deque"}
+#: annotation heads that promise only iterability -- a set passed here
+#: is still iterated in set order, so set-ness may flow in
+_ITER_HEADS = {"Iterable", "Iterator", "Collection", "Container",
+               "Generator", "Reversible"}
+#: transparent annotation wrappers to unwrap
+_WRAPPER_HEADS = {"Optional", "Final", "ClassVar", "Annotated", "Union"}
+
+
+@dataclass(frozen=True)
+class TypeRef:
+    """A linter-grade type: project class and/or container shape.
+
+    ``cls`` is the fully qualified name of a project class when the
+    value is (an instance of) one.  ``container`` is one of ``"set"``,
+    ``"dict"``, ``"seq"``, ``"iter"`` or ``None``; ``elem`` is the
+    element type for sets/sequences and the *value* type for dicts.
+    """
+
+    cls: Optional[str] = None
+    container: Optional[str] = None
+    elem: Optional["TypeRef"] = None
+
+    @property
+    def is_set(self) -> bool:
+        """Whether iterating this value visits elements in set order."""
+        return self.container == "set"
+
+
+@dataclass
+class FunctionInfo:
+    """One analyzable function or method."""
+
+    name: str
+    #: ``module.func`` or ``module.Class.func``
+    qualname: str
+    module: SourceModule
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    #: owning class qualname for methods, else ``None``
+    cls: Optional[str] = None
+    params: List[str] = field(default_factory=list)
+    param_types: Dict[str, TypeRef] = field(default_factory=dict)
+    returns: Optional[TypeRef] = None
+    #: parameters proven set-valued at some call site (interprocedural)
+    set_params: Set[str] = field(default_factory=set)
+    decorators: List[str] = field(default_factory=list)
+
+    @property
+    def is_method(self) -> bool:
+        """Whether this function is defined inside a class body."""
+        return self.cls is not None
+
+
+@dataclass
+class ClassInfo:
+    """One project class: bases, methods, attribute types."""
+
+    name: str
+    qualname: str
+    module: SourceModule
+    node: ast.ClassDef
+    #: resolved base-class qualnames (project classes only)
+    bases: List[str] = field(default_factory=list)
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: instance-attribute types harvested from ``__init__`` assignments,
+    #: annotated class-body fields, and property return annotations
+    attr_types: Dict[str, TypeRef] = field(default_factory=dict)
+    #: direct project subclasses (qualnames), filled by the model
+    subclasses: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ModuleBinding:
+    """One module-level name binding (``X = <expr>``)."""
+
+    name: str
+    qualname: str
+    module: SourceModule
+    #: the bound value expression
+    value: ast.AST
+    lineno: int
+    #: whether the bound value is a mutable container by construction
+    mutable: bool = False
+    #: short description of the value kind (for messages)
+    kind: str = ""
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One resolved call-graph edge."""
+
+    caller: str
+    callee: str
+    #: the call expression at the call site
+    node: ast.Call
+    lineno: int
+
+
+@dataclass
+class ModuleTable:
+    """Per-module symbol table."""
+
+    module: SourceModule
+    #: local name -> qualified target (module, or ``module.symbol``)
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    bindings: Dict[str, ModuleBinding] = field(default_factory=dict)
+
+
+_MUTABLE_DISPLAYS = (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                     ast.ListComp, ast.SetComp)
+_MUTABLE_CALLS = {"dict", "list", "set", "defaultdict", "deque",
+                  "OrderedDict", "Counter"}
+#: calls producing an immutable view/copy -- the sanctioned freezers
+_FREEZER_CALLS = {"MappingProxyType", "frozenset", "tuple"}
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` as a string for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _head_name(node: ast.AST) -> str:
+    """Trailing identifier of a Name/Attribute (``typing.Set`` -> Set)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _value_mutability(value: ast.AST) -> Tuple[bool, str]:
+    """``(mutable, kind)`` judgment for a module-level bound value."""
+    if isinstance(value, ast.Dict) or isinstance(value, ast.DictComp):
+        return True, "dict literal"
+    if isinstance(value, (ast.List, ast.ListComp)):
+        return True, "list literal"
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return True, "set literal"
+    if isinstance(value, ast.Call):
+        head = _head_name(value.func)
+        if head in _MUTABLE_CALLS:
+            return True, f"{head}() call"
+        if head in _FREEZER_CALLS:
+            return False, f"{head}() view"
+    return False, type(value).__name__
+
+
+class ProjectModel:
+    """Whole-program facts over one :class:`LintContext`.
+
+    Construction is pure analysis over already-parsed ASTs: build the
+    symbol tables, resolve imports (chasing re-exports), resolve class
+    bases and subclass lists, harvest attribute/parameter/return types,
+    build the call graph, then propagate set-valuedness to a fixpoint.
+    """
+
+    def __init__(self, ctx: LintContext) -> None:
+        self.ctx = ctx
+        self.tables: Dict[str, ModuleTable] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.bindings: Dict[str, ModuleBinding] = {}
+        #: caller qualname -> outgoing edges (call-site order)
+        self.calls: Dict[str, List[CallEdge]] = {}
+        #: unresolved project-internal imports (should be empty on a
+        #: healthy tree; pinned by the self-check test)
+        self.warnings: List[str] = []
+        self._chase_cache: Dict[str, Optional[str]] = {}
+        self._roots = {m.name.split(".")[0] for m in ctx.modules}
+
+        for module in ctx.modules:
+            self._build_table(module)
+        # types resolve only after *every* table exists: resolving an
+        # annotation mid-build would cache negative import chases
+        self._resolve_types()
+        for table in self.tables.values():
+            self._resolve_class_hierarchy(table)
+        for table in self.tables.values():
+            self._harvest_attr_types(table)
+        self._build_call_graph()
+        self._propagate_set_params()
+
+    # -- symbol tables ------------------------------------------------------
+
+    def _build_table(self, module: SourceModule) -> None:
+        table = ModuleTable(module=module)
+        self.tables[module.name] = table
+        is_package = os.path.basename(module.path) == "__init__.py"
+        # imports anywhere in the file (function-local lazy imports are
+        # hoisted into the module scope -- unsound for shadowing, right
+        # for resolution)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else (
+                        alias.name.split(".")[0]
+                    )
+                    table.imports[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = self._import_base(module.name, is_package, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    table.imports[local] = (
+                        f"{base}.{alias.name}" if base else alias.name
+                    )
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = self._function_info(module, stmt, cls=None)
+                table.functions[stmt.name] = info
+                self.functions[info.qualname] = info
+            elif isinstance(stmt, ast.ClassDef):
+                self._class_table(module, table, stmt)
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    stmt.targets
+                    if isinstance(stmt, ast.Assign)
+                    else [stmt.target]
+                )
+                value = stmt.value
+                if value is None:
+                    continue
+                for tgt in targets:
+                    if not isinstance(tgt, ast.Name):
+                        continue
+                    mutable, kind = _value_mutability(value)
+                    binding = ModuleBinding(
+                        name=tgt.id,
+                        qualname=f"{module.name}.{tgt.id}",
+                        module=module,
+                        value=value,
+                        lineno=stmt.lineno,
+                        mutable=mutable,
+                        kind=kind,
+                    )
+                    table.bindings[tgt.id] = binding
+                    self.bindings[binding.qualname] = binding
+
+    def _import_base(
+        self, module_name: str, is_package: bool, node: ast.ImportFrom
+    ) -> Optional[str]:
+        """The absolute package a ``from ... import`` pulls from."""
+        if not node.level:
+            return node.module or ""
+        parts = module_name.split(".")
+        if not is_package:
+            parts = parts[:-1]
+        strip = node.level - 1
+        if strip:
+            if strip >= len(parts):
+                return None
+            parts = parts[:-strip]
+        base = ".".join(parts)
+        if node.module:
+            base = f"{base}.{node.module}" if base else node.module
+        return base
+
+    def _class_table(
+        self, module: SourceModule, table: ModuleTable, node: ast.ClassDef
+    ) -> None:
+        qualname = f"{module.name}.{node.name}"
+        info = ClassInfo(
+            name=node.name, qualname=qualname, module=module, node=node
+        )
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = self._function_info(module, stmt, cls=qualname)
+                info.methods[stmt.name] = fn
+                self.functions[fn.qualname] = fn
+        table.classes[node.name] = info
+        self.classes[qualname] = info
+
+    def _function_info(
+        self,
+        module: SourceModule,
+        node: ast.AST,
+        cls: Optional[str],
+    ) -> FunctionInfo:
+        prefix = cls if cls else module.name
+        info = FunctionInfo(
+            name=node.name,
+            qualname=f"{prefix}.{node.name}",
+            module=module,
+            node=node,
+            cls=cls,
+            decorators=[
+                _head_name(d.func if isinstance(d, ast.Call) else d)
+                for d in node.decorator_list
+            ],
+        )
+        args = node.args
+        all_args = (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        )
+        for a in all_args:
+            info.params.append(a.arg)
+        return info
+
+    def _resolve_types(self) -> None:
+        """Resolve parameter/return/class-field annotations (phase 2)."""
+        for qualname in sorted(self.functions):
+            fn = self.functions[qualname]
+            args = fn.node.args
+            all_args = (
+                list(args.posonlyargs)
+                + list(args.args)
+                + list(args.kwonlyargs)
+            )
+            for a in all_args:
+                if a.annotation is not None:
+                    t = self.type_from_annotation(
+                        fn.module.name, a.annotation
+                    )
+                    if t is not None:
+                        fn.param_types[a.arg] = t
+            if fn.node.returns is not None:
+                fn.returns = self.type_from_annotation(
+                    fn.module.name, fn.node.returns
+                )
+        for table in self.tables.values():
+            for info in table.classes.values():
+                for stmt in info.node.body:
+                    if isinstance(stmt, ast.AnnAssign) and isinstance(
+                        stmt.target, ast.Name
+                    ):
+                        t = self.type_from_annotation(
+                            table.module.name, stmt.annotation
+                        )
+                        if t is not None:
+                            info.attr_types[stmt.target.id] = t
+
+    # -- name resolution ----------------------------------------------------
+
+    def resolve_symbol(
+        self, module_name: str, name: str
+    ) -> Optional[str]:
+        """Canonical qualname a bare ``name`` denotes in ``module_name``.
+
+        Locals win over imports; imported names chase re-export chains
+        to the defining module.  Returns ``None`` for names the model
+        cannot see (builtins, external libraries, true unknowns).
+        """
+        table = self.tables.get(module_name)
+        if table is None:
+            return None
+        if name in table.functions or name in table.classes or (
+            name in table.bindings
+        ):
+            return f"{module_name}.{name}"
+        if name in table.imports:
+            return self._chase(table.imports[name])
+        return None
+
+    def resolve_dotted(
+        self, module_name: str, node: ast.AST
+    ) -> Optional[str]:
+        """Resolve a Name/Attribute chain (``registry.make_protocol``)."""
+        dotted = _dotted(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        base = self.resolve_symbol(module_name, head)
+        if base is None:
+            return None
+        return self._chase(f"{base}.{rest}") if rest else base
+
+    def _chase(self, target: str) -> Optional[str]:
+        """Follow ``target`` through re-exports to a defining module."""
+        if target in self._chase_cache:
+            return self._chase_cache[target]
+        self._chase_cache[target] = None  # cycle guard
+        result = self._chase_uncached(target)
+        self._chase_cache[target] = result
+        return result
+
+    def _chase_uncached(self, target: str) -> Optional[str]:
+        if target in self.tables:
+            return target
+        head, _, last = target.rpartition(".")
+        if not head:
+            return target  # bare external name (e.g. ``random``)
+        table = self.tables.get(head)
+        if table is None:
+            # external module, or a dotted path through one we cannot
+            # see; resolve the head as far as possible
+            if target.split(".")[0] in self._roots:
+                resolved_head = self._chase(head)
+                if resolved_head is not None and resolved_head != head:
+                    return self._chase(f"{resolved_head}.{last}")
+                if resolved_head in self.classes or (
+                    resolved_head in self.bindings
+                ):
+                    # attribute of a known symbol (Class.method,
+                    # REGISTRY.get, ...) -- resolved, not a dangling
+                    # import
+                    return f"{resolved_head}.{last}"
+                self.warnings.append(
+                    f"unresolved project-internal import target "
+                    f"{target!r}"
+                )
+                return None
+            return target
+        if last in table.functions or last in table.classes or (
+            last in table.bindings
+        ):
+            return target
+        if last in table.imports:
+            return self._chase(table.imports[last])
+        if f"{head}.{last}" in self.tables:
+            return f"{head}.{last}"
+        self.warnings.append(
+            f"'{last}' imported from project module '{head}' but not "
+            "defined there"
+        )
+        return None
+
+    # -- class hierarchy ----------------------------------------------------
+
+    def _resolve_class_hierarchy(self, table: ModuleTable) -> None:
+        for info in table.classes.values():
+            for base in info.node.bases:
+                qn = self.resolve_dotted(table.module.name, base)
+                if qn is not None and qn in self.classes:
+                    info.bases.append(qn)
+        for info in table.classes.values():
+            for base_qn in info.bases:
+                self.classes[base_qn].subclasses.append(info.qualname)
+
+    def mro(self, class_qualname: str) -> List[str]:
+        """Approximate MRO: depth-first over project bases."""
+        out: List[str] = []
+        seen: Set[str] = set()
+
+        def visit(qn: str) -> None:
+            if qn in seen or qn not in self.classes:
+                return
+            seen.add(qn)
+            out.append(qn)
+            for b in self.classes[qn].bases:
+                visit(b)
+
+        visit(class_qualname)
+        return out
+
+    def all_subclasses(self, class_qualname: str) -> List[str]:
+        """Transitive project subclasses of ``class_qualname``."""
+        out: List[str] = []
+        seen: Set[str] = set()
+        stack = [class_qualname]
+        while stack:
+            qn = stack.pop()
+            info = self.classes.get(qn)
+            if info is None:
+                continue
+            for sub in info.subclasses:
+                if sub not in seen:
+                    seen.add(sub)
+                    out.append(sub)
+                    stack.append(sub)
+        return sorted(out)
+
+    def lookup_method(
+        self, class_qualname: str, name: str
+    ) -> List[FunctionInfo]:
+        """Possible targets of ``<instance of class>.name(...)``.
+
+        The statically-typed target (first definition along the MRO)
+        plus every subclass override -- class-hierarchy analysis, since
+        the receiver may be any project subtype at runtime.
+        """
+        out: List[FunctionInfo] = []
+        for qn in self.mro(class_qualname):
+            m = self.classes[qn].methods.get(name)
+            if m is not None:
+                out.append(m)
+                break
+        for sub in self.all_subclasses(class_qualname):
+            m = self.classes[sub].methods.get(name)
+            if m is not None and m not in out:
+                out.append(m)
+        return out
+
+    def attr_type(
+        self, class_qualname: str, attr: str
+    ) -> Optional[TypeRef]:
+        """Instance-attribute type, searched along the MRO."""
+        for qn in self.mro(class_qualname):
+            t = self.classes[qn].attr_types.get(attr)
+            if t is not None:
+                return t
+        return None
+
+    def _harvest_attr_types(self, table: ModuleTable) -> None:
+        """Fill :attr:`ClassInfo.attr_types` from ``__init__`` bodies and
+        property return annotations (class-body ``AnnAssign`` fields were
+        already harvested while building the table)."""
+        for info in table.classes.values():
+            for name, m in info.methods.items():
+                if "property" in m.decorators and m.returns is not None:
+                    info.attr_types.setdefault(name, m.returns)
+            init = info.methods.get("__init__")
+            if init is None:
+                continue
+            env = self.local_env(init)
+            for node in ast.walk(init.node):
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                    ann = None
+                elif isinstance(node, ast.AnnAssign):
+                    targets, value = [node.target], node.value
+                    ann = node.annotation
+                else:
+                    continue
+                for tgt in targets:
+                    if not (
+                        isinstance(tgt, ast.Attribute)
+                        and isinstance(tgt.value, ast.Name)
+                        and tgt.value.id == "self"
+                    ):
+                        continue
+                    t = (
+                        self.type_from_annotation(table.module.name, ann)
+                        if ann is not None
+                        else None
+                    )
+                    if t is None and value is not None:
+                        t = self.expr_type(init, env, value)
+                    if t is not None:
+                        info.attr_types.setdefault(tgt.attr, t)
+
+    # -- annotations --------------------------------------------------------
+
+    def type_from_annotation(
+        self, module_name: str, ann: ast.AST
+    ) -> Optional[TypeRef]:
+        """Interpret an annotation expression as a :class:`TypeRef`."""
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            try:
+                ann = ast.parse(ann.value, mode="eval").body
+            except SyntaxError:
+                return None
+            return self.type_from_annotation(module_name, ann)
+        if isinstance(ann, ast.BinOp) and isinstance(ann.op, ast.BitOr):
+            # X | None -- take the non-None side
+            for side in (ann.left, ann.right):
+                if not (
+                    isinstance(side, ast.Constant) and side.value is None
+                ):
+                    return self.type_from_annotation(module_name, side)
+            return None
+        if isinstance(ann, (ast.Name, ast.Attribute)):
+            head = _head_name(ann)
+            if head in _SET_HEADS:
+                return TypeRef(container="set")
+            if head in _DICT_HEADS:
+                return TypeRef(container="dict")
+            if head in _SEQ_HEADS:
+                return TypeRef(container="seq")
+            if head in _ITER_HEADS:
+                return TypeRef(container="iter")
+            qn = self.resolve_dotted(module_name, ann)
+            if qn is not None and qn in self.classes:
+                return TypeRef(cls=qn)
+            return None
+        if isinstance(ann, ast.Subscript):
+            head = _head_name(ann.value)
+            inner = ann.slice
+            parts = (
+                list(inner.elts) if isinstance(inner, ast.Tuple) else [inner]
+            )
+            if head in _WRAPPER_HEADS:
+                for p in parts:
+                    if isinstance(p, ast.Constant) and p.value is None:
+                        continue
+                    return self.type_from_annotation(module_name, p)
+                return None
+            if head in _SET_HEADS:
+                return TypeRef(
+                    container="set",
+                    elem=self.type_from_annotation(module_name, parts[0]),
+                )
+            if head in _DICT_HEADS:
+                value_t = (
+                    self.type_from_annotation(module_name, parts[1])
+                    if len(parts) > 1
+                    else None
+                )
+                return TypeRef(container="dict", elem=value_t)
+            if head in _SEQ_HEADS:
+                return TypeRef(
+                    container="seq",
+                    elem=self.type_from_annotation(module_name, parts[0]),
+                )
+            if head in _ITER_HEADS:
+                return TypeRef(
+                    container="iter",
+                    elem=self.type_from_annotation(module_name, parts[0]),
+                )
+            if head == "Type":
+                return None
+            return self.type_from_annotation(module_name, ann.value)
+        return None
+
+    # -- local type environments -------------------------------------------
+
+    def local_env(self, fn: FunctionInfo) -> Dict[str, TypeRef]:
+        """Forward-inferred local variable types for one function.
+
+        Single forward pass in statement order: parameter annotations
+        (overridden by interprocedurally-proven set-ness), assignments
+        from constructor calls / typed calls / container displays /
+        attribute loads, loop targets from element types.
+        """
+        env: Dict[str, TypeRef] = {}
+        if fn.cls is not None and fn.params and fn.params[0] == "self":
+            env["self"] = TypeRef(cls=fn.cls)
+        for p in fn.params:
+            t = fn.param_types.get(p)
+            if p in fn.set_params:
+                t = TypeRef(
+                    cls=None,
+                    container="set",
+                    elem=t.elem if t else None,
+                )
+            if t is not None:
+                env[p] = t
+
+        def assign(target: ast.AST, t: Optional[TypeRef]) -> None:
+            if isinstance(target, ast.Name):
+                if t is not None:
+                    env[target.id] = t
+                else:
+                    env.pop(target.id, None)
+
+        def visit(stmts: Sequence[ast.stmt]) -> None:
+            for stmt in stmts:
+                if isinstance(stmt, ast.Assign):
+                    t = self.expr_type(fn, env, stmt.value)
+                    for tgt in stmt.targets:
+                        assign(tgt, t)
+                elif isinstance(stmt, ast.AnnAssign):
+                    t = self.type_from_annotation(
+                        fn.module.name, stmt.annotation
+                    )
+                    if t is None and stmt.value is not None:
+                        t = self.expr_type(fn, env, stmt.value)
+                    assign(stmt.target, t)
+                elif isinstance(stmt, ast.AugAssign):
+                    pass
+                elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                    it = self.expr_type(fn, env, stmt.iter)
+                    assign(stmt.target, it.elem if it else None)
+                    visit(stmt.body)
+                    visit(stmt.orelse)
+                elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    for item in stmt.items:
+                        if item.optional_vars is not None:
+                            assign(
+                                item.optional_vars,
+                                self.expr_type(
+                                    fn, env, item.context_expr
+                                ),
+                            )
+                    visit(stmt.body)
+                elif isinstance(stmt, ast.If):
+                    visit(stmt.body)
+                    visit(stmt.orelse)
+                elif isinstance(stmt, (ast.While,)):
+                    visit(stmt.body)
+                    visit(stmt.orelse)
+                elif isinstance(stmt, ast.Try):
+                    visit(stmt.body)
+                    for h in stmt.handlers:
+                        visit(h.body)
+                    visit(stmt.orelse)
+                    visit(stmt.finalbody)
+
+        visit(fn.node.body)
+        return env
+
+    def expr_type(
+        self,
+        fn: FunctionInfo,
+        env: Dict[str, TypeRef],
+        expr: ast.AST,
+    ) -> Optional[TypeRef]:
+        """Best-effort type of ``expr`` under ``env`` (may be None)."""
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id)
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return TypeRef(container="set")
+        if isinstance(expr, (ast.Dict, ast.DictComp)):
+            return TypeRef(container="dict")
+        if isinstance(expr, (ast.List, ast.ListComp)):
+            return TypeRef(container="seq")
+        if isinstance(expr, ast.Tuple):
+            return TypeRef(container="seq")
+        if isinstance(expr, ast.IfExp):
+            return self.expr_type(fn, env, expr.body) or self.expr_type(
+                fn, env, expr.orelse
+            )
+        if isinstance(expr, ast.BoolOp):
+            # ``rng or random.Random(0)`` -- any operand's type
+            for v in expr.values:
+                t = self.expr_type(fn, env, v)
+                if t is not None:
+                    return t
+            return None
+        if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            left = self.expr_type(fn, env, expr.left)
+            if left is not None and left.is_set:
+                return left
+            return None
+        if isinstance(expr, ast.Subscript):
+            base = self.expr_type(fn, env, expr.value)
+            return base.elem if base is not None else None
+        if isinstance(expr, ast.Attribute):
+            base = self.expr_type(fn, env, expr.value)
+            if base is not None and base.cls is not None:
+                t = self.attr_type(base.cls, expr.attr)
+                if t is not None:
+                    return t
+                # zero-arg property lookups via methods
+                info = self.classes.get(base.cls)
+                if info is not None:
+                    m = self._property_method(base.cls, expr.attr)
+                    if m is not None and m.returns is not None:
+                        return m.returns
+            return None
+        if isinstance(expr, ast.Call):
+            return self._call_type(fn, env, expr)
+        return None
+
+    def _property_method(
+        self, class_qualname: str, name: str
+    ) -> Optional[FunctionInfo]:
+        for qn in self.mro(class_qualname):
+            m = self.classes[qn].methods.get(name)
+            if m is not None and "property" in m.decorators:
+                return m
+        return None
+
+    def _call_type(
+        self,
+        fn: FunctionInfo,
+        env: Dict[str, TypeRef],
+        call: ast.Call,
+    ) -> Optional[TypeRef]:
+        func = call.func
+        head = _head_name(func)
+        arg0_t = (
+            self.expr_type(fn, env, call.args[0]) if call.args else None
+        )
+        if head in {"set", "frozenset"}:
+            return TypeRef(
+                container="set", elem=arg0_t.elem if arg0_t else None
+            )
+        if head in {"sorted", "list", "tuple"}:
+            return TypeRef(
+                container="seq", elem=arg0_t.elem if arg0_t else None
+            )
+        if head == "dict":
+            return TypeRef(
+                container="dict",
+                elem=arg0_t.elem
+                if arg0_t and arg0_t.container == "dict"
+                else None,
+            )
+        for target in self.resolve_call(fn, env, call):
+            if target.name == "__init__" and target.cls is not None:
+                return TypeRef(cls=target.cls)
+            if target.returns is not None:
+                return target.returns
+        # direct constructor call of a project class without __init__
+        qn = (
+            self.resolve_dotted(fn.module.name, func)
+            if isinstance(func, (ast.Name, ast.Attribute))
+            else None
+        )
+        if qn is not None and qn in self.classes:
+            return TypeRef(cls=qn)
+        return None
+
+    # -- call graph ---------------------------------------------------------
+
+    def resolve_call(
+        self,
+        fn: FunctionInfo,
+        env: Dict[str, TypeRef],
+        call: ast.Call,
+    ) -> List[FunctionInfo]:
+        """Possible targets of one call expression inside ``fn``."""
+        func = call.func
+        out: List[FunctionInfo] = []
+        if isinstance(func, ast.Name):
+            qn = self.resolve_symbol(fn.module.name, func.id)
+            if qn is None:
+                return out
+            if qn in self.functions:
+                out.append(self.functions[qn])
+            elif qn in self.classes:
+                init = self.classes[qn].methods.get("__init__")
+                if init is not None:
+                    out.append(init)
+            return out
+        if not isinstance(func, ast.Attribute):
+            return out
+        # self.method(...) inside a class
+        if (
+            isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and fn.cls is not None
+        ):
+            return self.lookup_method(fn.cls, func.attr)
+        # typed receiver: a local/param/attribute with a known class
+        recv_t = self.expr_type(fn, env, func.value)
+        if recv_t is not None and recv_t.cls is not None:
+            return self.lookup_method(recv_t.cls, func.attr)
+        # dotted module path (``registry.make_protocol``, class methods
+        # referenced through an imported class, etc.)
+        qn = self.resolve_dotted(fn.module.name, func)
+        if qn is not None:
+            if qn in self.functions:
+                out.append(self.functions[qn])
+            elif qn in self.classes:
+                init = self.classes[qn].methods.get("__init__")
+                if init is not None:
+                    out.append(init)
+            else:
+                # Class.method referenced through the class
+                head, _, last = qn.rpartition(".")
+                if head in self.classes:
+                    out.extend(self.lookup_method(head, last))
+        return out
+
+    def _build_call_graph(self) -> None:
+        for qualname in sorted(self.functions):
+            fn = self.functions[qualname]
+            env = self.local_env(fn)
+            edges: List[CallEdge] = []
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                for target in self.resolve_call(fn, env, node):
+                    edges.append(
+                        CallEdge(
+                            caller=qualname,
+                            callee=target.qualname,
+                            node=node,
+                            lineno=node.lineno,
+                        )
+                    )
+            self.calls[qualname] = edges
+
+    def callees(self, qualname: str) -> List[CallEdge]:
+        """Outgoing call edges of one function."""
+        return self.calls.get(qualname, [])
+
+    def reachable_from(
+        self,
+        roots: Sequence[str],
+        stop: Optional[Set[str]] = None,
+    ) -> Dict[str, Optional[CallEdge]]:
+        """BFS call closure of ``roots``.
+
+        Returns ``reached qualname -> the edge that first reached it``
+        (``None`` for the roots themselves), so callers can reconstruct
+        a witness call chain.  Functions whose bare name is in ``stop``
+        are neither entered nor traversed (taint barriers).
+        """
+        stop = stop or set()
+        parents: Dict[str, Optional[CallEdge]] = {}
+        queue: List[str] = []
+        for r in roots:
+            if r not in parents:
+                parents[r] = None
+                queue.append(r)
+        while queue:
+            current = queue.pop(0)
+            for edge in self.callees(current):
+                callee = edge.callee
+                if callee in parents:
+                    continue
+                if callee.rpartition(".")[2] in stop:
+                    continue
+                parents[callee] = edge
+                queue.append(callee)
+        return parents
+
+    def call_chain(
+        self, parents: Dict[str, Optional[CallEdge]], qualname: str
+    ) -> List[str]:
+        """Reconstruct root -> ... -> qualname from a BFS parent map."""
+        chain = [qualname]
+        seen = {qualname}
+        while True:
+            edge = parents.get(chain[0])
+            if edge is None or edge.caller in seen:
+                return chain
+            chain.insert(0, edge.caller)
+            seen.add(edge.caller)
+
+    # -- interprocedural set-valuedness ------------------------------------
+
+    def _propagate_set_params(self) -> None:
+        """Flow set-ness from call-site arguments into parameters.
+
+        A set passed into an ``Iterable``-annotated or unannotated
+        parameter is still iterated in set order inside the callee, so
+        the parameter inherits set-ness.  Ordered annotations
+        (``Sequence``, ``List``) are trusted to reject sets.  Iterated
+        to a fixpoint because set-ness can flow through several hops.
+        """
+        for _ in range(6):
+            changed = False
+            for qualname in sorted(self.functions):
+                fn = self.functions[qualname]
+                env = self.local_env(fn)
+                for edge in self.callees(qualname):
+                    target = self.functions.get(edge.callee)
+                    if target is None:
+                        continue
+                    changed |= self._flow_set_args(fn, env, edge, target)
+            if not changed:
+                return
+
+    def _flow_set_args(
+        self,
+        fn: FunctionInfo,
+        env: Dict[str, TypeRef],
+        edge: CallEdge,
+        target: FunctionInfo,
+    ) -> bool:
+        params = target.params
+        if target.is_method and params and params[0] == "self":
+            params = params[1:]
+        changed = False
+        bound: List[Tuple[str, ast.AST]] = []
+        for i, arg in enumerate(edge.node.args):
+            if isinstance(arg, ast.Starred) or i >= len(params):
+                break
+            bound.append((params[i], arg))
+        for kw in edge.node.keywords:
+            if kw.arg is not None and kw.arg in target.params:
+                bound.append((kw.arg, kw.value))
+        for pname, arg in bound:
+            if pname in target.set_params:
+                continue
+            t = self.expr_type(fn, env, arg)
+            if t is None or not t.is_set:
+                continue
+            declared = target.param_types.get(pname)
+            if declared is not None and declared.container not in (
+                None,
+                "iter",
+                "set",
+            ):
+                continue  # ordered annotation: trusted
+            target.set_params.add(pname)
+            changed = True
+        return changed
+
+
+def iter_module_functions(
+    model: ProjectModel, module_name: str
+) -> Iterator[FunctionInfo]:
+    """All functions/methods defined in one module, sorted by qualname."""
+    for qualname in sorted(model.functions):
+        fn = model.functions[qualname]
+        if fn.module.name == module_name:
+            yield fn

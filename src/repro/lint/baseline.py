@@ -1,0 +1,97 @@
+"""Finding baselines: ratchet deep-lint adoption without a flag day.
+
+A baseline file records the fingerprints of known, triaged findings so
+CI can gate on *new* findings immediately while the backlog is burned
+down.  The fingerprint deliberately hashes ``rule | module | message``
+-- not line numbers -- so unrelated edits that shift a finding a few
+lines do not resurrect it, while any change to what the finding *says*
+(a different field, a different call path) registers as new.
+
+Workflow::
+
+    repro lint --deep --baseline lint-baseline.json             # gate
+    repro lint --deep --baseline lint-baseline.json \\
+        --write-baseline                                        # accept
+
+The file is JSON, versioned, sorted, and newline-terminated so diffs
+review cleanly.  An entry whose finding no longer fires is *dropped* on
+rewrite: baselines only shrink unless someone consciously accepts new
+debt in review.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING, Dict, List, Set
+
+from repro.lint.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.runner import LintReport
+
+#: current baseline file schema version
+BASELINE_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable identity of a finding across line-number churn."""
+    basis = f"{finding.rule_id}|{finding.module}|{finding.message}"
+    return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:20]
+
+
+def load_baseline(path: str) -> Set[str]:
+    """The fingerprint set from a baseline file.
+
+    Raises :class:`FileNotFoundError` for a missing file and
+    :class:`ValueError` for an unrecognized shape -- both usage errors
+    (exit status 2 at the CLI), never silently an empty baseline.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or data.get("version") != (
+        BASELINE_VERSION
+    ):
+        raise ValueError(
+            f"unrecognized baseline file {path!r}: expected "
+            f'{{"version": {BASELINE_VERSION}, "findings": [...]}}'
+        )
+    out: Set[str] = set()
+    for entry in data.get("findings", []):
+        fp = entry.get("fingerprint") if isinstance(entry, dict) else None
+        if not isinstance(fp, str):
+            raise ValueError(
+                f"baseline entry without a fingerprint in {path!r}"
+            )
+        out.add(fp)
+    return out
+
+
+def write_baseline(path: str, report: "LintReport") -> int:
+    """Write the baseline for ``report``; returns the entry count.
+
+    Covers every finding still firing -- both the currently-baselined
+    ones and the new ones being accepted -- so rewriting drops stale
+    entries automatically.
+    """
+    entries: List[Dict[str, str]] = []
+    seen: Set[str] = set()
+    for finding in list(report.findings) + list(report.baselined):
+        fp = fingerprint(finding)
+        if fp in seen:
+            continue
+        seen.add(fp)
+        entries.append(
+            {
+                "fingerprint": fp,
+                "rule": finding.rule_id,
+                "module": finding.module,
+                "message": finding.message,
+            }
+        )
+    entries.sort(key=lambda e: (e["rule"], e["module"], e["fingerprint"]))
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return len(entries)

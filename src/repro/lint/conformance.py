@@ -85,6 +85,10 @@ def _registered_protocol_classes(registry: SourceModule) -> Set[str]:
         if not _assigns_to(node, "PROTOCOLS"):
             continue
         value = node.value
+        # the registry may be frozen (``MappingProxyType({...})``) -- look
+        # through a single call wrapper at the dict literal inside
+        if isinstance(value, ast.Call) and value.args:
+            value = value.args[0]
         if isinstance(value, ast.Dict):
             for entry in value.values:
                 label = name_of(entry)

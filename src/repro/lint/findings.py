@@ -22,7 +22,7 @@ from __future__ import annotations
 import enum
 import re
 from dataclasses import dataclass
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 
 class Severity(enum.Enum):
@@ -101,13 +101,22 @@ class Suppression:
         """The line whose findings this suppression covers."""
         return self.line + 1 if self.standalone else self.line
 
-    def covers(self, finding: Finding) -> bool:
-        """Whether this suppression silences ``finding``."""
-        return (
-            bool(self.reason)
-            and finding.rule_id == self.rule_id
-            and finding.line == self.target_line
-        )
+    def covers(
+        self, finding: Finding, anchor_line: Optional[int] = None
+    ) -> bool:
+        """Whether this suppression silences ``finding``.
+
+        ``anchor_line`` is the first line of the statement the finding
+        sits in (see :meth:`~repro.lint.sources.SourceModule.
+        statement_anchor`): a suppression on (or above) a multi-line
+        statement's first line covers findings reported anywhere inside
+        that statement.
+        """
+        if not self.reason or finding.rule_id != self.rule_id:
+            return False
+        if finding.line == self.target_line:
+            return True
+        return anchor_line is not None and anchor_line == self.target_line
 
 
 def scan_suppressions(lines: Sequence[str]) -> List[Suppression]:

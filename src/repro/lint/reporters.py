@@ -31,6 +31,8 @@ def format_text(report: "LintReport") -> str:
         f"{len(report.warnings)} warning(s), "
         f"{len(report.suppressed)} suppressed"
     )
+    if report.baselined:
+        summary += f", {len(report.baselined)} baselined"
     if report.parse_failures:
         summary += f", {len(report.parse_failures)} unparseable"
     lines.append(summary)
@@ -45,11 +47,13 @@ def format_json(report: "LintReport") -> str:
             "errors": len(report.errors),
             "warnings": len(report.warnings),
             "suppressed": len(report.suppressed),
+            "baselined": len(report.baselined),
             "parse_failures": len(report.parse_failures),
             "rules": report.rule_ids,
             "clean": report.exit_code == 0,
         },
         "findings": [f.to_dict() for f in report.findings],
+        "baselined": [f.to_dict() for f in report.baselined],
         "suppressed": [
             {
                 "finding": f.to_dict(),
@@ -61,6 +65,102 @@ def format_json(report: "LintReport") -> str:
         "parse_failures": [
             {"path": p.path, "line": p.line, "message": p.message}
             for p in report.parse_failures
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _sarif_result(finding, baselined: bool) -> dict:
+    from repro.lint.baseline import fingerprint
+
+    result = {
+        "ruleId": finding.rule_id,
+        "level": finding.severity.value,
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {"reproLint/v1": fingerprint(finding)},
+    }
+    if baselined:
+        result["baselineState"] = "unchanged"
+    return result
+
+
+def format_sarif(report: "LintReport") -> str:
+    """SARIF 2.1.0 rendering, for code-scanning UIs and CI annotation.
+
+    Minimal but valid: one run, one driver, per-rule metadata, one
+    result per finding (baselined findings included with
+    ``baselineState: unchanged`` so dashboards can show known debt
+    without failing on it).  Parse failures surface as tool
+    ``notifications`` -- they are about the *run*, not the code model.
+    """
+    from repro.lint.rules import get_rules
+
+    try:
+        rules_meta = [
+            {
+                "id": r.rule_id,
+                "shortDescription": {"text": r.description},
+                "defaultConfiguration": {"level": r.severity.value},
+            }
+            for r in get_rules(report.rule_ids or None, include_deep=True)
+        ]
+    except KeyError:  # pragma: no cover - report from a foreign registry
+        rules_meta = []
+    payload = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://github.com/bhandari-vaidya-repro"
+                        ),
+                        "rules": rules_meta,
+                    }
+                },
+                "results": [
+                    _sarif_result(f, baselined=False)
+                    for f in report.findings
+                ]
+                + [
+                    _sarif_result(f, baselined=True)
+                    for f in report.baselined
+                ],
+                "invocations": [
+                    {
+                        "executionSuccessful": not report.parse_failures,
+                        "toolExecutionNotifications": [
+                            {
+                                "level": "error",
+                                "message": {
+                                    "text": (
+                                        f"{p.path}:{p.line}: {p.message}"
+                                    )
+                                },
+                            }
+                            for p in report.parse_failures
+                        ],
+                    }
+                ],
+            }
         ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -38,6 +38,10 @@ class Rule:
     severity: Severity = Severity.ERROR
     #: one-line human description for ``--list-rules`` and the docs
     description: str = ""
+    #: deep rules build the whole-program :class:`~repro.lint.analysis.
+    #: project.ProjectModel`; they are skipped by default and run under
+    #: ``repro lint --deep`` (or when selected explicitly by id)
+    deep: bool = False
 
     def check_module(
         self, ctx: LintContext, module: SourceModule
@@ -84,23 +88,34 @@ def register(cls: Type[Rule]) -> Type[Rule]:
 def load_builtin_rules() -> None:
     """Import every built-in rule module (idempotent)."""
     from repro.lint import conformance, determinism, model  # noqa: F401
+    from repro.lint.analysis import (  # noqa: F401
+        cachekey,
+        forksafety,
+        taint,
+    )
 
 
 def all_rules() -> List[Rule]:
-    """All registered rules, sorted by id."""
+    """All registered rules (deep ones included), sorted by id."""
     load_builtin_rules()
     return [REGISTRY[k] for k in sorted(REGISTRY)]
 
 
-def get_rules(rule_ids: Optional[Sequence[str]] = None) -> List[Rule]:
-    """Resolve a rule-id selection (``None`` = every registered rule).
+def get_rules(
+    rule_ids: Optional[Sequence[str]] = None,
+    include_deep: bool = False,
+) -> List[Rule]:
+    """Resolve a rule-id selection.
 
-    Raises :class:`KeyError` naming the unknown id when the selection
-    does not resolve.
+    ``None`` selects every registered rule except the deep
+    (whole-program) ones unless ``include_deep`` is set; an explicit id
+    list always wins, so ``--rules nondet-taint`` runs a deep rule
+    without ``--deep``.  Raises :class:`KeyError` naming the unknown id
+    when the selection does not resolve.
     """
     rules = all_rules()
     if rule_ids is None:
-        return rules
+        return [r for r in rules if include_deep or not r.deep]
     known = {r.rule_id: r for r in rules}
     out = []
     for rid in rule_ids:

@@ -12,7 +12,7 @@ self-check test.  Exit-code contract (:attr:`LintReport.exit_code`):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.lint.findings import (
     Finding,
@@ -41,6 +41,9 @@ class LintReport:
         default_factory=list
     )
     parse_failures: List[ParseFailure] = field(default_factory=list)
+    #: findings matched by the baseline file (known debt: reported in
+    #: the artifacts, excluded from :attr:`findings` and the exit code)
+    baselined: List[Finding] = field(default_factory=list)
     files_checked: int = 0
     #: ids of the rules that ran
     rule_ids: List[str] = field(default_factory=list)
@@ -89,19 +92,26 @@ def _bad_suppression_findings(module: SourceModule) -> List[Finding]:
 def _apply_suppressions(
     modules: Sequence[SourceModule], findings: Sequence[Finding]
 ) -> Tuple[List[Finding], List[Tuple[Finding, Suppression]]]:
-    """Split findings into (kept, suppressed) using per-file comments."""
+    """Split findings into (kept, suppressed) using per-file comments.
+
+    A finding inside a multi-line statement is also covered by a
+    suppression anchored at the statement's *first* line (see
+    :meth:`SourceModule.statement_anchor`).
+    """
     by_path = {
-        m.path: scan_suppressions(m.lines) for m in modules
+        m.path: (scan_suppressions(m.lines), m) for m in modules
     }
     kept: List[Finding] = []
     silenced: List[Tuple[Finding, Suppression]] = []
     for finding in findings:
+        sups, module = by_path.get(finding.path, ((), None))
+        anchor = (
+            module.statement_anchor(finding.line)
+            if module is not None
+            else None
+        )
         match = next(
-            (
-                s
-                for s in by_path.get(finding.path, ())
-                if s.covers(finding)
-            ),
+            (s for s in sups if s.covers(finding, anchor)),
             None,
         )
         if match is None:
@@ -114,9 +124,17 @@ def _apply_suppressions(
 def lint_modules(
     modules: Sequence[SourceModule],
     rule_ids: Optional[Sequence[str]] = None,
+    deep: bool = False,
+    baseline: Optional[Set[str]] = None,
 ) -> LintReport:
-    """Run the (selected) rules over already-parsed modules."""
-    rules = get_rules(rule_ids)
+    """Run the (selected) rules over already-parsed modules.
+
+    ``deep`` includes the whole-program rules in the default selection;
+    ``baseline`` is a fingerprint set (see :mod:`repro.lint.baseline`)
+    whose matches are moved to :attr:`LintReport.baselined` and stop
+    affecting the exit code.
+    """
+    rules = get_rules(rule_ids, include_deep=deep)
     ctx = LintContext(modules)
     raw: List[Finding] = []
     for rule in rules:
@@ -126,10 +144,23 @@ def lint_modules(
     for module in ctx.modules:
         raw.extend(_bad_suppression_findings(module))
     kept, silenced = _apply_suppressions(ctx.modules, raw)
+    baselined: List[Finding] = []
+    if baseline:
+        from repro.lint.baseline import fingerprint
+
+        still_new = []
+        for finding in kept:
+            if fingerprint(finding) in baseline:
+                baselined.append(finding)
+            else:
+                still_new.append(finding)
+        kept = still_new
     kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    baselined.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
     return LintReport(
         findings=kept,
         suppressed=silenced,
+        baselined=baselined,
         files_checked=len(ctx.modules),
         rule_ids=[r.rule_id for r in rules],
     )
@@ -138,17 +169,25 @@ def lint_modules(
 def lint_paths(
     paths: Sequence[str],
     rule_ids: Optional[Sequence[str]] = None,
+    deep: bool = False,
+    baseline_path: Optional[str] = None,
 ) -> LintReport:
     """Lint files and directories; the main entry point.
 
     Raises :class:`FileNotFoundError` for a nonexistent path and
     :class:`KeyError` for an unknown rule id (both usage errors, exit
     status 2 at the CLI); parse failures inside existing files are
-    reported in the result instead.
+    reported in the result instead.  ``baseline_path`` loads a
+    fingerprint baseline (missing/invalid file = usage error too).
     """
     files = discover_py_files(paths)
     modules, failures = load_modules(files)
-    report = lint_modules(modules, rule_ids)
+    baseline: Optional[Set[str]] = None
+    if baseline_path is not None:
+        from repro.lint.baseline import load_baseline
+
+        baseline = load_baseline(baseline_path)
+    report = lint_modules(modules, rule_ids, deep=deep, baseline=baseline)
     report.parse_failures = list(failures)
     report.files_checked = len(modules)
     return report

@@ -31,10 +31,38 @@ class SourceModule:
     tree: ast.Module
     #: source split into lines (1-based addressing via ``lines[n - 1]``)
     lines: List[str] = field(default_factory=list)
+    #: lazy line -> first-line-of-innermost-statement map (see
+    #: :meth:`statement_anchor`)
+    _anchors: Optional[Dict[int, int]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:  # noqa: D105 - dataclass hook
         if not self.lines:
             self.lines = self.source.splitlines()
+
+    def statement_anchor(self, line: int) -> int:
+        """First line of the innermost statement covering ``line``.
+
+        A suppression comment anchors to the line a *statement* starts
+        on, but a rule may report a node several lines into a multi-line
+        statement (a call argument on line 3 of a wrapped call).  This
+        maps any line of the statement back to its first line so the
+        suppression still applies.  Lines outside any statement map to
+        themselves.
+        """
+        if self._anchors is None:
+            anchors: Dict[int, int] = {}
+            # ast.walk is breadth-first: parents are visited before
+            # their children, so the innermost statement wins each line
+            for node in ast.walk(self.tree):
+                if not isinstance(node, ast.stmt):
+                    continue
+                end = getattr(node, "end_lineno", None) or node.lineno
+                for n in range(node.lineno, end + 1):
+                    anchors[n] = node.lineno
+            self._anchors = anchors
+        return self._anchors.get(line, line)
 
 
 @dataclass(frozen=True)
@@ -131,7 +159,26 @@ class LintContext:
         self._by_name: Dict[str, SourceModule] = {
             m.name: m for m in self.modules
         }
+        self._project = None
 
     def get(self, name: str) -> Optional[SourceModule]:
         """The module with dotted name ``name``, if under analysis."""
         return self._by_name.get(name)
+
+    @property
+    def project(self):
+        """The whole-program :class:`~repro.lint.analysis.project.
+        ProjectModel`, built on first use and shared by all deep rules
+        in the run."""
+        if self._project is None:
+            from repro.lint.analysis.project import ProjectModel
+
+            self._project = ProjectModel(self)
+        return self._project
+
+    def get_by_path(self, path: str) -> Optional[SourceModule]:
+        """The module loaded from ``path``, if under analysis."""
+        for m in self.modules:
+            if m.path == path:
+                return m
+        return None

@@ -8,7 +8,8 @@ processes from :mod:`repro.faults`).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Type
+from types import MappingProxyType
+from typing import Any, Dict, Iterable, Mapping, Type
 
 from repro.errors import ConfigurationError
 from repro.geometry.coords import Coord
@@ -20,14 +21,16 @@ from repro.protocols.bv_two_hop import BVTwoHopProtocol
 from repro.protocols.cpa import CPAProtocol
 from repro.protocols.crash_flood import CrashFloodProtocol
 
-PROTOCOLS: Dict[str, Type[BroadcastProtocolNode]] = {
+PROTOCOLS: Mapping[str, Type[BroadcastProtocolNode]] = MappingProxyType({
     "crash-flood": CrashFloodProtocol,
     "cpa": CPAProtocol,
     "bv-two-hop": BVTwoHopProtocol,
     "bv-indirect": BVIndirectProtocol,
     "bv-earmarked": BVEarmarkedProtocol,
-}
-"""Short name -> protocol class."""
+})
+"""Short name -> protocol class (read-only: the registry is consulted
+from forked sweep workers, so a runtime mutation could diverge between
+parent and worker -- the ``fork-safety`` lint pass enforces this)."""
 
 
 def protocol_names() -> Iterable[str]:
@@ -73,7 +76,10 @@ def correct_process_map(
     """
     src = topology.canonical(source)
     processes: Dict[Coord, BroadcastProtocolNode] = {}
-    for node in correct_nodes:
+    # correct_nodes is typically a set; build in sorted order so the
+    # map's iteration order (and any rng consumed per process in the
+    # future) cannot depend on hash seeding
+    for node in sorted(correct_nodes):
         cn = topology.canonical(node)
         source_value = value if cn == src else None
         processes[cn] = make_protocol(

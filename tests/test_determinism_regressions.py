@@ -1,0 +1,76 @@
+"""Regression tests for the true positives the deep lint passes found.
+
+Each test pins a fix applied when ``repro lint --deep`` first ran over
+the tree: crash schedules and neighborhood counts built in sorted order
+(so nothing downstream depends on set-iteration order, i.e. on the
+interpreter's hash seeding), process maps with canonical insertion
+order, and runtime registries frozen so a parent-process mutation can
+never diverge from a forked worker's snapshot.
+"""
+
+import pytest
+
+from repro.adversary.moves import MOVE_KERNELS
+from repro.faults.byzantine import BYZANTINE_STRATEGIES
+from repro.faults.crash import dead_from_start, staggered_crashes
+from repro.faults.placement import fault_counts_per_nbd
+from repro.geometry.symmetry import DIHEDRAL_TRANSFORMS
+from repro.grid.torus import Torus
+from repro.protocols.registry import PROTOCOLS, correct_process_map
+
+
+FAULTY = {(3, 1), (0, 0), (2, 2), (1, 3)}
+
+
+class TestSortedSchedules:
+    def test_dead_from_start_order_is_sorted(self):
+        schedule = dead_from_start(FAULTY)
+        assert list(schedule) == sorted(FAULTY)
+
+    def test_staggered_order_is_sorted(self):
+        import random
+
+        schedule = staggered_crashes(FAULTY, 10, random.Random(7))
+        assert list(schedule) == sorted(FAULTY)
+
+    def test_staggered_draws_ignore_input_order(self):
+        """The round a node crashes at depends on the node, not on where
+        it sat in the input iterable -- sets and (reordered) lists give
+        identical schedules for the same rng seed."""
+        import random
+
+        a = staggered_crashes(FAULTY, 10, random.Random(7))
+        b = staggered_crashes(
+            sorted(FAULTY, reverse=True), 10, random.Random(7)
+        )
+        assert a == b
+
+    def test_fault_counts_insertion_order_is_canonical(self):
+        a = fault_counts_per_nbd(FAULTY, 1)
+        b = fault_counts_per_nbd(sorted(FAULTY, reverse=True), 1)
+        assert a == b
+        assert list(a) == list(b)
+
+
+class TestProcessMapOrder:
+    def test_correct_process_map_is_sorted(self):
+        topo = Torus(6, 6, 1)
+        nodes = {(5, 5), (0, 0), (3, 2), (1, 4)}
+        processes = correct_process_map(
+            topo, "bv-two-hop", 1, (0, 0), 42, nodes
+        )
+        assert list(processes) == sorted(
+            topo.canonical(n) for n in nodes
+        )
+
+
+class TestFrozenRegistries:
+    @pytest.mark.parametrize(
+        "registry",
+        [PROTOCOLS, BYZANTINE_STRATEGIES, DIHEDRAL_TRANSFORMS, MOVE_KERNELS],
+        ids=["protocols", "byzantine", "dihedral", "move-kernels"],
+    )
+    def test_registry_rejects_mutation(self, registry):
+        assert len(registry) > 0
+        with pytest.raises(TypeError):
+            registry["rogue"] = object()

@@ -1,0 +1,192 @@
+"""Project-model tests: symbol tables, call graph, and the self-check.
+
+The whole-program passes are only as good as the
+:class:`~repro.lint.analysis.ProjectModel` underneath them, so these
+tests pin the resolution behaviors the passes lean on: method calls
+through class-hierarchy analysis, aliased imports, decorated functions,
+barrier-aware reachability -- and, as the integration guarantee, that
+the model loads all of ``src/repro`` without a single unresolved-symbol
+warning.
+"""
+
+import os
+
+from repro.lint.analysis import ProjectModel
+from repro.lint.sources import LintContext, discover_py_files, load_modules
+from tests.test_lint_rules import write_tree
+
+SRC_REPRO = os.path.join(os.path.dirname(__file__), "..", "src", "repro")
+
+
+def build_model(tmp_path, files):
+    """Materialize a fixture tree and build its project model."""
+    write_tree(tmp_path, files)
+    modules, failures = load_modules(discover_py_files([str(tmp_path)]))
+    assert not failures
+    return LintContext(modules).project
+
+
+def callee_names(model, caller):
+    return sorted(e.callee for e in model.callees(caller))
+
+
+class TestCallGraph:
+    def test_plain_and_imported_calls(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "pkg/a.py": (
+                    "from pkg.b import helper\n"
+                    "def top():\n"
+                    "    return helper() + local()\n"
+                    "def local():\n"
+                    "    return 1\n"
+                ),
+                "pkg/b.py": "def helper():\n    return 2\n",
+            },
+        )
+        assert callee_names(model, "pkg.a.top") == [
+            "pkg.a.local",
+            "pkg.b.helper",
+        ]
+
+    def test_method_calls_resolve_through_hierarchy(self, tmp_path):
+        """A call on a base-typed receiver reaches every override."""
+        model = build_model(
+            tmp_path,
+            {
+                "pkg/shapes.py": (
+                    "class Shape:\n"
+                    "    def area(self):\n"
+                    "        return 0\n"
+                    "class Circle(Shape):\n"
+                    "    def area(self):\n"
+                    "        return 3\n"
+                ),
+                "pkg/use.py": (
+                    "from pkg.shapes import Shape\n"
+                    "def measure(s: Shape):\n"
+                    "    return s.area()\n"
+                ),
+            },
+        )
+        assert callee_names(model, "pkg.use.measure") == [
+            "pkg.shapes.Circle.area",
+            "pkg.shapes.Shape.area",
+        ]
+
+    def test_aliased_imports(self, tmp_path):
+        """Both ``import m as x`` and ``from m import f as g`` resolve."""
+        model = build_model(
+            tmp_path,
+            {
+                "pkg/core.py": "def work():\n    return 1\n",
+                "pkg/use.py": (
+                    "import pkg.core as c\n"
+                    "from pkg.core import work as w\n"
+                    "def via_module():\n"
+                    "    return c.work()\n"
+                    "def via_name():\n"
+                    "    return w()\n"
+                ),
+            },
+        )
+        assert callee_names(model, "pkg.use.via_module") == ["pkg.core.work"]
+        assert callee_names(model, "pkg.use.via_name") == ["pkg.core.work"]
+
+    def test_decorated_functions(self, tmp_path):
+        """Decoration neither hides a function nor breaks calls to it."""
+        model = build_model(
+            tmp_path,
+            {
+                "pkg/deco.py": (
+                    "import functools\n"
+                    "def wrap(fn):\n"
+                    "    @functools.wraps(fn)\n"
+                    "    def inner(*a, **k):\n"
+                    "        return fn(*a, **k)\n"
+                    "    return inner\n"
+                    "@wrap\n"
+                    "def decorated():\n"
+                    "    return 1\n"
+                    "def caller():\n"
+                    "    return decorated()\n"
+                ),
+            },
+        )
+        assert "pkg.deco.decorated" in model.functions
+        assert model.functions["pkg.deco.decorated"].decorators
+        assert callee_names(model, "pkg.deco.caller") == ["pkg.deco.decorated"]
+
+    def test_reachability_with_witness_and_barrier(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "pkg/chain.py": (
+                    "def derive_seed(key):\n"
+                    "    return hash(key)\n"
+                    "def leaf():\n"
+                    "    return 1\n"
+                    "def mid():\n"
+                    "    return leaf() + derive_seed('k')\n"
+                    "def root():\n"
+                    "    return mid()\n"
+                ),
+            },
+        )
+        parents = model.reachable_from(["pkg.chain.root"])
+        assert set(parents) == {
+            "pkg.chain.root",
+            "pkg.chain.mid",
+            "pkg.chain.leaf",
+            "pkg.chain.derive_seed",
+        }
+        assert model.call_chain(parents, "pkg.chain.leaf") == [
+            "pkg.chain.root",
+            "pkg.chain.mid",
+            "pkg.chain.leaf",
+        ]
+        # a stop name is a barrier: neither entered nor traversed
+        stopped = model.reachable_from(
+            ["pkg.chain.root"], stop={"derive_seed"}
+        )
+        assert "pkg.chain.derive_seed" not in stopped
+
+    def test_set_valuedness_flows_into_parameters(self, tmp_path):
+        """Passing a set argument marks the receiving parameter."""
+        model = build_model(
+            tmp_path,
+            {
+                "pkg/flow.py": (
+                    "def consume(items):\n"
+                    "    return list(items)\n"
+                    "def produce():\n"
+                    "    return consume({1, 2, 3})\n"
+                ),
+            },
+        )
+        assert model.functions["pkg.flow.consume"].set_params == {"items"}
+
+
+class TestSelfCheck:
+    def test_model_loads_src_repro_without_warnings(self):
+        """The model resolves the whole shipped tree: no unresolved
+        symbols, no import-graph holes -- so a pass that stays silent is
+        silent because the code is clean, not because the model went
+        blind."""
+        modules, failures = load_modules(discover_py_files([SRC_REPRO]))
+        assert not failures
+        model = LintContext(modules).project
+        assert model.warnings == []
+        # sanity: the model actually saw the tree, not an empty dir
+        assert len(model.functions) > 300
+        assert len(model.classes) > 50
+        assert "repro.exec.specs.run_trial" in model.functions
+        assert isinstance(model, ProjectModel)
+
+    def test_model_is_cached_on_context(self):
+        modules, _ = load_modules(
+            discover_py_files([os.path.join(SRC_REPRO, "lint")])
+        )
+        ctx = LintContext(modules)
+        assert ctx.project is ctx.project

@@ -1,0 +1,163 @@
+"""Baseline-file and SARIF-reporter tests.
+
+The baseline is the ratchet: known findings live in a checked-in file
+(line-number-independent fingerprints), get reported but do not gate,
+and disappear from the file the moment the code is fixed.  SARIF is the
+interchange artifact CI uploads; these tests pin the minimal 2.1.0
+shape consumers rely on (rule metadata, result locations, fingerprints,
+``baselineState``).
+"""
+
+import json
+
+from repro.lint import (
+    fingerprint,
+    format_sarif,
+    lint_paths,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.findings import Finding, Severity
+from tests.test_lint_rules import write_tree
+
+TAINTED = {
+    "repro/exec/specs.py": (
+        "import random\n"
+        "def run_trial(spec, seed):\n"
+        "    return random.random()\n"
+    ),
+}
+
+
+def lint_tree(tmp_path, files, baseline_path=None):
+    write_tree(tmp_path, files)
+    return lint_paths(
+        [str(tmp_path)], ["nondet-taint"], baseline_path=baseline_path
+    )
+
+
+class TestFingerprint:
+    def test_line_number_independent(self):
+        a = Finding(
+            rule_id="nondet-taint",
+            severity=Severity.ERROR,
+            path="x.py",
+            line=3,
+            col=4,
+            message="m",
+            module="pkg.x",
+        )
+        b = Finding(
+            rule_id="nondet-taint",
+            severity=Severity.ERROR,
+            path="elsewhere/x.py",
+            line=90,
+            col=0,
+            message="m",
+            module="pkg.x",
+        )
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_sensitive_to_rule_module_and_message(self):
+        base = dict(
+            rule_id="r",
+            severity=Severity.ERROR,
+            path="x.py",
+            line=1,
+            col=0,
+            message="m",
+            module="pkg.x",
+        )
+        a = Finding(**base)
+        for key, value in (
+            ("rule_id", "other"),
+            ("module", "pkg.y"),
+            ("message", "m2"),
+        ):
+            assert fingerprint(a) != fingerprint(
+                Finding(**{**base, key: value})
+            )
+
+
+class TestBaselineWorkflow:
+    def test_roundtrip_moves_findings_out_of_gate(self, tmp_path):
+        report = lint_tree(tmp_path / "tree", TAINTED)
+        assert len(report.findings) == 1
+
+        baseline = tmp_path / "baseline.json"
+        count = write_baseline(str(baseline), report)
+        assert count == 1
+        assert load_baseline(str(baseline)) == {
+            fingerprint(report.findings[0])
+        }
+
+        gated = lint_tree(
+            tmp_path / "tree2", TAINTED, baseline_path=str(baseline)
+        )
+        assert gated.findings == []
+        assert len(gated.baselined) == 1
+        assert gated.errors == []
+
+    def test_rewrite_drops_fixed_entries(self, tmp_path):
+        report = lint_tree(tmp_path / "tree", TAINTED)
+        baseline = tmp_path / "baseline.json"
+        write_baseline(str(baseline), report)
+
+        clean = lint_tree(
+            tmp_path / "clean",
+            {
+                "repro/exec/specs.py": (
+                    "def run_trial(spec, seed):\n    return seed\n"
+                ),
+            },
+        )
+        assert write_baseline(str(baseline), clean) == 0
+        assert load_baseline(str(baseline)) == set()
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text('{"version": 99}')
+        try:
+            load_baseline(str(bad))
+        except ValueError as e:
+            assert "version" in str(e)
+        else:
+            raise AssertionError("expected ValueError")
+
+
+class TestSarif:
+    def test_minimal_valid_shape(self, tmp_path):
+        report = lint_tree(tmp_path, TAINTED)
+        doc = json.loads(format_sarif(report))
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        assert any(r["id"] == "nondet-taint" for r in driver["rules"])
+
+        (result,) = run["results"]
+        assert result["ruleId"] == "nondet-taint"
+        assert result["level"] == "error"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["region"]["startLine"] == 3
+        assert result["partialFingerprints"]
+        assert "baselineState" not in result
+
+    def test_baselined_results_marked_unchanged(self, tmp_path):
+        report = lint_tree(tmp_path / "tree", TAINTED)
+        baseline = tmp_path / "baseline.json"
+        write_baseline(str(baseline), report)
+        gated = lint_tree(
+            tmp_path / "tree2", TAINTED, baseline_path=str(baseline)
+        )
+        doc = json.loads(format_sarif(gated))
+        (result,) = doc["runs"][0]["results"]
+        assert result["baselineState"] == "unchanged"
+
+    def test_parse_failure_surfaces_in_invocation(self, tmp_path):
+        write_tree(tmp_path, {"broken.py": "def oops(:\n"})
+        report = lint_paths([str(tmp_path)], ["nondet-taint"])
+        doc = json.loads(format_sarif(report))
+        invocation = doc["runs"][0]["invocations"][0]
+        assert invocation["executionSuccessful"] is False
+        assert invocation["toolExecutionNotifications"]

@@ -60,6 +60,17 @@ EXPECTED_RULES = {
     "registry-conformance",
     "no-received-mutation",
     "adversary-injected-rng",
+    # whole-program (deep) passes
+    "nondet-taint",
+    "cache-key-soundness",
+    "fork-safety",
+}
+
+#: rules that only run under ``--deep`` (or by explicit id)
+EXPECTED_DEEP_RULES = {
+    "nondet-taint",
+    "cache-key-soundness",
+    "fork-safety",
 }
 
 
@@ -69,6 +80,21 @@ def test_all_shipped_rules_registered():
     for rule in all_rules():
         assert rule.description, rule.rule_id
         assert rule.severity is Severity.ERROR
+
+
+def test_deep_rules_marked_and_excluded_by_default():
+    from repro.lint import get_rules
+
+    deep = {r.rule_id for r in all_rules() if r.deep}
+    assert deep == EXPECTED_DEEP_RULES
+    default = {r.rule_id for r in get_rules()}
+    assert default.isdisjoint(EXPECTED_DEEP_RULES)
+    with_deep = {r.rule_id for r in get_rules(include_deep=True)}
+    assert EXPECTED_DEEP_RULES <= with_deep
+    # an explicit id always resolves, deep or not
+    assert [r.rule_id for r in get_rules(["nondet-taint"])] == [
+        "nondet-taint"
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -711,3 +737,67 @@ class TestNoReceivedMutationObservers:
             tmp_path, {"mod.py": source}, rules=["no-received-mutation"]
         )
         assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# multi-line statement suppressions
+
+
+class TestMultiLineSuppression:
+    """A suppression anchored to a multi-line statement's *first* line
+    covers findings reported on any of its continuation lines (the rule
+    may anchor the finding at an inner expression, e.g. the taint pass
+    reports at the source site inside a multi-line return)."""
+
+    FILES = {
+        "repro/exec/specs.py": (
+            "import random\n"
+            "def run_trial(spec, seed):\n"
+            "    return {  # repro: lint-ok[nondet-taint] fixture debt\n"
+            "        'x': random.random(),\n"
+            "    }\n"
+        ),
+    }
+
+    def test_first_line_suppression_covers_continuation(self, tmp_path):
+        report = run_lint(tmp_path, self.FILES, ["nondet-taint"])
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+        finding, suppression = report.suppressed[0]
+        # the finding sits on a continuation line, below the comment
+        assert finding.line == 4
+        assert suppression.line == 3
+
+    def test_standalone_suppression_above_statement(self, tmp_path):
+        report = run_lint(
+            tmp_path,
+            {
+                "repro/exec/specs.py": (
+                    "import random\n"
+                    "def run_trial(spec, seed):\n"
+                    "    # repro: lint-ok[nondet-taint] fixture debt\n"
+                    "    return {\n"
+                    "        'x': random.random(),\n"
+                    "    }\n"
+                ),
+            },
+            ["nondet-taint"],
+        )
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+    def test_suppression_on_sibling_statement_does_not_cover(self, tmp_path):
+        report = run_lint(
+            tmp_path,
+            {
+                "repro/exec/specs.py": (
+                    "import random  # repro: lint-ok[nondet-taint] nope\n"
+                    "def run_trial(spec, seed):\n"
+                    "    return {\n"
+                    "        'x': random.random(),\n"
+                    "    }\n"
+                ),
+            },
+            ["nondet-taint"],
+        )
+        assert len(report.findings) == 1
