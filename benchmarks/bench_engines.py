@@ -1,10 +1,22 @@
-"""Micro-benchmarks of the combinatorial engines.
+"""Micro-benchmarks of the combinatorial and simulation engines.
 
 Not a paper artifact -- these track the performance of the pieces the
 protocols run in their inner loops (exact set packing, vertex-disjoint
 max flow, witness generation/verification, watch-list construction), so
 a quadratic regression in any of them shows up as a bench slowdown.
+
+``test_engine_backends`` additionally compares the two simulation
+backends (reference vs fastpath, see ``docs/ENGINES.md``) on the same
+crash-flood scenarios and writes the wall-clock table to
+``benchmarks/results/BENCH_engines.json``; the >= 20x speedup assertion
+at side 200 is the fastpath engine's performance regression pin.
 """
+
+import json
+import pathlib
+import time
+
+import pytest
 
 from repro.analysis.flows import max_vertex_disjoint_paths
 from repro.analysis.packing import find_set_packing
@@ -13,6 +25,7 @@ from repro.core.paths import corner_connectivity
 from repro.core.witnesses import verify_connectivity_map
 from repro.grid.graphs import adjacency_map
 from repro.grid.torus import Torus
+from repro.radio.fastpath import HAVE_NUMPY
 
 
 def test_packing_protocol_shaped(benchmark):
@@ -61,3 +74,63 @@ def test_witness_verification(benchmark):
 def test_watchlist_build(benchmark):
     wl = benchmark(watchlist_for_node, (7, 9), (0, 0), 3)
     assert len(wl) >= 3 * 7
+
+
+# -- simulation backend comparison (reference vs fastpath) ----------------
+
+#: (side, repetitions) -- one scenario family per torus size; more reps
+#: on small tori where a single run is too quick to time stably
+_BACKEND_SIDES = ((10, 20), (50, 5), (200, 2))
+
+
+def _engine_run_seconds(side: int, engine: str, reps: int) -> float:
+    """Best-of-``reps`` wall-clock of one crash-flood run (build cost
+    excluded: the scenario is constructed once, the engine choice only
+    changes ``run()``)."""
+    from repro.experiments.scenarios import crash_broadcast_scenario
+
+    sc = crash_broadcast_scenario(
+        r=2, t=4, placement="random", seed=7, torus_side=side,
+        max_rounds=400, engine=engine,
+    )
+    sc.run()  # warm: imports, lattice tables
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        out = sc.run()
+        best = min(best, time.perf_counter() - t0)
+    assert out.achieved
+    return best
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="fastpath needs numpy")
+def test_engine_backends(benchmark, save_table):
+    rows = []
+    for side, reps in _BACKEND_SIDES:
+        ref = _engine_run_seconds(side, "reference", max(2, reps // 2))
+        fast = _engine_run_seconds(side, "fastpath", reps)
+        rows.append(
+            {
+                "side": side,
+                "nodes": side * side,
+                "reference_s": round(ref, 4),
+                "fastpath_s": round(fast, 4),
+                "speedup": round(ref / fast, 1),
+            }
+        )
+
+    def report():
+        return rows
+
+    benchmark.pedantic(report, rounds=1, iterations=1)
+    # regression pin: the whole point of the fastpath backend is bulk
+    # sweeps on large tori (measured ~30x on an idle machine; 20x leaves
+    # headroom for loaded CI runners)
+    big = next(r for r in rows if r["side"] == 200)
+    assert big["speedup"] >= 20.0, rows
+    out = pathlib.Path(__file__).parent / "results" / "BENCH_engines.json"
+    out.parent.mkdir(exist_ok=True)
+    out.write_text(json.dumps(rows, indent=2, sort_keys=True) + "\n")
+    save_table(
+        "BENCH_engines", rows, title="engine backends: crash-flood wall-clock"
+    )

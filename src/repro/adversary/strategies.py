@@ -155,6 +155,12 @@ class PlacementEvaluator:
     search against a warm cache recomputes nothing.  An in-memory memo
     additionally dedupes within the run; only memo misses count against
     ``config.eval_budget``.
+
+    ``engine`` picks the simulation backend for evaluations.  It is a
+    constructor knob, *not* a :class:`SearchConfig` field: the backends
+    are observationally identical, so the engine must not perturb
+    ``search_key()`` (same seeds, same proposals, same cache rows
+    either way).
     """
 
     def __init__(
@@ -162,8 +168,10 @@ class PlacementEvaluator:
         config: SearchConfig,
         workers: int = 1,
         cache: Optional[ResultCache] = None,
+        engine: str = "reference",
     ) -> None:
         self.config = config
+        self.engine = engine
         self.topology = Torus.square(config.torus_side, config.r, config.metric)
         self.source = self.topology.canonical((0, 0))
         self.candidates: Tuple[Coord, ...] = tuple(
@@ -203,6 +211,7 @@ class PlacementEvaluator:
                 ("faults", tuple(sorted(placement))),
                 ("torus_side", cfg.torus_side),
             ),
+            engine=self.engine,
         )
 
     def remaining(self) -> int:
@@ -369,6 +378,7 @@ def greedy_search(
     config: SearchConfig,
     workers: int = 1,
     cache: Optional[ResultCache] = None,
+    engine: str = "reference",
 ) -> SearchResult:
     """Strictly improving local search from the seeded start.
 
@@ -377,7 +387,9 @@ def greedy_search(
     (no restarts, no uphill moves): the cheap baseline the sharper
     strategies are judged against.
     """
-    evaluator = PlacementEvaluator(config, workers=workers, cache=cache)
+    evaluator = PlacementEvaluator(
+        config, workers=workers, cache=cache, engine=engine
+    )
     rng = random.Random(derive_seed(config.seed, config.search_key(), 0))
     history: List[Tuple[int, float]] = []
     best, best_score = _seeded_start(evaluator, rng, history)
@@ -403,6 +415,7 @@ def hill_climb(
     config: SearchConfig,
     workers: int = 1,
     cache: Optional[ResultCache] = None,
+    engine: str = "reference",
 ) -> SearchResult:
     """Greedy ascent with random restarts.
 
@@ -410,7 +423,9 @@ def hill_climb(
     fresh random maximal placements.  The returned best spans all
     restarts.
     """
-    evaluator = PlacementEvaluator(config, workers=workers, cache=cache)
+    evaluator = PlacementEvaluator(
+        config, workers=workers, cache=cache, engine=engine
+    )
     rng = random.Random(derive_seed(config.seed, config.search_key(), 1))
     names = sorted(MOVE_KERNELS)
     history: List[Tuple[int, float]] = []
@@ -463,6 +478,7 @@ def simulated_annealing(
     config: SearchConfig,
     workers: int = 1,
     cache: Optional[ResultCache] = None,
+    engine: str = "reference",
 ) -> SearchResult:
     """Batch simulated annealing from the seeded start.
 
@@ -472,7 +488,9 @@ def simulated_annealing(
     the temperature cools once per batch.  The uphill tolerance is what
     lets the walker cross the valleys that stop :func:`greedy_search`.
     """
-    evaluator = PlacementEvaluator(config, workers=workers, cache=cache)
+    evaluator = PlacementEvaluator(
+        config, workers=workers, cache=cache, engine=engine
+    )
     rng = random.Random(derive_seed(config.seed, config.search_key(), 2))
     names = sorted(MOVE_KERNELS)
     history: List[Tuple[int, float]] = []
@@ -521,11 +539,18 @@ def run_search(
     strategy: str = "anneal",
     workers: int = 1,
     cache: Optional[ResultCache] = None,
+    engine: str = "reference",
 ) -> SearchResult:
-    """Dispatch to a named strategy (see :data:`STRATEGIES`)."""
+    """Dispatch to a named strategy (see :data:`STRATEGIES`).
+
+    ``engine`` selects the evaluation backend (certification always
+    replays on the reference engine regardless).
+    """
     if strategy not in STRATEGIES:
         raise ConfigurationError(
             f"unknown strategy {strategy!r}; expected one of "
             f"{sorted(STRATEGIES)}"
         )
-    return STRATEGIES[strategy](config, workers=workers, cache=cache)
+    return STRATEGIES[strategy](
+        config, workers=workers, cache=cache, engine=engine
+    )

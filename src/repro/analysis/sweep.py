@@ -84,13 +84,16 @@ def byzantine_sharpness_run(
     trials: int = 5,
     seed: int = 0,
     executor: Optional[SweepExecutor] = None,
+    engine: str = "reference",
 ) -> SweepRun:
     """Success fraction vs fault budget under random valid placements.
 
     For each ``t`` the protocol is *told* ``t`` and the adversary places a
     random maximal ``t``-bounded fault set; both sides scale together,
     exactly as in the paper's model.  Returns the aggregated points plus
-    the executor's wall-clock / cache statistics.
+    the executor's wall-clock / cache statistics.  ``engine`` picks the
+    simulation backend; it does not change seeds, rows, or cache keys
+    (the backends are observationally identical).
     """
     executor = executor or SweepExecutor()
     specs = [
@@ -102,6 +105,7 @@ def byzantine_sharpness_run(
             protocol=protocol,
             strategy=strategy,
             placement="random",
+            engine=engine,
         )
         for t in budgets
     ]
@@ -121,6 +125,7 @@ def byzantine_sharpness_sweep(
     trials: int = 5,
     seed: int = 0,
     executor: Optional[SweepExecutor] = None,
+    engine: str = "reference",
 ) -> List[SweepPoint]:
     """:func:`byzantine_sharpness_run` returning only the points."""
     return byzantine_sharpness_run(
@@ -131,6 +136,7 @@ def byzantine_sharpness_sweep(
         trials=trials,
         seed=seed,
         executor=executor,
+        engine=engine,
     ).points
 
 
@@ -140,6 +146,7 @@ def crash_sharpness_run(
     trials: int = 5,
     seed: int = 0,
     executor: Optional[SweepExecutor] = None,
+    engine: str = "reference",
 ) -> SweepRun:
     """Crash-stop analogue of :func:`byzantine_sharpness_run`."""
     executor = executor or SweepExecutor()
@@ -151,6 +158,7 @@ def crash_sharpness_run(
             trials=trials,
             protocol="crash-flood",
             placement="random",
+            engine=engine,
         )
         for t in budgets
     ]
@@ -168,8 +176,10 @@ def crash_sharpness_sweep(
     trials: int = 5,
     seed: int = 0,
     executor: Optional[SweepExecutor] = None,
+    engine: str = "reference",
 ) -> List[SweepPoint]:
     """:func:`crash_sharpness_run` returning only the points."""
     return crash_sharpness_run(
-        r, budgets, trials=trials, seed=seed, executor=executor
+        r, budgets, trials=trials, seed=seed, executor=executor,
+        engine=engine,
     ).points

@@ -110,6 +110,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.engine == "fastpath" and args.kind == "byzantine":
+        print(
+            "repro sweep: Byzantine scenarios need the reference engine "
+            '(arbitrary node code); drop --engine fastpath',
+            file=sys.stderr,
+        )
+        return 2
     cache = None
     if not args.no_cache:
         cache_dir = (
@@ -138,6 +145,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 or ("bv-two-hop" if args.kind == "byzantine" else "crash-flood"),
                 strategy=args.strategy if args.kind == "byzantine" else None,
                 placement="random",
+                engine=args.engine,
             )
             for t in budgets
         ]
@@ -156,6 +164,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             trials=args.trials,
             seed=args.seed,
             executor=executor,
+            engine=args.engine,
         )
         threshold = byzantine_linf_max_t(args.r)
     else:
@@ -165,6 +174,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             trials=args.trials,
             seed=args.seed,
             executor=executor,
+            engine=args.engine,
         )
         threshold = crash_linf_max_t(args.r)
 
@@ -216,6 +226,15 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         metrics_summary,
     )
 
+    if args.engine == "fastpath" and (
+        args.jsonl or args.deliveries or args.profile
+    ):
+        print(
+            "repro trace: --jsonl / --deliveries / --profile need the "
+            "per-event reference engine; drop --engine fastpath",
+            file=sys.stderr,
+        )
+        return 2
     if args.kind == "byzantine":
         scenario = byzantine_broadcast_scenario(
             r=args.r,
@@ -224,6 +243,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             strategy=args.strategy,
             placement=args.placement,
             seed=args.seed,
+            engine=args.engine,
         )
     else:
         scenario = crash_broadcast_scenario(
@@ -232,11 +252,16 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             placement=args.placement,
             seed=args.seed,
             protocol=args.protocol or "crash-flood",
+            engine=args.engine,
         )
     metrics = RunMetrics(source=scenario.source)
-    recorder = JsonlRecorder(record_deliveries=args.deliveries)
+    recorder = None
+    if args.engine != "fastpath":
+        # the fastpath backend keeps no per-event stream to record
+        recorder = JsonlRecorder(record_deliveries=args.deliveries)
     profiler = PhaseProfiler() if args.profile else None
-    outcome = scenario.run(observers=(metrics, recorder), profiler=profiler)
+    observers = (metrics, recorder) if recorder is not None else (metrics,)
+    outcome = scenario.run(observers=observers, profiler=profiler)
     summary = metrics_summary(metrics)
     if args.jsonl:
         count = recorder.dump(args.jsonl)
@@ -272,6 +297,13 @@ def _cmd_adversary(args: argparse.Namespace) -> int:
     from repro.adversary import SearchConfig, certify_result, run_search
     from repro.exec import ResultCache, default_cache_dir
 
+    if args.engine == "fastpath" and args.kind == "byzantine":
+        print(
+            "repro adversary: Byzantine evaluation needs the reference "
+            'engine (arbitrary node code); drop --engine fastpath',
+            file=sys.stderr,
+        )
+        return 2
     cache = None
     if not args.no_cache:
         cache_dir = (
@@ -290,7 +322,11 @@ def _cmd_adversary(args: argparse.Namespace) -> int:
         eval_budget=args.budget,
     )
     result = run_search(
-        config, strategy=args.strategy, workers=args.workers, cache=cache
+        config,
+        strategy=args.strategy,
+        workers=args.workers,
+        cache=cache,
+        engine=args.engine,
     )
     summary = {
         "kind": args.kind,
@@ -502,6 +538,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--json", help="also write a JSON report (points + stats) here"
     )
+    p_sweep.add_argument(
+        "--engine",
+        choices=["reference", "fastpath"],
+        default="reference",
+        help="simulation backend (fastpath: vectorized, crash-only; "
+        "identical results and cache keys, see docs/ENGINES.md)",
+    )
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_trace = sub.add_parser(
@@ -546,6 +589,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="print wall-clock phase profile of the engine hot loop",
+    )
+    p_trace.add_argument(
+        "--engine",
+        choices=["reference", "fastpath"],
+        default="reference",
+        help="simulation backend; fastpath has no per-event stream, so "
+        "--jsonl/--deliveries/--profile require reference",
     )
     p_trace.set_defaults(func=_cmd_trace)
 
@@ -611,6 +661,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_adv.add_argument(
         "--json", help="write the full search report (+certificate) here"
+    )
+    p_adv.add_argument(
+        "--engine",
+        choices=["reference", "fastpath"],
+        default="reference",
+        help="evaluation backend (certification always replays on "
+        "reference); fastpath needs kind=crash",
     )
     p_adv.set_defaults(func=_cmd_adversary)
 

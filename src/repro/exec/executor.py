@@ -91,7 +91,10 @@ def unit_cache_key(
     from the scenario identity (it does not change the simulation) but
     changes the cached row *shape*, so it joins the key when set --
     conditionally, to keep every pre-existing metrics-free cache entry
-    valid.
+    valid.  ``spec.engine`` never joins the key: the backends are
+    observationally identical (tests/test_fastpath_differential.py), so
+    cache rows are shared across engines -- a sweep computed on
+    ``reference`` is a 100% cache hit when rerun with ``fastpath``.
     """
     payload = {
         "scenario": spec.key_payload(),

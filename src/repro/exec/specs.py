@@ -42,6 +42,13 @@ KEY_EXEMPT_FIELDS: Dict[str, str] = {
         "way); it joins unit_cache_key conditionally because it "
         "changes the cached row shape"
     ),
+    "engine": (
+        "backend selection, not scenario identity: the fastpath and "
+        "reference engines are observationally identical (enforced "
+        "byte-for-byte by tests/test_fastpath_differential.py), so the "
+        "same seeds, rows, and cached results apply either way and the "
+        "engine is excluded from scenario_key() and unit_cache_key"
+    ),
 }
 
 
@@ -78,8 +85,16 @@ class ScenarioSpec:
     #: ``staggered_max_round`` for crash ones), kept as a sorted tuple of
     #: pairs so the spec stays hashable and canonical.
     scenario_kwargs: Tuple[Tuple[str, Any], ...] = field(default_factory=tuple)
+    #: which simulation backend runs the trials (see
+    #: :data:`repro.radio.engines.ENGINES`).  Outside the scenario/cache
+    #: key: the backends are observationally identical, so rows computed
+    #: on either are interchangeable (see :data:`KEY_EXEMPT_FIELDS`).
+    engine: str = "reference"
 
     def __post_init__(self) -> None:
+        from repro.radio.engines import validate_engine
+
+        validate_engine(self.engine)
         if self.kind not in KINDS:
             raise ConfigurationError(
                 f"unknown scenario kind {self.kind!r}; expected one of {KINDS}"
@@ -104,7 +119,8 @@ class ScenarioSpec:
         payload = {
             f.name: getattr(self, f.name)
             for f in fields(self)
-            if f.name not in ("trials", "scenario_kwargs", "collect_metrics")
+            if f.name
+            not in ("trials", "scenario_kwargs", "collect_metrics", "engine")
         }
         payload["scenario_kwargs"] = {k: v for k, v in self.scenario_kwargs}
         return payload
@@ -159,6 +175,7 @@ def build_scenario(spec: ScenarioSpec, seed: int) -> "BroadcastScenario":
             seed=seed,
             enforce_budget=spec.enforce_budget,
             max_rounds=spec.max_rounds,
+            engine=spec.engine,
             **extra,
         )
     return crash_broadcast_scenario(
@@ -170,6 +187,7 @@ def build_scenario(spec: ScenarioSpec, seed: int) -> "BroadcastScenario":
         enforce_budget=spec.enforce_budget,
         max_rounds=spec.max_rounds,
         protocol=spec.protocol,
+        engine=spec.engine,
         **extra,
     )
 

@@ -36,6 +36,7 @@ from repro.faults.random_faults import random_bounded_placement
 from repro.geometry.coords import Coord
 from repro.grid.torus import Torus
 from repro.protocols.registry import correct_process_map
+from repro.radio.engines import validate_engine
 from repro.radio.node import NodeProcess
 from repro.radio.run import BroadcastOutcome, run_broadcast
 
@@ -80,8 +81,14 @@ class BroadcastScenario:
     protocol_kwargs: Dict[str, Any] = field(default_factory=dict)
     channel: Optional[Any] = None  # ChannelImperfections; None = perfect
     delivery: str = "immediate"  # or "end-of-round" (synchronous steps)
+    #: simulation backend: "reference" (per-node objects) or "fastpath"
+    #: (vectorized kernels, see :mod:`repro.radio.fastpath`).  The two
+    #: are observationally identical wherever fastpath is supported, so
+    #: the choice never changes results -- only wall-clock.
+    engine: str = "reference"
 
     def __post_init__(self) -> None:
+        validate_engine(self.engine)
         canon = self.topology.canonical
         self.source = canon(self.source)
         self.byzantine_processes = {
@@ -128,6 +135,17 @@ class BroadcastScenario:
         ``observers`` / ``profiler`` attach :mod:`repro.obs`
         instrumentation to the underlying engine; both default to off.
         """
+        if self.engine == "fastpath":
+            # imported lazily: the fastpath stack (and numpy) is an
+            # optional dependency the reference path never touches
+            from repro.radio.fastpath import run_fastpath_broadcast
+
+            return run_fastpath_broadcast(
+                self,
+                record_events=record_events,
+                observers=observers,
+                profiler=profiler,
+            )
         processes: Dict[Coord, NodeProcess] = dict(self.byzantine_processes)
         processes.update(
             correct_process_map(
@@ -216,6 +234,7 @@ def byzantine_broadcast_scenario(
     faults: Optional[Iterable[Coord]] = None,
     enforce_budget: bool = True,
     max_rounds: int = 200,
+    engine: str = "reference",
     **protocol_kwargs: Any,
 ) -> BroadcastScenario:
     """Build a Byzantine broadcast experiment.
@@ -275,6 +294,7 @@ def byzantine_broadcast_scenario(
         byzantine_processes=byz,
         max_rounds=max_rounds,
         protocol_kwargs=protocol_kwargs,
+        engine=engine,
     )
 
 
@@ -358,6 +378,7 @@ def crash_broadcast_scenario(
     staggered_max_round: Optional[int] = None,
     max_rounds: int = 200,
     protocol: str = "crash-flood",
+    engine: str = "reference",
 ) -> BroadcastScenario:
     """Build a crash-stop broadcast experiment.
 
@@ -400,4 +421,5 @@ def crash_broadcast_scenario(
         source=source,
         crash_round=crash_round,
         max_rounds=max_rounds,
+        engine=engine,
     )

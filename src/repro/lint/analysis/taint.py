@@ -11,10 +11,12 @@ entry points *sinks* whose entire call closure must be deterministic:
 
 A *source* is anything whose value depends on process state rather than
 the derived seed: module-level ``random`` draws, unseeded
-``random.Random()`` / ``random.SystemRandom()``, ``time.*``,
-``os.urandom``, ``uuid.*``, ``id()`` / ``hash()`` of objects, and
-order-sensitive iteration over a set (including sets proven
-interprocedurally, e.g. a set passed into an ``Iterable`` parameter).
+``random.Random()`` / ``random.SystemRandom()``, global
+``numpy.random.*`` draws and unseeded ``numpy.random.default_rng()`` /
+``RandomState()``, ``time.*``, ``os.urandom``, ``uuid.*``, ``id()`` /
+``hash()`` of objects, and order-sensitive iteration over a set
+(including sets proven interprocedurally, e.g. a set passed into an
+``Iterable`` parameter).
 
 The only sanctioned barrier is :func:`repro.exec.seeds.derive_seed`:
 call edges into it are not traversed (whatever enters it comes out as a
@@ -153,6 +155,23 @@ def _sources(
             out.append((node, "OS-entropy 'os.urandom()'"))
         elif root == "uuid" and member:
             out.append((node, f"'uuid.{member}' (host/clock dependent)"))
+        elif root == "numpy" and dotted.startswith("numpy.random."):
+            # numpy's RNG surface mirrors stdlib random: the global
+            # draws share hidden state, and the constructors are
+            # OS-entropy unless explicitly seeded
+            if member in ("default_rng", "RandomState"):
+                if not node.args and not node.keywords:
+                    out.append(
+                        (node, f"unseeded 'numpy.random.{member}()'")
+                    )
+            elif member not in ("seed", "Generator"):
+                out.append(
+                    (
+                        node,
+                        f"global numpy RNG draw 'numpy.random.{member}' "
+                        "(shared hidden state)",
+                    )
+                )
     return out
 
 
@@ -172,10 +191,10 @@ class NondetTaintRule(Rule):
     rule_id = "nondet-taint"
     deep = True
     description = (
-        "no nondeterminism source (random/time/uuid/os.urandom/"
-        "id/hash/set iteration) may reach Engine.run, run_trial, "
-        "build_scenario, or an adversary move kernel except through "
-        "derive_seed"
+        "no nondeterminism source (random/numpy.random/time/uuid/"
+        "os.urandom/id/hash/set iteration) may reach Engine.run, "
+        "run_trial, build_scenario, or an adversary move kernel except "
+        "through derive_seed"
     )
 
     def check_project(self, ctx: LintContext) -> Iterator[Finding]:

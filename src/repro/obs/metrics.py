@@ -202,6 +202,59 @@ class RunMetrics(EngineObserver):
         self.quiescent = result.quiescent
         self.rounds = max(self.rounds, result.rounds)
 
+    # -- bulk ingestion (fastpath backend) -------------------------------
+
+    def ingest_run(
+        self,
+        *,
+        source: Optional[Coord],
+        transmissions: int,
+        deliveries: int,
+        crashes: int,
+        rounds: int,
+        quiescent: Optional[bool],
+        tx_by_round: Dict[int, int],
+        deliveries_by_round: Dict[int, int],
+        commits_by_round: Dict[int, int],
+        tx_by_node: Dict[Coord, int],
+        rx_by_node: Dict[Coord, int],
+        commit_round: Dict[Coord, int],
+        commit_wavefront_by_round: Dict[int, float],
+        delivery_wavefront_by_round: Dict[int, float],
+    ) -> None:
+        """Load a whole run's metrics at once, instead of hook by hook.
+
+        The fastpath engine (:mod:`repro.radio.fastpath`) accumulates
+        the same counters the observer hooks would have built and hands
+        them over here; every argument is plain Python data (no numpy
+        scalars) with exactly the shapes the hooks produce, so
+        :func:`repro.obs.export.metrics_summary` of an ingested run is
+        byte-identical to the reference engine's hook-driven run.
+        ``source`` must already be canonical (the fastpath runner
+        canonicalizes it, mirroring :meth:`on_run_start`).
+        """
+        self.source = source
+        self.transmissions = transmissions
+        self.deliveries = deliveries
+        self.commits = len(commit_round)
+        self.crashes = crashes
+        self.rounds = rounds
+        self.quiescent = quiescent
+        self.tx_by_round = tx_by_round
+        self.deliveries_by_round = deliveries_by_round
+        self.commits_by_round = commits_by_round
+        self.tx_by_node = tx_by_node
+        self.rx_by_node = rx_by_node
+        self.commit_round = commit_round
+        self.commit_wavefront_by_round = commit_wavefront_by_round
+        self.delivery_wavefront_by_round = delivery_wavefront_by_round
+        if commit_wavefront_by_round:
+            self._commit_radius = max(commit_wavefront_by_round.values())
+        if delivery_wavefront_by_round:
+            self._delivery_radius = max(
+                delivery_wavefront_by_round.values()
+            )
+
     # -- derived views ---------------------------------------------------
 
     def commit_latency_histogram(self) -> Dict[int, int]:

@@ -1,0 +1,35 @@
+"""The simulation backend registry: names and validation.
+
+Kept free of heavy imports (no numpy, no engine machinery) so the spec
+layer (:mod:`repro.exec.specs`) can validate an ``engine=`` field
+without paying for the simulator stack.  The backends themselves:
+
+- ``"reference"`` -- the per-node object engine
+  (:class:`repro.radio.engine.Engine`), the semantic ground truth;
+- ``"fastpath"`` -- the vectorized array-kernel engine
+  (:mod:`repro.radio.fastpath`), observationally identical for the
+  protocols it supports and ~100x faster on large tori.
+
+Because the two backends must be observationally identical (enforced by
+``tests/test_fastpath_differential.py``), the engine choice is *not*
+part of a scenario's identity: it is excluded from
+``ScenarioSpec.scenario_key()`` and from the work-unit cache key, so
+rows computed on either backend are interchangeable.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+#: Selectable simulation backends.
+ENGINES = ("reference", "fastpath")
+
+
+def validate_engine(engine: str) -> str:
+    """Check an engine name; returns it unchanged or raises
+    :class:`~repro.errors.ConfigurationError`."""
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    return engine

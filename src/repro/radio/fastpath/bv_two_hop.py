@@ -1,0 +1,264 @@
+"""Transport-optimized bv-two-hop kernel.
+
+bv-two-hop's evidence state (per-value, per-center chain indexes with a
+set-packing commit rule) is irreducibly per-node, so unlike crash-flood
+it cannot be expressed as whole-lattice array updates.  What *can* be
+precomputed and flattened is everything the reference engine spends its
+time on around that state: envelope objects, context indirection,
+per-delivery observer dispatch, coordinate canonicalization and
+localization.  This kernel runs the same per-message state machine over
+flat integer indices and precomputed ball/offset tables, reusing the
+reference evidence machinery (:class:`~repro.protocols.evidence.
+CenterIndex`, :func:`~repro.analysis.packing.has_packing_of_size`)
+verbatim so commit decisions -- including packing-search order and
+budget behavior -- are identical by construction.
+
+Message encoding (value is run-constant, so payloads carry none):
+
+- ``_SRC`` -- the source's initial broadcast;
+- ``_CMT`` -- a ``COMMITTED`` announcement;
+- ``("HEARD", origin)`` -- a two-hop report with the canonical
+  coordinate of the announcer.
+
+Localization exactness: a ball neighbor at offset ``o`` from receiver
+``P`` localizes to ``P - o`` (offsets are wrap-unique because the torus
+side is >= 2r+1); arbitrary coordinates inside ``HEARD`` payloads go
+through the same shortest-wrapped-delta arithmetic as
+:meth:`repro.radio.node.Context.localize`, including its distortion on
+small tori -- the plausibility filter must misfire in exactly the same
+cases as the reference.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.analysis.packing import PackingBudgetExceeded, has_packing_of_size
+from repro.protocols.evidence import CenterIndex
+from repro.radio.fastpath.compat import require_numpy
+from repro.radio.fastpath.lattice import Lattice
+from repro.radio.fastpath.stats import KernelStats, SourceTracker
+
+_SRC = ("SRC",)
+_CMT = ("CMT",)
+
+
+class _BVState:
+    """Per-node protocol state (correct nodes only)."""
+
+    __slots__ = ("committed", "index", "reports_seen", "outbox")
+
+    def __init__(self) -> None:
+        self.committed = False
+        self.index: Optional[CenterIndex] = None
+        self.reports_seen = set()
+        self.outbox = deque()
+
+
+def run_bv_two_hop_kernel(
+    lattice: Lattice,
+    *,
+    source_idx: int,
+    value,
+    t: int,
+    correct,
+    crash_rounds,
+    max_rounds: int,
+    max_messages: Optional[int],
+    trackers: List[SourceTracker],
+) -> KernelStats:
+    """Simulate bv-two-hop on ``lattice`` and return its statistics.
+
+    Arguments match :func:`~repro.radio.fastpath.crash_flood.
+    run_crash_flood_kernel`, plus the protocol's fault budget ``t`` and
+    the broadcast ``value`` (needed because the evidence index keys
+    chains by value, exactly as the reference protocol does).
+    """
+    require_numpy()  # fail the same way as the vectorized kernels
+    stats = KernelStats()
+    metric = lattice.metric
+    rr = lattice.r
+    t1 = t + 1
+    K = lattice.ball_size
+    num_nodes = lattice.num_nodes
+    width, height = lattice.width, lattice.height
+    half_w, half_h = width // 2, height // 2
+    nbr_lists = lattice.nbr_idx.tolist()
+    offsets = metric.offsets(rr)
+    coords = lattice.coords_all
+    crash_list = crash_rounds.tolist()
+    correct_list = correct.tolist()
+
+    states: Dict[int, _BVState] = {
+        i: _BVState() for i in range(num_nodes) if correct_list[i]
+    }
+    correct_order = sorted(states)  # flat order == canonical node order
+    tx_by_node = [0] * num_nodes
+    rx_by_node = [0] * num_nodes
+    pending_total = 0
+
+    def commit(st: _BVState, idx: int, round_: int) -> None:
+        nonlocal pending_total
+        st.committed = True
+        st.outbox.append(_CMT)
+        pending_total += 1
+        stats.commit_round[coords[idx]] = round_
+        stats.commits_by_round[round_] = (
+            stats.commits_by_round.get(round_, 0) + 1
+        )
+        for tr in trackers:
+            tr.on_committed_one(idx)
+
+    # -- start phase (round -1): the source broadcasts SRC and commits
+    src_state = states[source_idx]
+    src_state.outbox.append(_SRC)
+    pending_total += 1
+    commit(src_state, source_idx, -1)
+    stats.crashes = sum(1 for c in crash_list if c == 0)
+
+    budget = max_messages
+    tx_total = 0
+    obs_deliveries = 0
+    rounds = 0
+    quiescent = False
+    hit_rounds = False
+    hit_messages = False
+    slot_groups = [g.tolist() for g in lattice.slot_groups]
+    r = 0
+    while True:
+        if r >= max_rounds:
+            hit_rounds = True
+            break
+        if r > 0:
+            stats.crashes += sum(1 for c in crash_list if c == r)
+        tx_round = 0
+        del_round = 0
+        tripped = False
+        for group in slot_groups:
+            for sender in group:
+                st = states.get(sender)
+                if st is None or not st.outbox:
+                    continue  # faulty nodes never queue anything
+                outbox = st.outbox
+                ball = nbr_lists[sender]
+                sender_coord = coords[sender]
+                while outbox:
+                    if budget is not None and tx_total >= budget:
+                        tripped = True
+                        break
+                    payload = outbox.popleft()
+                    pending_total -= 1
+                    tx_total += 1
+                    tx_round += 1
+                    tx_by_node[sender] += 1
+                    stats.fanout_deliveries += K
+                    kind = payload[0]
+                    for j, p in enumerate(ball):
+                        if crash_list[p] <= r:
+                            continue  # dead receivers hear nothing
+                        del_round += 1
+                        rx_by_node[p] += 1
+                        for tr in trackers:
+                            tr.on_delivered_one(p)
+                        rst = states.get(p)
+                        if rst is None:
+                            continue  # live faulty node: silent observer
+                        if kind == "CMT":
+                            # receivers always relay a two-hop report,
+                            # even post-commit (others may need it)
+                            rst.outbox.append(("HEARD", sender_coord))
+                            pending_total += 1
+                            if not rst.committed:
+                                px, py = coords[p]
+                                ox, oy = offsets[j]
+                                if rst.index is None:
+                                    rst.index = CenterIndex(rr, metric)
+                                rst.index.add(
+                                    value,
+                                    frozenset(((px - ox, py - oy),)),
+                                )
+                        elif kind == "HEARD":
+                            if rst.committed:
+                                continue
+                            px, py = coords[p]
+                            ox, oy = offsets[j]
+                            reporter = (px - ox, py - oy)
+                            # localize the origin: shortest wrapped delta
+                            gx, gy = payload[1]
+                            dx = (gx - px) % width
+                            if dx > half_w:
+                                dx -= width
+                            dy = (gy - py) % height
+                            if dy > half_h:
+                                dy -= height
+                            origin = (px + dx, py + dy)
+                            if origin == reporter or origin == (px, py):
+                                continue
+                            if (reporter, origin) in rst.reports_seen:
+                                continue
+                            if not metric.within(reporter, origin, rr):
+                                continue
+                            rst.reports_seen.add((reporter, origin))
+                            if rst.index is None:
+                                rst.index = CenterIndex(rr, metric)
+                            rst.index.add(
+                                value, frozenset((origin, reporter))
+                            )
+                        else:  # SRC: trusted only from the true source
+                            if sender == source_idx and not rst.committed:
+                                commit(rst, p, r)
+                if tripped:
+                    break
+            if tripped:
+                break
+        if not tripped:
+            # round-end hook: evaluate the commit rule for every live
+            # uncommitted node with fresh evidence, in canonical order
+            for p in correct_order:
+                st = states[p]
+                if st.committed or st.index is None:
+                    continue
+                for key, center in st.index.pop_dirty():
+                    chains = st.index.chains_at(key, center)
+                    if len(chains) < t1:
+                        continue
+                    try:
+                        if has_packing_of_size(chains, t1):
+                            commit(st, p, r)
+                            break
+                    except PackingBudgetExceeded:
+                        continue  # cannot determine yet; same as reference
+        # close the round (partial budget-truncated rounds still count)
+        if tx_round:
+            stats.tx_by_round[r] = tx_round
+        if del_round:
+            stats.deliveries_by_round[r] = del_round
+        obs_deliveries += del_round
+        for tr in trackers:
+            tr.snapshot(r)
+        rounds = r + 1
+        if tripped:
+            hit_messages = True
+            break
+        if tx_round == 0 and pending_total == 0:
+            quiescent = True
+            break
+        r += 1
+
+    stats.rounds = rounds
+    stats.quiescent = quiescent
+    stats.hit_round_limit = hit_rounds
+    stats.hit_message_limit = hit_messages
+    stats.transmissions = tx_total
+    stats.obs_deliveries = obs_deliveries
+    for i, n in enumerate(tx_by_node):
+        if n:
+            stats.tx_by_node[coords[i]] = n
+    for i, n in enumerate(rx_by_node):
+        if n:
+            stats.rx_by_node[coords[i]] = n
+    stats.committed_mask = [
+        i in states and states[i].committed for i in range(num_nodes)
+    ]
+    return stats

@@ -1,0 +1,36 @@
+"""Optional-dependency gate for the fastpath backend.
+
+numpy ships in the ``fast`` extra (``pip install repro[fast]``), not in
+the core install: every reference-engine code path must keep working on
+a bare interpreter.  Fastpath entry points call :func:`require_numpy`
+first, so a missing dependency surfaces as a
+:class:`~repro.errors.ConfigurationError` naming the fix, not as an
+``ImportError`` from deep inside a kernel.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+try:  # pragma: no cover - exercised only by environment
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _numpy = None
+
+#: whether the fastpath backend is importable in this environment
+HAVE_NUMPY: bool = _numpy is not None
+
+
+def require_numpy():
+    """The ``numpy`` module, or a clean configuration error.
+
+    :raises ConfigurationError: when numpy is not installed (the
+        ``engine="fastpath"`` backend needs the ``fast`` extra).
+    """
+    if _numpy is None:
+        raise ConfigurationError(
+            'engine="fastpath" requires numpy, which is not installed; '
+            'install the optional dependency (pip install "repro[fast]") '
+            'or use engine="reference"'
+        )
+    return _numpy

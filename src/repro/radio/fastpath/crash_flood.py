@@ -1,0 +1,259 @@
+"""Fully vectorized crash-flood kernel.
+
+Why this protocol collapses to array updates: under crash-stop faults
+every message on the air carries the source's value (only the true
+source sends ``SourceMsg``; everything else is a ``COMMITTED`` relay),
+so *every* delivered message commits any correct, uncommitted receiver.
+Per-node state is just two lattices -- ``committed`` (bool) and
+``pending`` (outbox depth: 2 for the source's SRC+COMMITTED burst, 1
+for a relay, 0 otherwise) -- and one TDMA slot is one gather/scatter
+over the precomputed ball table.
+
+Exactness relies on a schedule invariant the reference engine also
+depends on: nodes sharing a TDMA slot are >= 2r+1 apart, so their
+delivery balls are disjoint (under every metric, since L1/L2 >= Linf)
+and each receiver hears at most one transmitter per slot.  Firing a
+slot as one batch therefore preserves the reference engine's exact
+per-receiver message order, and a single forward pass over the slots
+reproduces the in-round commit cascade (a node committing in slot s
+relays in its own slot s' > s within the same frame; s' < s rolls to
+the next frame; s' == s is impossible because co-slotted nodes are out
+of each other's range).
+
+The slot loop is frontier-driven: instead of scanning every slot group
+for pending transmitters each round (O(N) per slot), freshly committed
+relays are bucketed into per-slot ready queues the moment they commit,
+so each round costs O(active transmitters), not O(N x slots).  Only
+correct nodes ever enter a queue (faulty nodes run ``SilentProcess``
+in the reference engine and never relay; the designated source is
+validated correct), so no crash check is needed on transmitters.
+
+The message budget keeps the reference semantics: the check fires
+*before* each send, so a slot that fits entirely within the remaining
+budget is fired as one batch, and only the slot that would overrun it
+falls back to a per-message scalar loop (in node order) to stop at
+exactly the same message the reference engine stops at.
+"""
+
+from __future__ import annotations
+
+from itertools import repeat
+from typing import List, Optional
+
+from repro.radio.fastpath.compat import require_numpy
+from repro.radio.fastpath.lattice import Lattice
+from repro.radio.fastpath.stats import KernelStats, SourceTracker
+
+
+def run_crash_flood_kernel(
+    lattice: Lattice,
+    *,
+    source_idx: int,
+    correct,
+    crash_rounds,
+    max_rounds: int,
+    max_messages: Optional[int],
+    trackers: List[SourceTracker],
+) -> KernelStats:
+    """Simulate crash-flood on ``lattice`` and return its statistics.
+
+    Parameters
+    ----------
+    correct:
+        ``(N,)`` bool mask of correct nodes.
+    crash_rounds:
+        ``(N,)`` int64 crash round per node; a huge sentinel (anything
+        above ``max_rounds``) for nodes that never crash.  A node is
+        dead during round ``x`` iff ``crash_rounds[node] <= x``.
+    trackers:
+        One :class:`SourceTracker` per distinct observer source (empty
+        when no observer needs wave-fronts).
+    """
+    np = require_numpy()
+    stats = KernelStats()
+    K = lattice.ball_size
+    nbr = lattice.nbr_idx
+    coords = lattice.coords_all
+    slot_of = lattice.slot_of
+    num_slots = len(lattice.slot_groups)
+
+    committed = np.zeros(lattice.num_nodes, dtype=bool)
+    pending = np.zeros(lattice.num_nodes, dtype=np.int64)
+    tx_arr = np.zeros(lattice.num_nodes, dtype=np.int64)
+    rx_arr = np.zeros(lattice.num_nodes, dtype=np.int64)
+
+    def record_commits(idxs, round_: int) -> None:
+        """Commit the nodes in ``idxs`` with observation round ``round_``."""
+        committed[idxs] = True
+        lst = idxs.tolist()
+        stats.commit_round.update(
+            zip([coords[i] for i in lst], repeat(round_))
+        )
+        stats.commits_by_round[round_] = stats.commits_by_round.get(
+            round_, 0
+        ) + len(lst)
+        for tr in trackers:
+            tr.on_committed(idxs)
+
+    # per-slot ready queues: ``queue`` is the frame being fired,
+    # ``ready_next`` the frame after it; route() buckets fresh relays
+    queue: List[List] = []
+    ready_next: List[List] = [[] for _ in range(num_slots)]
+
+    def route(idxs, current_slot: int) -> None:
+        """Enqueue fresh relays: own slot after ``current_slot`` fires
+        this frame, at-or-before rolls to the next frame (equal is
+        impossible -- co-slotted nodes are out of range).  One argsort
+        plus boundary slicing; within-bucket order is irrelevant (the
+        batch path is order-free and the scalar fallback re-sorts)."""
+        fslots = slot_of[idxs]
+        order = np.argsort(fslots)
+        si = idxs[order]
+        ss = fslots[order]
+        bounds = np.flatnonzero(ss[1:] != ss[:-1]) + 1
+        starts = [0, *bounds.tolist()]
+        ends = [*bounds.tolist(), len(ss)]
+        for a, b in zip(starts, ends):
+            s2 = int(ss[a])
+            (queue if s2 > current_slot else ready_next)[s2].append(
+                si[a:b]
+            )
+
+    # -- start phase (round -1): the source broadcasts SRC + COMMITTED
+    # and commits; dead-from-start crashes are announced.
+    record_commits(np.asarray([source_idx], dtype=np.int64), -1)
+    pending[source_idx] = 2
+    pending_total = 2
+    ready_next[int(slot_of[source_idx])].append(
+        np.asarray([source_idx], dtype=np.int64)
+    )
+    stats.crashes = int((crash_rounds == 0).sum())
+
+    budget = max_messages
+    tx_total = 0
+    rounds = 0
+    quiescent = False
+    hit_rounds = False
+    hit_messages = False
+    r = 0
+    while True:
+        if r >= max_rounds:
+            hit_rounds = True
+            break
+        if r > 0:
+            # crash_rounds == 0 nodes were announced during the start
+            # phase; later crashes announce when their round executes
+            stats.crashes += int((crash_rounds == r).sum())
+        queue = ready_next
+        ready_next = [[] for _ in range(num_slots)]
+        tx_round = 0
+        obs_del_round = 0
+        tripped = False
+        for s in range(num_slots):
+            parts = queue[s]
+            if not parts:
+                continue
+            txers = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            msgs = pending[txers]
+            demand = int(msgs.sum())
+            if budget is None or tx_total + demand <= budget:
+                # the whole slot fits in the budget: fire it as a batch
+                tx_total += demand
+                tx_round += demand
+                pending_total -= demand
+                stats.fanout_deliveries += demand * K
+                tx_arr[txers] += msgs
+                pending[txers] = 0
+                balls = nbr[txers]  # (m, K) receiver indices
+                alive = crash_rounds[balls] > r
+                delivered = balls[alive]
+                if delivered.size:
+                    # each receiver hears its (single) in-range sender's
+                    # whole burst: weight = that sender's message count.
+                    # Ball disjointness makes `delivered` duplicate-free,
+                    # so fancy-index += is exact.
+                    if demand == txers.size:  # all single-message relays
+                        obs_del_round += int(delivered.size)
+                        rx_arr[delivered] += 1
+                    else:
+                        weights = np.broadcast_to(
+                            msgs[:, None], balls.shape
+                        )[alive]
+                        obs_del_round += int(weights.sum())
+                        rx_arr[delivered] += weights
+                    for tr in trackers:
+                        tr.on_delivered(delivered)
+                    fresh = delivered[
+                        correct[delivered] & ~committed[delivered]
+                    ]
+                    if fresh.size:
+                        record_commits(fresh, r)
+                        pending[fresh] = 1
+                        pending_total += int(fresh.size)
+                        route(fresh, s)
+            else:
+                # budget trips inside this slot: replay it per message,
+                # in node order, stopping exactly where the reference
+                # engine's pre-send check stops
+                for txer in np.sort(txers).tolist():
+                    while pending[txer] > 0:
+                        if tx_total >= budget:
+                            tripped = True
+                            break
+                        pending[txer] -= 1
+                        pending_total -= 1
+                        tx_total += 1
+                        tx_round += 1
+                        stats.fanout_deliveries += K
+                        tx_arr[txer] += 1
+                        ball = nbr[txer]
+                        delivered = ball[crash_rounds[ball] > r]
+                        if delivered.size:
+                            obs_del_round += int(delivered.size)
+                            rx_arr[delivered] += 1
+                            for tr in trackers:
+                                tr.on_delivered(delivered)
+                            fresh = delivered[
+                                correct[delivered] & ~committed[delivered]
+                            ]
+                            if fresh.size:
+                                record_commits(fresh, r)
+                                pending[fresh] = 1
+                                pending_total += int(fresh.size)
+                                route(fresh, s)
+                    if tripped:
+                        break
+            if tripped:
+                break
+        # close the round: budget-truncated partial rounds still count
+        if tx_round:
+            stats.tx_by_round[r] = tx_round
+        if obs_del_round:
+            stats.deliveries_by_round[r] = obs_del_round
+        for tr in trackers:
+            tr.snapshot(r)
+        rounds = r + 1
+        if tripped:
+            hit_messages = True
+            break
+        if tx_round == 0 and pending_total == 0:
+            quiescent = True
+            break
+        r += 1
+
+    stats.rounds = rounds
+    stats.quiescent = quiescent
+    stats.hit_round_limit = hit_rounds
+    stats.hit_message_limit = hit_messages
+    stats.transmissions = tx_total
+    stats.obs_deliveries = sum(stats.deliveries_by_round.values())
+    nz = np.flatnonzero(tx_arr).tolist()
+    stats.tx_by_node = dict(
+        zip([coords[i] for i in nz], tx_arr[nz].tolist())
+    )
+    nz = np.flatnonzero(rx_arr).tolist()
+    stats.rx_by_node = dict(
+        zip([coords[i] for i in nz], rx_arr[nz].tolist())
+    )
+    stats.committed_mask = committed.tolist()
+    return stats

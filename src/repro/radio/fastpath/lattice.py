@@ -1,0 +1,155 @@
+"""Dense array geometry for a torus: flat indices, ball tables, slots.
+
+The kernels never touch coordinate tuples in their hot loops.  A
+:class:`Lattice` flattens the torus once -- node ``(x, y)`` becomes flat
+index ``x * height + y``, which preserves the engine's canonical sorted
+node order -- and precomputes:
+
+- ``nbr_idx``: an ``(N, K)`` table mapping each node to the flat indices
+  of its radius-``r`` ball (torus wrap folded in), so "deliver to the
+  whole neighborhood" is one numpy gather;
+- the TDMA slot structure, taken verbatim from
+  :func:`repro.grid.tdma.make_schedule` -- the fastpath engine must fire
+  the *same* slots in the *same* order as the reference engine, so it
+  reuses the reference construction rather than reimplementing it;
+- metric distance-from-source fields for wave-front accounting.
+
+Everything here is geometry; no simulation state lives on the lattice,
+so one lattice can serve many runs over the same torus.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.geometry.coords import Coord
+from repro.grid.tdma import make_schedule
+from repro.grid.torus import Torus
+from repro.radio.fastpath.compat import require_numpy
+
+
+class Lattice:
+    """Flattened geometry of a :class:`~repro.grid.torus.Torus`.
+
+    Attributes
+    ----------
+    width / height / num_nodes / r / ball_size:
+        Torus shape, radius, and neighborhood population ``K``.
+    nbr_idx:
+        ``(N, K)`` array: row ``i`` holds the flat indices of node
+        ``i``'s neighbors (offset order of ``metric.offsets(r)``).
+    slot_groups:
+        One sorted flat-index array per TDMA slot, in slot order --
+        exactly :func:`~repro.grid.tdma.make_schedule`'s frame.
+    slot_of:
+        ``(N,)`` array: each node's slot index.
+    """
+
+    def __init__(self, topology: Torus) -> None:
+        np = require_numpy()
+        if not isinstance(topology, Torus):
+            raise ConfigurationError(
+                "the fastpath engine supports only Torus topologies, got "
+                f"{type(topology).__name__}"
+            )
+        self.topology = topology
+        self.metric = topology.metric
+        self.width = topology.width
+        self.height = topology.height
+        self.r = topology.r
+        self.num_nodes = topology.num_nodes
+        w, h, n = self.width, self.height, self.num_nodes
+
+        offsets = self.metric.offsets(self.r)
+        self.ball_size = len(offsets)
+        xs = np.repeat(np.arange(w, dtype=np.int64), h)
+        ys = np.tile(np.arange(h, dtype=np.int64), w)
+        self.xs = xs
+        self.ys = ys
+        nbr = np.empty((n, self.ball_size), dtype=np.int64)
+        for j, (dx, dy) in enumerate(offsets):
+            nbr[:, j] = ((xs + dx) % w) * h + ((ys + dy) % h)
+        self.nbr_idx = nbr
+
+        schedule = make_schedule(topology)
+        self.schedule = schedule
+        self.slot_groups: Tuple = tuple(
+            np.asarray([self.flat(node) for node in group], dtype=np.int64)
+            for group in schedule.slots
+        )
+        slot_of = np.empty(n, dtype=np.int64)
+        for s, group in enumerate(self.slot_groups):
+            slot_of[group] = s
+        self.slot_of = slot_of
+        #: canonical coordinate per flat index (flat order == sorted
+        #: node order); one C-speed zip instead of N coord() calls
+        self.coords_all: List[Coord] = list(zip(xs.tolist(), ys.tolist()))
+        self._dist_cache: dict = {}
+
+    # -- index mapping -----------------------------------------------------
+
+    def flat(self, node: Coord) -> int:
+        """Flat index of a canonical coordinate."""
+        x, y = self.topology.canonical(node)
+        return x * self.height + y
+
+    def coord(self, idx: int) -> Coord:
+        """Canonical coordinate of a flat index."""
+        return (int(idx) // self.height, int(idx) % self.height)
+
+    def coords(self, idxs) -> List[Coord]:
+        """Canonical coordinates for an iterable of flat indices."""
+        return [self.coord(i) for i in idxs]
+
+    # -- derived fields ----------------------------------------------------
+
+    def distance_from(self, source: Coord):
+        """``(N,)`` float array of torus metric distance from ``source``.
+
+        Matches :meth:`repro.grid.torus.Torus.distance` exactly: shortest
+        wrapped displacement per axis, then the metric norm.  Memoized
+        per canonical source (callers must treat the array as
+        read-only).
+        """
+        np = require_numpy()
+        sx, sy = self.topology.canonical(source)
+        cached = self._dist_cache.get((sx, sy))
+        if cached is not None:
+            return cached
+        dx = np.abs(self.xs - sx)
+        dx = np.minimum(dx, self.width - dx)
+        dy = np.abs(self.ys - sy)
+        dy = np.minimum(dy, self.height - dy)
+        name = self.metric.name
+        if name == "linf":
+            dist = np.maximum(dx, dy).astype(np.float64)
+        elif name == "l1":
+            dist = (dx + dy).astype(np.float64)
+        elif name == "l2":
+            # math.hypot, not np.hypot: the reference path goes through
+            # Metric.distance and the two can differ in the last ulp --
+            # wave-front floats must match bit-for-bit.
+            dist = np.fromiter(
+                (
+                    math.hypot(a, b)
+                    for a, b in zip(dx.tolist(), dy.tolist())
+                ),
+                dtype=np.float64,
+                count=self.num_nodes,
+            )
+        else:
+            raise ConfigurationError(
+                f"fastpath has no distance kernel for metric {name!r}"
+            )
+        if len(self._dist_cache) >= 8:
+            self._dist_cache.pop(next(iter(self._dist_cache)))
+        self._dist_cache[(sx, sy)] = dist
+        return dist
+
+    def localize(self, node: Coord, other: Coord) -> Coord:
+        """``other`` in ``node``'s unwrapped local frame (the fastpath
+        twin of :meth:`repro.radio.node.Context.localize`)."""
+        dx, dy = self.topology.toroidal_delta(node, other)
+        return (node[0] + dx, node[1] + dy)

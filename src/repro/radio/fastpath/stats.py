@@ -1,0 +1,122 @@
+"""Kernel output: run statistics and per-source wave-front trackers.
+
+The fastpath kernels do not emit observer events; they accumulate the
+*effects* those events would have had -- the same counters the reference
+engine's :class:`~repro.radio.trace.Trace` and
+:class:`~repro.obs.metrics.RunMetrics` build up hook by hook -- and hand
+them back in one :class:`KernelStats`.  The runner then populates real
+``Trace`` / ``RunMetrics`` objects from it, so downstream consumers see
+byte-identical summaries.
+
+Two delivery counts coexist on purpose, mirroring the reference split:
+
+- ``fanout_deliveries`` -- channel-level fanout (every transmission
+  counts its full neighborhood), what ``Trace.deliveries`` records;
+- ``obs_deliveries`` -- actual receptions by live nodes, what
+  ``RunMetrics.deliveries`` records (crashed receivers excluded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.geometry.coords import Coord
+
+
+class SourceTracker:
+    """Cumulative wave-front radii measured from one source node.
+
+    Mirrors :class:`~repro.obs.metrics.RunMetrics` exactly: the radii
+    are cumulative maxima updated on every delivery / commit, and a
+    snapshot of both is taken at the end of every executed round
+    (partial budget-truncated rounds included, round -1 excluded).
+    """
+
+    __slots__ = (
+        "source",
+        "dist",
+        "dist_list",
+        "commit_radius",
+        "delivery_radius",
+        "commit_wavefront",
+        "delivery_wavefront",
+    )
+
+    def __init__(self, source: Coord, dist) -> None:
+        self.source = source
+        self.dist = dist  # (N,) float64, exact torus metric distances
+        self.dist_list = dist.tolist()  # scalar-indexing twin for bv
+        self.commit_radius = 0.0
+        self.delivery_radius = 0.0
+        self.commit_wavefront: Dict[int, float] = {}
+        self.delivery_wavefront: Dict[int, float] = {}
+
+    # -- vectorized updates (crash-flood kernel) ------------------------
+
+    def on_delivered(self, idxs) -> None:
+        """Advance the delivery radius over an array of receiver indices."""
+        if idxs.size:
+            d = float(self.dist[idxs].max())
+            if d > self.delivery_radius:
+                self.delivery_radius = d
+
+    def on_committed(self, idxs) -> None:
+        """Advance the commit radius over an array of committer indices."""
+        if idxs.size:
+            d = float(self.dist[idxs].max())
+            if d > self.commit_radius:
+                self.commit_radius = d
+
+    # -- scalar updates (bv kernel hot loop) ----------------------------
+
+    def on_delivered_one(self, idx: int) -> None:
+        """Widen the delivery wave-front to node ``idx`` if farther."""
+        d = self.dist_list[idx]
+        if d > self.delivery_radius:
+            self.delivery_radius = d
+
+    def on_committed_one(self, idx: int) -> None:
+        """Widen the commit wave-front to node ``idx`` if farther."""
+        d = self.dist_list[idx]
+        if d > self.commit_radius:
+            self.commit_radius = d
+
+    def snapshot(self, round_: int) -> None:
+        """Record this round's cumulative radii (the round-end hook)."""
+        self.commit_wavefront[round_] = self.commit_radius
+        self.delivery_wavefront[round_] = self.delivery_radius
+
+
+@dataclass
+class KernelStats:
+    """Everything a kernel run produces, in plain Python data.
+
+    ``commit_round`` maps canonical coordinates to the round their
+    commit was observed (-1 for the source's ``on_start`` commit);
+    its key set is exactly the set of committed nodes.
+    """
+
+    rounds: int = 0
+    quiescent: bool = False
+    hit_round_limit: bool = False
+    hit_message_limit: bool = False
+    transmissions: int = 0
+    fanout_deliveries: int = 0
+    obs_deliveries: int = 0
+    crashes: int = 0
+    tx_by_node: Dict[Coord, int] = field(default_factory=dict)
+    tx_by_round: Dict[int, int] = field(default_factory=dict)
+    deliveries_by_round: Dict[int, int] = field(default_factory=dict)
+    rx_by_node: Dict[Coord, int] = field(default_factory=dict)
+    commit_round: Dict[Coord, int] = field(default_factory=dict)
+    commits_by_round: Dict[int, int] = field(default_factory=dict)
+    #: per-flat-index commit flags, aligned with ``Lattice.coords_all``
+    #: (lets the runner build the processes map with one zip instead of
+    #: N set probes)
+    committed_mask: Optional[List[bool]] = None
+
+    @property
+    def committed_nodes(self) -> Tuple[Coord, ...]:
+        """Canonical coordinates of every node that committed."""
+        return tuple(self.commit_round)

@@ -3,7 +3,7 @@
 The acceptance fixture is the issue's own: an unseeded
 ``random.random()`` *two calls upstream* of ``run_trial`` must be
 flagged, with the witness call path in the message.  The rest pins the
-source catalog (time, urandom, uuid, set iteration, ``id()``), the
+source catalog (time, urandom, uuid, numpy.random, set iteration, ``id()``), the
 ``derive_seed`` barrier, and the sink catalog (``Engine.run``,
 ``build_scenario``, adversary move kernels).
 """
@@ -117,6 +117,50 @@ class TestSourceCatalog:
     def test_seeded_rng_is_clean(self, tmp_path):
         report = self._lint_source_in_sink(
             tmp_path, "return random.Random(seed).random()", "import random\n"
+        )
+        assert findings(report) == []
+
+
+    def test_numpy_global_draw_source(self, tmp_path):
+        report = self._lint_source_in_sink(
+            tmp_path, "return np.random.rand()", "import numpy as np\n"
+        )
+        assert len(findings(report)) == 1
+        assert "numpy.random.rand" in findings(report)[0].message
+
+    def test_numpy_unseeded_default_rng_source(self, tmp_path):
+        report = self._lint_source_in_sink(
+            tmp_path,
+            "return default_rng().integers(8)",
+            "from numpy.random import default_rng\n",
+        )
+        assert len(findings(report)) == 1
+        assert "default_rng" in findings(report)[0].message
+
+    def test_numpy_unseeded_randomstate_source(self, tmp_path):
+        report = self._lint_source_in_sink(
+            tmp_path,
+            "return np.random.RandomState().rand()",
+            "import numpy as np\n",
+        )
+        # the constructor is flagged; the .rand() draw on the returned
+        # object is instance state, not the shared global
+        assert len(findings(report)) == 1
+        assert "RandomState" in findings(report)[0].message
+
+    def test_numpy_seeded_default_rng_is_clean(self, tmp_path):
+        report = self._lint_source_in_sink(
+            tmp_path,
+            "return default_rng(seed).integers(8)",
+            "from numpy.random import default_rng\n",
+        )
+        assert findings(report) == []
+
+    def test_numpy_seeded_randomstate_is_clean(self, tmp_path):
+        report = self._lint_source_in_sink(
+            tmp_path,
+            "return np.random.RandomState(seed).rand()",
+            "import numpy as np\n",
         )
         assert findings(report) == []
 

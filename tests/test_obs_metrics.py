@@ -291,3 +291,70 @@ class TestFunctionProcessRoundEnd:
         rounds = [c for c in calls if c[0] == "round"]
         ends = [c for c in calls if c[0] == "round_end"]
         assert len(rounds) == len(ends) > 0
+
+
+class TestEdgeSummaries:
+    """Degenerate collectors must still export well-formed summaries."""
+
+    def test_fresh_collector_summary(self):
+        # a collector that never observed a run: all-zero counters and
+        # null latency stats, not KeyErrors or division by zero
+        summary = RunMetrics().summary()
+        assert summary["rounds"] == 0
+        assert summary["transmissions"] == 0
+        assert summary["deliveries"] == 0
+        assert summary["commits"] == 0
+        assert summary["quiescent"] is None
+        assert summary["commit_latency"]["histogram"] == []
+        assert summary["commit_latency"]["mean"] is None
+        assert summary["tx_by_round"] == []
+
+    def test_ingest_empty_run(self):
+        # bulk-loading an empty run (the fastpath shape for a scenario
+        # that did nothing) must equal a fresh collector's summary,
+        # modulo the facts the run itself establishes
+        metrics = RunMetrics()
+        metrics.ingest_run(
+            source=None,
+            transmissions=0,
+            deliveries=0,
+            crashes=0,
+            rounds=0,
+            quiescent=True,
+            tx_by_round={},
+            deliveries_by_round={},
+            commits_by_round={},
+            tx_by_node={},
+            rx_by_node={},
+            commit_round={},
+            commit_wavefront_by_round={},
+            delivery_wavefront_by_round={},
+        )
+        expected = RunMetrics().summary()
+        expected["quiescent"] = True
+        assert metrics.summary() == expected
+
+    def test_ingest_replaces_previous_run(self):
+        # re-ingesting must reload, not accumulate: the executor reuses
+        # observers across cached and live trials
+        metrics = RunMetrics()
+        for reps in (1, 2):
+            metrics.ingest_run(
+                source=None,
+                transmissions=7,
+                deliveries=21,
+                crashes=1,
+                rounds=3,
+                quiescent=False,
+                tx_by_round={1: 7},
+                deliveries_by_round={1: 21},
+                commits_by_round={},
+                tx_by_node={(0, 0): 7},
+                rx_by_node={(0, 1): 21},
+                commit_round={},
+                commit_wavefront_by_round={},
+                delivery_wavefront_by_round={},
+            )
+        assert metrics.transmissions == 7
+        assert metrics.deliveries == 21
+        assert metrics.crashes == 1

@@ -226,3 +226,29 @@ class TestTraceCrashCounting:
             max_rounds=6,
         ).run()
         assert res.trace.crashes == 1
+
+
+class TestTraceEdges:
+    def test_empty_trace_summary(self):
+        # a trace that saw no events: zero aggregates, sentinel busiest
+        trace = Trace()
+        assert trace.summary() == {
+            "rounds": 0,
+            "transmissions": 0,
+            "deliveries": 0,
+            "transmitting_nodes": 0,
+            "crashes": 0,
+        }
+        assert trace.busiest_round() == (-1, 0)
+        assert trace.transmissions_of((0, 0)) == 0
+
+    def test_trace_of_silent_network(self):
+        # every process silent: rounds advance to quiescence detection,
+        # but no transmissions or deliveries are ever logged
+        t = Torus.square(3, 1)
+        procs = {n: SilentProcess() for n in t.nodes()}
+        res = Engine(t, procs, max_rounds=5).run()
+        assert res.quiescent
+        assert res.trace.transmissions == 0
+        assert res.trace.deliveries == 0
+        assert res.trace.summary()["transmitting_nodes"] == 0
