@@ -85,6 +85,9 @@ def byzantine_sharpness_run(
     seed: int = 0,
     executor: Optional[SweepExecutor] = None,
     engine: str = "reference",
+    metric: str = "linf",
+    topology: str = "torus",
+    channel: str = "ideal",
 ) -> SweepRun:
     """Success fraction vs fault budget under random valid placements.
 
@@ -93,7 +96,10 @@ def byzantine_sharpness_run(
     exactly as in the paper's model.  Returns the aggregated points plus
     the executor's wall-clock / cache statistics.  ``engine`` picks the
     simulation backend; it does not change seeds, rows, or cache keys
-    (the backends are observationally identical).
+    (the backends are observationally identical).  ``metric``,
+    ``topology``, and ``channel`` select the orthogonal scenario-axis
+    levels (all paper defaults) and *are* scenario identity -- different
+    levels sweep different scenario keys.
     """
     executor = executor or SweepExecutor()
     specs = [
@@ -105,7 +111,10 @@ def byzantine_sharpness_run(
             protocol=protocol,
             strategy=strategy,
             placement="random",
+            metric=metric,
             engine=engine,
+            topology=topology,
+            channel=channel,
         )
         for t in budgets
     ]
@@ -126,6 +135,9 @@ def byzantine_sharpness_sweep(
     seed: int = 0,
     executor: Optional[SweepExecutor] = None,
     engine: str = "reference",
+    metric: str = "linf",
+    topology: str = "torus",
+    channel: str = "ideal",
 ) -> List[SweepPoint]:
     """:func:`byzantine_sharpness_run` returning only the points."""
     return byzantine_sharpness_run(
@@ -137,6 +149,9 @@ def byzantine_sharpness_sweep(
         seed=seed,
         executor=executor,
         engine=engine,
+        metric=metric,
+        topology=topology,
+        channel=channel,
     ).points
 
 
@@ -147,6 +162,9 @@ def crash_sharpness_run(
     seed: int = 0,
     executor: Optional[SweepExecutor] = None,
     engine: str = "reference",
+    metric: str = "linf",
+    topology: str = "torus",
+    channel: str = "ideal",
 ) -> SweepRun:
     """Crash-stop analogue of :func:`byzantine_sharpness_run`."""
     executor = executor or SweepExecutor()
@@ -158,7 +176,10 @@ def crash_sharpness_run(
             trials=trials,
             protocol="crash-flood",
             placement="random",
+            metric=metric,
             engine=engine,
+            topology=topology,
+            channel=channel,
         )
         for t in budgets
     ]
@@ -177,9 +198,12 @@ def crash_sharpness_sweep(
     seed: int = 0,
     executor: Optional[SweepExecutor] = None,
     engine: str = "reference",
+    metric: str = "linf",
+    topology: str = "torus",
+    channel: str = "ideal",
 ) -> List[SweepPoint]:
     """:func:`crash_sharpness_run` returning only the points."""
     return crash_sharpness_run(
         r, budgets, trials=trials, seed=seed, executor=executor,
-        engine=engine,
+        engine=engine, metric=metric, topology=topology, channel=channel,
     ).points

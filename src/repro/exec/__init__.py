@@ -32,6 +32,15 @@ from repro.exec.executor import (
     SweepRunResult,
     unit_cache_key,
 )
+from repro.exec.runtable import (
+    FACTOR_FIELDS,
+    RUNTABLE_SCHEMA,
+    RunTable,
+    RunTableResult,
+    RunUnit,
+    execute_runtable,
+    load_runtable,
+)
 from repro.exec.seeds import SEED_BITS, derive_seed
 from repro.exec.specs import KINDS, ScenarioSpec, build_scenario, run_trial
 
@@ -40,8 +49,13 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "DEFAULT_CHUNK_SIZE",
     "ExecStats",
+    "FACTOR_FIELDS",
     "KINDS",
+    "RUNTABLE_SCHEMA",
     "ResultCache",
+    "RunTable",
+    "RunTableResult",
+    "RunUnit",
     "SEED_BITS",
     "ScenarioSpec",
     "SweepExecutor",
@@ -51,6 +65,8 @@ __all__ = [
     "content_key",
     "default_cache_dir",
     "derive_seed",
+    "execute_runtable",
+    "load_runtable",
     "run_trial",
     "unit_cache_key",
 ]

@@ -20,6 +20,8 @@ from dataclasses import dataclass, field, fields
 from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.grid.factory import TOPOLOGY_KINDS
+from repro.radio.channel import CHANNEL_MODELS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.scenarios import BroadcastScenario
@@ -90,6 +92,16 @@ class ScenarioSpec:
     #: key: the backends are observationally identical, so rows computed
     #: on either are interchangeable (see :data:`KEY_EXEMPT_FIELDS`).
     engine: str = "reference"
+    #: topology factor level (:data:`repro.grid.factory.TOPOLOGY_KINDS`).
+    #: Keyed *conditionally*: the default ``"torus"`` is omitted from
+    #: :meth:`key_payload` so every pre-existing scenario key -- and with
+    #: it every derived trial seed and cached work unit -- is unchanged
+    #: by the field's introduction (schema evolution by omission).
+    topology: str = "torus"
+    #: channel-model factor level
+    #: (:data:`repro.radio.channel.CHANNEL_MODELS`).  Conditionally keyed
+    #: exactly like ``topology``: the default ``"ideal"`` is omitted.
+    channel: str = "ideal"
 
     def __post_init__(self) -> None:
         from repro.radio.engines import validate_engine
@@ -103,6 +115,33 @@ class ScenarioSpec:
             raise ConfigurationError(
                 f"trials must be >= 1, got {self.trials}"
             )
+        if self.topology not in TOPOLOGY_KINDS:
+            raise ConfigurationError(
+                f"unknown topology kind {self.topology!r}; expected one "
+                f"of {TOPOLOGY_KINDS}"
+            )
+        if self.channel not in CHANNEL_MODELS:
+            raise ConfigurationError(
+                f"unknown channel model {self.channel!r}; expected one "
+                f"of {CHANNEL_MODELS}"
+            )
+        if self.engine == "fastpath":
+            # hard gate, not silent fallback: the kernels assume toroidal
+            # wrap and a perfect channel, so anything else must raise --
+            # never quietly compute torus/ideal results for a spec that
+            # asked for a different factor level
+            if self.topology != "torus":
+                raise ConfigurationError(
+                    'engine="fastpath" cannot run this scenario: the '
+                    "fastpath engine supports only the torus topology "
+                    f"factor, got topology={self.topology!r}"
+                )
+            if self.channel != "ideal":
+                raise ConfigurationError(
+                    'engine="fastpath" cannot run this scenario: '
+                    "channel imperfections require the reference engine, "
+                    f"got channel={self.channel!r}"
+                )
         canonical = tuple(
             sorted((str(k), v) for k, v in tuple(self.scenario_kwargs))
         )
@@ -115,13 +154,32 @@ class ScenarioSpec:
 
         Excludes ``trials`` (see the class docstring): identity is the
         scenario family, not how many samples were taken from it.
+
+        ``topology`` and ``channel`` join the payload only at non-default
+        levels: they *are* scenario identity (a bounded grid or a lossy
+        channel is a different simulation), but omitting the defaults
+        keeps every scenario key minted before the fields existed --
+        and every seed stream and cached row derived from one -- valid
+        verbatim.  The ``cache-key-soundness`` deep lint counts these
+        conditional re-adds as keyed.
         """
         payload = {
             f.name: getattr(self, f.name)
             for f in fields(self)
             if f.name
-            not in ("trials", "scenario_kwargs", "collect_metrics", "engine")
+            not in (
+                "trials",
+                "scenario_kwargs",
+                "collect_metrics",
+                "engine",
+                "topology",
+                "channel",
+            )
         }
+        if self.topology != "torus":
+            payload["topology"] = self.topology
+        if self.channel != "ideal":
+            payload["channel"] = self.channel
         payload["scenario_kwargs"] = {k: v for k, v in self.scenario_kwargs}
         return payload
 
@@ -176,6 +234,8 @@ def build_scenario(spec: ScenarioSpec, seed: int) -> "BroadcastScenario":
             enforce_budget=spec.enforce_budget,
             max_rounds=spec.max_rounds,
             engine=spec.engine,
+            topology_kind=spec.topology,
+            channel=spec.channel,
             **extra,
         )
     return crash_broadcast_scenario(
@@ -188,6 +248,8 @@ def build_scenario(spec: ScenarioSpec, seed: int) -> "BroadcastScenario":
         max_rounds=spec.max_rounds,
         protocol=spec.protocol,
         engine=spec.engine,
+        topology_kind=spec.topology,
+        channel=spec.channel,
         **extra,
     )
 

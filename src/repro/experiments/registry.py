@@ -81,6 +81,13 @@ _EXPERIMENTS: Tuple[Experiment, ...] = (
         runners.run_l2_impossibility,
     ),
     Experiment(
+        "EXP-L2BRACKET",
+        "Section VIII (open problem)",
+        "Adversary-searched bracket of the open L2 constants "
+        "(0.23 vs 0.3 pi r^2), with certified gap placements",
+        runners.run_l2_bracket,
+    ),
+    Experiment(
         "EXP-F14_19",
         "Figures 14-19 / Theorem 6",
         "CPA stage inequalities over radii",

@@ -34,8 +34,11 @@ from repro.faults.crash import dead_from_start, staggered_crashes
 from repro.faults.placement import trim_to_budget, validate_placement
 from repro.faults.random_faults import random_bounded_placement
 from repro.geometry.coords import Coord
+from repro.grid.factory import TOPOLOGY_KINDS, make_topology
+from repro.grid.topology import Topology
 from repro.grid.torus import Torus
 from repro.protocols.registry import correct_process_map
+from repro.radio.channel import make_channel_model
 from repro.radio.engines import validate_engine
 from repro.radio.node import NodeProcess
 from repro.radio.run import BroadcastOutcome, run_broadcast
@@ -69,7 +72,7 @@ class BroadcastScenario:
     not appear in both.
     """
 
-    topology: Torus
+    topology: Topology
     protocol: str
     t: int
     value: Any = 1
@@ -174,39 +177,71 @@ class BroadcastScenario:
         )
 
 
-def _resolve_torus(
+def _resolve_topology(
     r: int,
     metric,
     placement: str,
     torus: Optional[Torus],
     torus_side: Optional[int],
-) -> Torus:
-    """The torus a scenario runs on: explicit object, explicit side, or
-    the placement-appropriate default (strip constructions need the wider
-    two-strip torus)."""
+    topology_kind: str = "torus",
+    seed: int = 0,
+) -> Topology:
+    """The topology a scenario runs on.
+
+    Either an explicit ``torus`` object (the legacy escape hatch: any
+    pre-built topology wins outright), or a square topology of the named
+    ``topology_kind`` (see :data:`repro.grid.factory.TOPOLOGY_KINDS`)
+    with side ``torus_side`` or the placement-appropriate default (strip
+    constructions need the wider two-strip torus).  ``seed`` pins the
+    node sample of the ``"rgg"`` kind and is ignored by the others.
+    """
     if torus is not None:
+        if topology_kind != "torus":
+            raise ConfigurationError(
+                f"pass either an explicit topology object or "
+                f"topology_kind={topology_kind!r}, not both"
+            )
         if torus_side is not None and torus.width != torus_side:
             raise ConfigurationError(
                 f"both torus ({torus.width} wide) and torus_side="
                 f"{torus_side} given; pass one"
             )
         return torus
+    if topology_kind not in TOPOLOGY_KINDS:
+        raise ConfigurationError(
+            f"unknown topology kind {topology_kind!r}; expected one of "
+            f"{TOPOLOGY_KINDS}"
+        )
+    if placement == "strip" and topology_kind != "torus":
+        raise ConfigurationError(
+            'placement="strip" uses the toroidal two-strip construction '
+            f"and is torus-only, got topology {topology_kind!r}; use "
+            'placement="random" or "explicit"'
+        )
     if torus_side is not None:
-        return Torus.square(torus_side, r, metric)
-    if placement in ("strip", "explicit"):
-        return strip_torus(r, metric)
-    return recommended_torus(r, metric)
+        side = torus_side
+    elif placement in ("strip", "explicit"):
+        side = strip_torus(r, metric).width
+    else:
+        side = recommended_torus(r, metric).width
+    return make_topology(topology_kind, side, r, metric, seed=seed)
 
 
 def _explicit_faults(
-    faults: Optional[Iterable[Coord]], topology: Torus
+    faults: Optional[Iterable[Coord]], topology: Topology
 ) -> Set[Coord]:
     """Canonicalize a caller-supplied fault set for ``explicit`` mode."""
     if faults is None:
         raise ConfigurationError(
             'placement="explicit" needs faults=<iterable of coordinates>'
         )
-    return {topology.canonical(tuple(f)) for f in faults}
+    out = {topology.canonical(tuple(f)) for f in faults}
+    missing = sorted(q for q in out if not topology.contains(q))
+    if missing:
+        raise ConfigurationError(
+            f"explicit faults {missing} host no node on {topology!r}"
+        )
+    return out
 
 
 def _reject_stray_faults(
@@ -235,6 +270,8 @@ def byzantine_broadcast_scenario(
     enforce_budget: bool = True,
     max_rounds: int = 200,
     engine: str = "reference",
+    topology_kind: str = "torus",
+    channel: str = "ideal",
     **protocol_kwargs: Any,
 ) -> BroadcastScenario:
     """Build a Byzantine broadcast experiment.
@@ -250,7 +287,7 @@ def byzantine_broadcast_scenario(
     strategy:
         A name from :data:`repro.faults.byzantine.BYZANTINE_STRATEGIES`.
     torus_side:
-        Side of the square torus to run on (mutually exclusive with
+        Side of the square topology to run on (mutually exclusive with
         ``torus``); defaults to the placement-appropriate recommendation.
     enforce_budget:
         Trim the placement down to the budget.  Disable to *exceed* the
@@ -258,9 +295,17 @@ def byzantine_broadcast_scenario(
         ``t`` equal to the bound while telling the protocol the same
         ``t``), or to trust a placement already maintained under budget
         (explicit placements from :mod:`repro.adversary`).
+    topology_kind:
+        A :data:`~repro.grid.factory.TOPOLOGY_KINDS` level; the strip
+        placement is torus-only (the construction wraps).
+    channel:
+        A :data:`~repro.radio.channel.CHANNEL_MODELS` level; non-ideal
+        channels need the reference engine.
     """
     _reject_stray_faults(faults, placement)
-    topology = _resolve_torus(r, metric, placement, torus, torus_side)
+    topology = _resolve_topology(
+        r, metric, placement, torus, torus_side, topology_kind, seed
+    )
     source = (0, 0)
     rng = random.Random(seed)
     if placement == "strip":
@@ -294,6 +339,7 @@ def byzantine_broadcast_scenario(
         byzantine_processes=byz,
         max_rounds=max_rounds,
         protocol_kwargs=protocol_kwargs,
+        channel=make_channel_model(channel, seed),
         engine=engine,
     )
 
@@ -379,6 +425,8 @@ def crash_broadcast_scenario(
     max_rounds: int = 200,
     protocol: str = "crash-flood",
     engine: str = "reference",
+    topology_kind: str = "torus",
+    channel: str = "ideal",
 ) -> BroadcastScenario:
     """Build a crash-stop broadcast experiment.
 
@@ -387,11 +435,15 @@ def crash_broadcast_scenario(
     achievable regime), untrimmed otherwise (the impossibility regime).
     ``placement="explicit"`` runs the exact ``faults`` set (the
     adversary-search evaluation path); ``torus_side`` picks the square
-    torus side.  ``staggered_max_round`` switches from dead-from-start to
-    random crash rounds.
+    topology side.  ``staggered_max_round`` switches from dead-from-start
+    to random crash rounds.  ``topology_kind`` and ``channel`` pick the
+    topology / channel-model factor levels (the strip placement is
+    torus-only; non-ideal channels need the reference engine).
     """
     _reject_stray_faults(faults, placement)
-    topology = _resolve_torus(r, metric, placement, torus, torus_side)
+    topology = _resolve_topology(
+        r, metric, placement, torus, torus_side, topology_kind, seed
+    )
     source = (0, 0)
     rng = random.Random(seed)
     if placement == "strip":
@@ -421,5 +473,6 @@ def crash_broadcast_scenario(
         source=source,
         crash_round=crash_round,
         max_rounds=max_rounds,
+        channel=make_channel_model(channel, seed),
         engine=engine,
     )

@@ -106,12 +106,24 @@ def closed_ball_points(
     point is wrapped to its canonical coordinate, so the returned list
     may contain duplicates only if the topology is smaller than the
     ball -- which topology constructors reject.
+
+    On topologies without wrap-around (:class:`~repro.grid.bounded.
+    BoundedGrid`, :class:`~repro.grid.rgg.RandomGeometricGraph`) the ball
+    is *truncated* to the points that actually host nodes: canonicalizing
+    is the identity there, so without the ``contains`` filter a corner
+    ball would count phantom off-grid centers and the budget accounting
+    would be asymmetric between interior and boundary (the latent bug
+    pinned by ``tests/test_grid_bounded.py``).
     """
     cx, cy = center
     pts = [(cx + dx, cy + dy) for dx, dy in get_metric(metric).offsets(r)]
     pts.append((cx, cy))
     if topology is not None:
-        pts = [topology.canonical(q) for q in pts]
+        pts = [
+            q
+            for q in (topology.canonical(p) for p in pts)
+            if topology.contains(q)
+        ]
     return pts
 
 

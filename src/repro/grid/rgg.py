@@ -1,0 +1,182 @@
+"""A random geometric graph on the lattice.
+
+The related-work geometries (Maurer-Tixeuil planar graphs, loosely
+connected networks -- PAPERS.md) drop the paper's "every lattice point
+hosts a node" assumption: nodes are scattered, and two nodes are linked
+exactly when they sit within transmission radius ``r`` of each other
+under the chosen metric.  :class:`RandomGeometricGraph` realizes that
+model on the integer lattice: a seeded, deterministic sample of the
+``width x height`` box (plus any ``include`` anchors, by default the
+conventional source ``(0, 0)``), with adjacency precomputed once from
+the metric's offset stencil.
+
+Determinism contract: the node set is a pure function of
+``(width, height, density, seed, include)`` -- the sample is drawn from a
+:func:`repro.exec.seeds.derive_seed`-seeded generator, never ambient
+randomness -- so a scenario key that pins those values pins the graph.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Iterator, Tuple
+
+from repro.errors import ConfigurationError
+from repro.geometry.coords import Coord
+from repro.grid.topology import Topology
+
+#: Default fraction of lattice sites that host a node.  High enough that
+#: the sampled graph is connected with overwhelming probability at the
+#: sides the scenario builders pick (average degree ``density *
+#: ball_size(r)`` is ~14 already at the sparsest supported case, L2 r=2).
+DEFAULT_DENSITY = 0.6
+
+
+class RandomGeometricGraph(Topology):
+    """A seeded random subset of a ``width x height`` lattice box.
+
+    No wrap-around: like :class:`~repro.grid.bounded.BoundedGrid` the box
+    has real boundaries, and additionally interior sites may simply be
+    empty.  Neighborhood populations therefore vary node to node; the
+    locally-bounded budget still counts faults per closed metric ball,
+    but only over sites that host nodes (see
+    :func:`repro.geometry.balls.closed_ball_points`).
+    """
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        r: int,
+        metric="linf",
+        *,
+        density: float = DEFAULT_DENSITY,
+        seed: int = 0,
+        include: Iterable[Coord] = ((0, 0),),
+    ) -> None:
+        super().__init__(r, metric)
+        if width < 1 or height < 1:
+            raise ConfigurationError(
+                f"graph box must be at least 1x1, got {width}x{height}"
+            )
+        if not 0.0 < density <= 1.0:
+            raise ConfigurationError(
+                f"density must be in (0, 1], got {density}"
+            )
+        self._width = int(width)
+        self._height = int(height)
+        self._density = float(density)
+        self._seed = int(seed)
+        # seeded through derive_seed so the node sample is its own stream,
+        # statistically unrelated to any scenario stream reusing ``seed``
+        from repro.exec.seeds import derive_seed
+
+        rng = random.Random(derive_seed(self._seed, "repro.grid.rgg", 0))
+        box = [
+            (x, y) for y in range(self._height) for x in range(self._width)
+        ]
+        k = min(len(box), max(1, round(self._density * len(box))))
+        sampled = set(rng.sample(box, k))
+        for p in include:
+            q = (int(p[0]), int(p[1]))
+            if not (0 <= q[0] < self._width and 0 <= q[1] < self._height):
+                raise ConfigurationError(
+                    f"include point {q} is outside the "
+                    f"{self._width}x{self._height} box"
+                )
+            sampled.add(q)
+        self._node_list: Tuple[Coord, ...] = tuple(sorted(sampled))
+        self._node_set = frozenset(self._node_list)
+        offsets = self.metric.offsets(self.r)
+        self._adjacency: Dict[Coord, Tuple[Coord, ...]] = {
+            p: tuple(
+                q
+                for q in ((p[0] + dx, p[1] + dy) for dx, dy in offsets)
+                if q in self._node_set
+            )
+            for p in self._node_list
+        }
+
+    @classmethod
+    def square(
+        cls,
+        side: int,
+        r: int,
+        metric="linf",
+        *,
+        density: float = DEFAULT_DENSITY,
+        seed: int = 0,
+    ) -> "RandomGeometricGraph":
+        """A square box of the given side."""
+        return cls(side, side, r, metric, density=density, seed=seed)
+
+    @property
+    def width(self) -> int:
+        """Box extent in x."""
+        return self._width
+
+    @property
+    def height(self) -> int:
+        """Box extent in y."""
+        return self._height
+
+    @property
+    def density(self) -> float:
+        """Requested fraction of occupied lattice sites."""
+        return self._density
+
+    @property
+    def seed(self) -> int:
+        """The sample seed (part of the graph's identity)."""
+        return self._seed
+
+    @property
+    def is_finite(self) -> bool:
+        return True
+
+    def __len__(self) -> int:
+        return len(self._node_list)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count (``>= density * width * height``)."""
+        return len(self._node_list)
+
+    def canonical(self, p: Coord) -> Coord:
+        # no wrapping: canonical form is the coordinate itself
+        return (int(p[0]), int(p[1]))
+
+    def contains(self, p: Coord) -> bool:
+        return self.canonical(p) in self._node_set
+
+    def nodes(self) -> Iterator[Coord]:
+        """All nodes in sorted coordinate order (deterministic)."""
+        return iter(self._node_list)
+
+    def neighbors(self, p: Coord) -> Tuple[Coord, ...]:
+        q = self.canonical(p)
+        if q not in self._adjacency:
+            raise ConfigurationError(f"{q} hosts no node in the {self!r}")
+        return self._adjacency[q]
+
+    def is_boundary(self, p: Coord, margin: int = None) -> bool:
+        """Whether ``p`` lies within ``margin`` (default ``r``) of the
+        box edge -- i.e. its neighborhood ball is truncated by the box
+        (it may be thinned anywhere by empty sites)."""
+        m = self.r if margin is None else margin
+        x, y = self.canonical(p)
+        return (
+            x < m or y < m or x >= self._width - m or y >= self._height - m
+        )
+
+    def distance(self, a: Coord, b: Coord) -> float:
+        """Plain metric distance (no wrap)."""
+        return self.metric.distance(a, b)
+
+    def __repr__(self) -> str:
+        return (
+            f"RandomGeometricGraph({self._width}x{self._height}, "
+            f"r={self.r}, metric={self.metric.name!r}, "
+            f"density={self._density}, seed={self._seed}, "
+            f"nodes={len(self._node_list)})"
+        )

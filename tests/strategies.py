@@ -101,6 +101,70 @@ def diff_points(
     )
 
 
+#: run-table factor pool: spec fields whose levels always produce
+#: distinct scenario keys (so generated tables are alias-free by
+#: construction -- aliasing factors like ``strategy`` under
+#: ``kind="crash"`` are a *rejected* table, tested separately)
+RUNTABLE_FACTOR_POOL = (
+    ("metric", ("linf", "l1", "l2")),
+    ("topology", ("torus", "bounded", "rgg")),
+    ("channel", ("ideal", "lossy", "jammed")),
+    ("t", (0, 1, 2)),
+    ("r", (1, 2)),
+)
+
+
+@st.composite
+def run_tables(draw):
+    """Hypothesis strategy over valid declarative run tables.
+
+    Factors range over the orthogonal scenario axes (metric, topology,
+    channel) plus the numeric knobs; the base block fixes a crash-flood
+    scenario and fills in whichever of ``r``/``t`` is not swept (they
+    have no spec default).  Every generated table is expandable: levels
+    are unique per factor and the pool only contains always-keyed
+    fields, so no two cells can normalize to the same scenario key.
+    """
+    from repro.exec import RunTable
+
+    indices = draw(
+        st.lists(
+            st.integers(0, len(RUNTABLE_FACTOR_POOL) - 1),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        )
+    )
+    factors = []
+    for idx in indices:
+        name, pool = RUNTABLE_FACTOR_POOL[idx]
+        levels = draw(
+            st.lists(
+                st.sampled_from(pool),
+                min_size=1,
+                max_size=len(pool),
+                unique=True,
+            )
+        )
+        factors.append((name, tuple(levels)))
+    swept = {name for name, _ in factors}
+    base = [
+        ("kind", "crash"),
+        ("protocol", "crash-flood"),
+        ("placement", "random"),
+    ]
+    if "r" not in swept:
+        base.append(("r", draw(st.integers(1, 2))))
+    if "t" not in swept:
+        base.append(("t", draw(st.integers(0, 2))))
+    return RunTable(
+        factors=tuple(factors),
+        base=tuple(base),
+        repetitions=draw(st.integers(1, 3)),
+        name=draw(st.sampled_from(("tbl", "axes", "grid"))),
+    )
+
+
 def sample_points(
     n: int,
     *,

@@ -262,3 +262,90 @@ def test_budget_trips_mid_frame(engine):
     assert obs["grade"]["hit_message_limit"]
     assert obs["grade"]["rounds"] == 1
     assert obs["trace"]["transmissions"] <= 3
+
+
+# -- 5. scenario-axis guardrails ------------------------------------------
+#
+# The topology and channel factors are reference-engine-only; the metric
+# factor is fully vectorized.  Both halves of that contract need tests:
+# unsupported levels must raise a *named* error at every layer (never
+# silently fall back to the torus/ideal kernels), and supported levels
+# must demonstrably flow into the kernels (never silently collapse to
+# L-infinity).
+
+
+class TestAxisGuardrails:
+    def test_spec_rejects_fastpath_off_torus(self):
+        """ScenarioSpec gates at construction: the spec cannot even be
+        built, so no cache key or seed stream ever exists for it."""
+        from repro.exec import ScenarioSpec
+
+        with pytest.raises(
+            ConfigurationError,
+            match=r'engine="fastpath" cannot run this scenario: .*torus '
+            r"topology factor, got topology='bounded'",
+        ):
+            ScenarioSpec(
+                kind="crash", r=1, t=1, protocol="crash-flood",
+                engine="fastpath", topology="bounded",
+            )
+
+    def test_spec_rejects_fastpath_nonideal_channel(self):
+        from repro.exec import ScenarioSpec
+
+        with pytest.raises(
+            ConfigurationError,
+            match=r'engine="fastpath" cannot run this scenario: channel '
+            r"imperfections require the reference engine, got "
+            r"channel='lossy'",
+        ):
+            ScenarioSpec(
+                kind="crash", r=1, t=1, protocol="crash-flood",
+                engine="fastpath", channel="lossy",
+            )
+
+    def test_scenario_rejects_fastpath_off_torus(self):
+        """The engine-level gate (rejection parity with the spec layer):
+        a hand-built bounded-grid scenario pointed at the fastpath
+        engine raises the same named error family at run time."""
+        sc = crash_broadcast_scenario(
+            r=1, t=1, placement="random", seed=3,
+            topology_kind="bounded", engine="fastpath",
+        )
+        with pytest.raises(
+            ConfigurationError,
+            match=r'engine="fastpath" cannot run this scenario: .*only '
+            r"Torus topologies, got BoundedGrid",
+        ):
+            sc.run()
+
+    def test_scenario_rejects_fastpath_nonideal_channel(self):
+        sc = crash_broadcast_scenario(
+            r=1, t=1, placement="random", seed=3,
+            channel="lossy", engine="fastpath",
+        )
+        with pytest.raises(
+            ConfigurationError,
+            match=r'engine="fastpath" cannot run this scenario: channel '
+            r"imperfections require the reference engine",
+        ):
+            sc.run()
+
+    def test_metric_is_never_silently_linf(self):
+        """The complementary proof: the fastpath kernels honour the L2
+        metric.  At a point where L2 and L-infinity observably diverge,
+        fastpath-l2 must differ from fastpath-linf (no silent fallback)
+        and agree byte-for-byte with reference-l2 (correct semantics)."""
+        l2_point = make_point(
+            protocol="crash-flood", r=2, side=14, t=2, seed=0,
+            placement="strip", max_rounds=60,
+            metric="l2",
+        )
+        linf_point = dict(l2_point, metric="linf")
+        fast_l2 = observe(l2_point, "fastpath")
+        fast_linf = observe(linf_point, "fastpath")
+        assert fast_l2["committed"] != fast_linf["committed"], (
+            "fastpath ignored the metric axis: l2 and linf runs are "
+            "indistinguishable at a point where they must diverge"
+        )
+        assert_engines_agree(l2_point)

@@ -110,3 +110,77 @@ class TestBoundaryAnomalies:
         processes = correct_process_map(bounded, "cpa", 0, (4, 4), 1, correct)
         out = run_broadcast(bounded, processes, 1, correct)
         assert out.achieved
+
+
+class TestBoundedBallTruncation:
+    """Edge pins for the closed-ball geometry on bounded grids.
+
+    ``closed_ball_points`` truncates to points the grid actually hosts;
+    before the fix it returned phantom off-grid centers for boundary
+    balls (canonicalization is the identity here), silently inflating
+    the budget-validation windows near corners and edges and making the
+    counts asymmetric between the four corners and the interior.
+    """
+
+    # (label, center, metric) -> |closed ball| on a 7x7 grid with r=2
+    PINS = {
+        ("corner", (0, 0), "linf"): 9,      # 3x3 quadrant
+        ("corner", (0, 0), "l2"): 6,
+        ("edge", (3, 0), "linf"): 15,       # 5x3 half-window
+        ("edge", (3, 0), "l2"): 9,
+        ("interior", (3, 3), "linf"): 25,   # full (2r+1)^2 window
+        ("interior", (3, 3), "l2"): 13,     # full lattice disc
+    }
+
+    @pytest.mark.parametrize(
+        "label,center,metric,expected",
+        [(lb, c, m, n) for (lb, c, m), n in sorted(PINS.items())],
+    )
+    def test_ball_cardinality_pins(self, label, center, metric, expected):
+        from repro.geometry.balls import closed_ball_points
+
+        g = BoundedGrid.square(7, 2)
+        pts = closed_ball_points(metric, center, 2, topology=g)
+        assert len(pts) == expected, (label, center, metric)
+        assert len(set(pts)) == len(pts)
+        assert all(g.contains(q) for q in pts), (
+            f"{label} ball leaked off-grid points: "
+            f"{[q for q in pts if not g.contains(q)]}"
+        )
+        assert center in pts  # the ball is closed
+
+    @pytest.mark.parametrize("metric", ["linf", "l2"])
+    def test_four_corners_symmetric(self, metric):
+        """All four corner balls are congruent -- the asymmetry the
+        phantom points used to introduce is gone."""
+        from repro.geometry.balls import closed_ball_points
+
+        g = BoundedGrid.square(7, 2)
+        sizes = {
+            corner: len(closed_ball_points(metric, corner, 2, topology=g))
+            for corner in ((0, 0), (0, 6), (6, 0), (6, 6))
+        }
+        assert len(set(sizes.values())) == 1, sizes
+
+    def test_interior_ball_matches_free_lattice(self):
+        """Far from the boundary the truncation is a no-op: the bounded
+        ball equals the free-lattice ball (plus center)."""
+        from repro.geometry.balls import ball_points, closed_ball_points
+
+        g = BoundedGrid.square(9, 2)
+        for metric in ("linf", "l1", "l2"):
+            free = set(ball_points(metric, (4, 4), 2)) | {(4, 4)}
+            bounded = set(closed_ball_points(metric, (4, 4), 2, topology=g))
+            assert bounded == free, metric
+
+    def test_budget_witness_center_is_a_real_node(self):
+        """Budget validation anchors its worst-neighborhood witness at a
+        node the grid actually hosts, even for corner-packed faults."""
+        from repro.faults.placement import max_faults_per_nbd
+
+        g = BoundedGrid.square(7, 1)
+        worst, center = max_faults_per_nbd(
+            [(0, 0), (0, 1), (1, 0)], 1, metric="linf", topology=g
+        )
+        assert worst == 3
+        assert g.contains(center)

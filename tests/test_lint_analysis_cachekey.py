@@ -52,6 +52,40 @@ class TestShippedSpecs:
         assert len(found) >= 1
         assert any("collect_metrics" in f.message for f in found)
 
+    def test_removing_topology_conditional_keying_fails(self, tmp_path):
+        """The scenario-axis fields are keyed *conditionally* (the
+        default level is omitted for key stability); deleting the
+        non-default re-add must fail the pass, because ``topology`` is
+        read in ``build_scenario`` and is not exempt."""
+        source = open(SPECS_PATH).read()
+        stripped = re.sub(
+            r'        if self\.topology != "torus":\n'
+            r'            payload\["topology"\] = self\.topology\n',
+            "",
+            source,
+        )
+        assert stripped != source, "topology re-add not found to delete"
+        report = run_lint(
+            tmp_path, {"repro/exec/specs.py": stripped}, RULE
+        )
+        found = errors(report)
+        assert any("topology" in f.message for f in found), found
+
+    def test_removing_channel_conditional_keying_fails(self, tmp_path):
+        source = open(SPECS_PATH).read()
+        stripped = re.sub(
+            r'        if self\.channel != "ideal":\n'
+            r'            payload\["channel"\] = self\.channel\n',
+            "",
+            source,
+        )
+        assert stripped != source, "channel re-add not found to delete"
+        report = run_lint(
+            tmp_path, {"repro/exec/specs.py": stripped}, RULE
+        )
+        found = errors(report)
+        assert any("channel" in f.message for f in found), found
+
 
 class TestSyntheticFixtures:
     SPEC_PREAMBLE = (
