@@ -10,10 +10,23 @@ backends (reference vs fastpath, see ``docs/ENGINES.md``) on the same
 crash-flood scenarios and writes the wall-clock table to
 ``benchmarks/results/BENCH_engines.json``; the >= 20x speedup assertion
 at side 200 is the fastpath engine's performance regression pin.
+
+``test_engine_memory_side_1000`` is the large-grid smoke: one
+crash-flood run per backend on a side-1000 torus (a million nodes),
+each in its own subprocess so ``ru_maxrss`` isolates that engine's peak
+RSS.  It pins the fastpath memory budget -- the ball-stencil/bitset
+refactor keeps peak RSS around 550 MB where the old ``(N, K)`` int64
+neighbor table alone was 192 MB -- and the >= 20x speedup at this size.
+Both results land in ``BENCH_engines.json`` (keys ``wall_clock`` /
+``side_1000_memory``; read-merge-write, so the tests can run in any
+order or alone).
 """
 
 import json
+import os
 import pathlib
+import subprocess
+import sys
 import time
 
 import pytest
@@ -128,9 +141,112 @@ def test_engine_backends(benchmark, save_table):
     # headroom for loaded CI runners)
     big = next(r for r in rows if r["side"] == 200)
     assert big["speedup"] >= 20.0, rows
-    out = pathlib.Path(__file__).parent / "results" / "BENCH_engines.json"
-    out.parent.mkdir(exist_ok=True)
-    out.write_text(json.dumps(rows, indent=2, sort_keys=True) + "\n")
+    _merge_results("wall_clock", rows)
     save_table(
         "BENCH_engines", rows, title="engine backends: crash-flood wall-clock"
+    )
+
+
+# -- side-1000 memory + throughput smoke ----------------------------------
+
+_MEM_SIDE = 1000
+
+#: fastpath peak-RSS budget at side 1000 (MB).  Measured ~550 MB after
+#: the stencil/bitset memory work; the budget leaves allocator headroom
+#: while still failing if the O(N*K) int64 neighbor table (192 MB at
+#: this size, r=2 linf) is ever reintroduced on the vectorized path.
+_MEM_RSS_BUDGET_MB = 700.0
+
+_MEM_CHILD = """\
+import json, resource, time
+from repro.experiments.scenarios import crash_broadcast_scenario
+
+sc = crash_broadcast_scenario(
+    r=2, t=4, placement="random", seed=7, torus_side={side},
+    max_rounds=400, engine={engine!r},
+)
+t0 = time.perf_counter()
+out = sc.run()
+elapsed = time.perf_counter() - t0
+print(json.dumps({{
+    "seconds": elapsed,
+    "rounds": out.result.rounds,
+    "achieved": out.achieved,
+    # ru_maxrss is KB on Linux
+    "peak_rss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    / 1024.0,
+}}))
+"""
+
+
+def _subprocess_run_stats(side: int, engine: str) -> dict:
+    """One engine run in a fresh interpreter: ``ru_maxrss`` then
+    reflects exactly that engine's peak, not whatever the bench process
+    allocated before."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+    proc = subprocess.run(
+        [sys.executable, "-c", _MEM_CHILD.format(side=side, engine=engine)],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+def _merge_results(key: str, value) -> None:
+    """Read-merge-write one section of ``BENCH_engines.json``."""
+    out = pathlib.Path(__file__).parent / "results" / "BENCH_engines.json"
+    out.parent.mkdir(exist_ok=True)
+    data = {}
+    if out.exists():
+        try:
+            existing = json.loads(out.read_text())
+        except ValueError:
+            existing = {}
+        if isinstance(existing, dict):
+            data = existing
+        # a bare list is the pre-memory-smoke schema: the wall-clock rows
+        elif isinstance(existing, list):
+            data = {"wall_clock": existing}
+    data[key] = value
+    out.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="fastpath needs numpy")
+def test_engine_memory_side_1000(benchmark, save_table):
+    """Million-node crash flood: peak-RSS budget + speedup pin.
+
+    The reference run takes minutes at this size (that asymmetry is the
+    point); each engine runs exactly once, in its own subprocess.
+    """
+    fast = _subprocess_run_stats(_MEM_SIDE, "fastpath")
+    ref = _subprocess_run_stats(_MEM_SIDE, "reference")
+    assert fast["achieved"] and ref["achieved"]
+    assert fast["rounds"] == ref["rounds"]
+    row = {
+        "side": _MEM_SIDE,
+        "nodes": _MEM_SIDE * _MEM_SIDE,
+        "reference_s": round(ref["seconds"], 2),
+        "fastpath_s": round(fast["seconds"], 2),
+        "speedup": round(ref["seconds"] / fast["seconds"], 1),
+        "reference_peak_rss_mb": round(ref["peak_rss_mb"], 1),
+        "fastpath_peak_rss_mb": round(fast["peak_rss_mb"], 1),
+        "fastpath_rss_budget_mb": _MEM_RSS_BUDGET_MB,
+    }
+
+    def report():
+        return row
+
+    benchmark.pedantic(report, rounds=1, iterations=1)
+    # memory regression pin (the stencil/bitset work)
+    assert fast["peak_rss_mb"] <= _MEM_RSS_BUDGET_MB, row
+    # throughput regression pin (measured ~80x on an idle machine)
+    assert row["speedup"] >= 20.0, row
+    _merge_results("side_1000_memory", row)
+    save_table(
+        "BENCH_engines_memory",
+        [row],
+        title="engine backends: side-1000 memory + wall-clock smoke",
     )

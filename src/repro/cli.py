@@ -113,12 +113,29 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         return 2
     if args.engine == "fastpath" and args.kind == "byzantine":
-        print(
-            "repro sweep: Byzantine scenarios need the reference engine "
-            '(arbitrary node code); drop --engine fastpath',
-            file=sys.stderr,
+        from repro.radio.engines import (
+            FASTPATH_BYZANTINE_PROTOCOLS,
+            FASTPATH_FIXED_STRATEGIES,
         )
-        return 2
+
+        byz_protocol = args.protocol or "bv-two-hop"
+        if byz_protocol not in FASTPATH_BYZANTINE_PROTOCOLS:
+            print(
+                f"repro sweep: protocol {byz_protocol!r} has no "
+                "Byzantine-capable fastpath kernel (supported: "
+                f"{FASTPATH_BYZANTINE_PROTOCOLS}); drop --engine fastpath",
+                file=sys.stderr,
+            )
+            return 2
+        if args.strategy not in FASTPATH_FIXED_STRATEGIES:
+            print(
+                f"repro sweep: Byzantine strategy {args.strategy!r} runs "
+                "arbitrary node code (no fixed-strategy kernel; "
+                f"supported: {FASTPATH_FIXED_STRATEGIES}); drop "
+                "--engine fastpath",
+                file=sys.stderr,
+            )
+            return 2
     cache = None
     if not args.no_cache:
         cache_dir = (
@@ -393,12 +410,29 @@ def _cmd_adversary(args: argparse.Namespace) -> int:
     from repro.exec import ResultCache, default_cache_dir
 
     if args.engine == "fastpath" and args.kind == "byzantine":
-        print(
-            "repro adversary: Byzantine evaluation needs the reference "
-            'engine (arbitrary node code); drop --engine fastpath',
-            file=sys.stderr,
+        from repro.radio.engines import (
+            FASTPATH_BYZANTINE_PROTOCOLS,
+            FASTPATH_FIXED_STRATEGIES,
         )
-        return 2
+
+        byz_protocol = args.protocol or "bv-two-hop"
+        if byz_protocol not in FASTPATH_BYZANTINE_PROTOCOLS:
+            print(
+                f"repro adversary: protocol {byz_protocol!r} has no "
+                "Byzantine-capable fastpath kernel (supported: "
+                f"{FASTPATH_BYZANTINE_PROTOCOLS}); drop --engine fastpath",
+                file=sys.stderr,
+            )
+            return 2
+        if args.byz_strategy not in FASTPATH_FIXED_STRATEGIES:
+            print(
+                f"repro adversary: Byzantine strategy "
+                f"{args.byz_strategy!r} runs arbitrary node code (no "
+                "fixed-strategy kernel; supported: "
+                f"{FASTPATH_FIXED_STRATEGIES}); drop --engine fastpath",
+                file=sys.stderr,
+            )
+            return 2
     cache = None
     if not args.no_cache:
         cache_dir = (
@@ -639,8 +673,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine",
         choices=["reference", "fastpath"],
         default="reference",
-        help="simulation backend (fastpath: vectorized, crash-only; "
-        "identical results and cache keys, see docs/ENGINES.md)",
+        help="simulation backend (fastpath: vectorized crash-flood/"
+        "bv-two-hop/cpa, fixed-strategy Byzantine on cpa; identical "
+        "results and cache keys, see docs/ENGINES.md)",
     )
     p_sweep.add_argument(
         "--metric",
@@ -818,7 +853,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["reference", "fastpath"],
         default="reference",
         help="evaluation backend (certification always replays on "
-        "reference); fastpath needs kind=crash",
+        "reference); fastpath needs kind=crash, or kind=byzantine with "
+        "a cpa + fixed-strategy search",
     )
     p_adv.set_defaults(func=_cmd_adversary)
 

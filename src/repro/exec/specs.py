@@ -104,7 +104,12 @@ class ScenarioSpec:
     channel: str = "ideal"
 
     def __post_init__(self) -> None:
-        from repro.radio.engines import validate_engine
+        from repro.radio.engines import (
+            FASTPATH_BYZANTINE_PROTOCOLS,
+            FASTPATH_FIXED_STRATEGIES,
+            FASTPATH_PROTOCOLS,
+            validate_engine,
+        )
 
         validate_engine(self.engine)
         if self.kind not in KINDS:
@@ -125,6 +130,10 @@ class ScenarioSpec:
                 f"unknown channel model {self.channel!r}; expected one "
                 f"of {CHANNEL_MODELS}"
             )
+        if self.max_rounds < 1:
+            raise ConfigurationError(
+                f"max_rounds must be >= 1, got {self.max_rounds}"
+            )
         if self.engine == "fastpath":
             # hard gate, not silent fallback: the kernels assume toroidal
             # wrap and a perfect channel, so anything else must raise --
@@ -142,6 +151,31 @@ class ScenarioSpec:
                     "channel imperfections require the reference engine, "
                     f"got channel={self.channel!r}"
                 )
+            if self.protocol not in FASTPATH_PROTOCOLS:
+                raise ConfigurationError(
+                    'engine="fastpath" cannot run this scenario: '
+                    f"protocol {self.protocol!r} has no fastpath kernel "
+                    f"(supported: {FASTPATH_PROTOCOLS})"
+                )
+            if self.kind == "byzantine":
+                if self.protocol not in FASTPATH_BYZANTINE_PROTOCOLS:
+                    raise ConfigurationError(
+                        'engine="fastpath" cannot run this scenario: '
+                        f"protocol {self.protocol!r} has no "
+                        "Byzantine-capable fastpath kernel (supported: "
+                        f"{FASTPATH_BYZANTINE_PROTOCOLS}); Byzantine "
+                        "scenarios for other protocols need the "
+                        "reference engine"
+                    )
+                strategy = self.strategy or "fabricator"
+                if strategy not in FASTPATH_FIXED_STRATEGIES:
+                    raise ConfigurationError(
+                        'engine="fastpath" cannot run this scenario: '
+                        f"Byzantine strategy {strategy!r} runs arbitrary "
+                        "node code (no fixed-strategy kernel; supported: "
+                        f"{FASTPATH_FIXED_STRATEGIES}); use "
+                        'engine="reference"'
+                    )
         canonical = tuple(
             sorted((str(k), v) for k, v in tuple(self.scenario_kwargs))
         )

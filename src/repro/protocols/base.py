@@ -61,6 +61,25 @@ class HeardMsg:
     relays: Tuple[Coord, ...] = ()
 
 
+def hashable_value(value: Any) -> bool:
+    """Whether ``value`` can key a tally / evidence dict.
+
+    Byzantine processes may announce arbitrary payload values, including
+    unhashable ones (lists, dicts, sets).  Every protocol counts
+    announcements in dicts keyed by the announced value, so a malformed
+    value must be dropped at the receive boundary -- treated exactly like
+    any other garbage transmission -- instead of raising ``TypeError``
+    deep inside the tally bookkeeping and killing the whole run.  Dropped
+    values do not consume the sender's first-announcement slot: a later
+    well-formed announcement from the same sender still counts.
+    """
+    try:
+        hash(value)
+    except TypeError:
+        return False
+    return True
+
+
 class BroadcastProtocolNode(NodeProcess):
     """Common machinery for all broadcast protocol implementations.
 

@@ -59,6 +59,7 @@ from repro.protocols.base import (
     CommittedMsg,
     HeardMsg,
     SourceMsg,
+    hashable_value,
 )
 from repro.protocols.evidence import CenterIndex, covering_centers
 from repro.radio.messages import Envelope
@@ -144,6 +145,8 @@ class BVIndirectProtocol(BroadcastProtocolNode):
         if isinstance(payload, SourceMsg):
             self.handle_source_msg(ctx, env)
             return
+        if not hashable_value(getattr(payload, "value", None)):
+            return  # malformed Byzantine value: cannot key the evidence maps
         if isinstance(payload, CommittedMsg):
             self._on_committed(ctx, env, payload)
             return

@@ -36,6 +36,7 @@ from repro.protocols.base import (
     CommittedMsg,
     HeardMsg,
     SourceMsg,
+    hashable_value,
 )
 from repro.protocols.evidence import CenterIndex
 from repro.radio.messages import Envelope
@@ -65,6 +66,8 @@ class BVTwoHopProtocol(BroadcastProtocolNode):
         if isinstance(payload, SourceMsg):
             self.handle_source_msg(ctx, env)
             return
+        if not hashable_value(getattr(payload, "value", None)):
+            return  # malformed Byzantine value: cannot key the evidence index
         if isinstance(payload, CommittedMsg):
             self._on_committed(ctx, env, payload)
             return

@@ -26,7 +26,12 @@ from typing import Any, Dict, Union
 
 from repro.geometry.coords import Coord
 from repro.geometry.metrics import Metric
-from repro.protocols.base import BroadcastProtocolNode, CommittedMsg, SourceMsg
+from repro.protocols.base import (
+    BroadcastProtocolNode,
+    CommittedMsg,
+    SourceMsg,
+    hashable_value,
+)
 from repro.radio.messages import Envelope
 from repro.radio.node import Context
 
@@ -57,6 +62,8 @@ class CPAProtocol(BroadcastProtocolNode):
             return
         if not isinstance(payload, CommittedMsg):
             return  # HEARD or garbage: CPA ignores everything else
+        if not hashable_value(payload.value):
+            return  # malformed Byzantine value: cannot key a tally bucket
         sender = self.note_announcement(ctx, env, self._announced)
         if sender is None:
             return  # duplicity or re-announcement: first one counts

@@ -24,6 +24,20 @@ from repro.errors import ConfigurationError
 #: Selectable simulation backends.
 ENGINES = ("reference", "fastpath")
 
+#: Protocols with a fastpath kernel.  Everything else is reference-only.
+FASTPATH_PROTOCOLS = ("crash-flood", "bv-two-hop", "cpa")
+
+#: Protocols whose fastpath kernel can host Byzantine processes.  The
+#: crash-flood and bv-two-hop kernels model crash faults only.
+FASTPATH_BYZANTINE_PROTOCOLS = ("cpa",)
+
+#: Byzantine strategies the fastpath engine can express as fixed
+#: per-slot message plans (see :mod:`repro.radio.fastpath.byzantine`).
+#: Strategies outside this set -- ``"noise"`` and any user-defined
+#: process class -- run arbitrary node code and hard-gate to the
+#: reference engine.
+FASTPATH_FIXED_STRATEGIES = ("silent", "liar", "duplicitous", "fabricator")
+
 
 def validate_engine(engine: str) -> str:
     """Check an engine name; returns it unchanged or raises

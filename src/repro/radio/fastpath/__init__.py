@@ -1,10 +1,12 @@
 """``repro.radio.fastpath``: the vectorized array-kernel engine.
 
 A second simulation backend for protocols whose per-round state is a
-small per-node lattice (crash-flood and bv-two-hop today): node state
-lives in dense numpy arrays, neighborhood delivery is a precomputed
-gather over flat ball-index tables (torus wrap folded into the table),
-and crash faults are boolean masks.  The backend is selected per
+small per-node lattice (crash-flood, bv-two-hop, and CPA today): node
+state lives in dense numpy arrays and packed bitsets, neighborhood
+delivery is an on-the-fly ball-stencil gather (torus wrap folded into
+the arithmetic), crash faults are boolean masks, and fixed-strategy
+Byzantine value faults (silent / liar / duplicitous / fabricator, on
+CPA) are compiled message plans.  The backend is selected per
 scenario via ``ScenarioSpec(engine="fastpath")`` /
 ``BroadcastScenario(engine="fastpath")`` and must be *observationally
 identical* to the reference engine: the differential harness
@@ -17,6 +19,11 @@ backend without it raises :class:`~repro.errors.ConfigurationError`,
 never a bare ``ImportError``.
 """
 
+from repro.radio.engines import (
+    FASTPATH_BYZANTINE_PROTOCOLS,
+    FASTPATH_FIXED_STRATEGIES,
+)
+from repro.radio.fastpath.bitset import PackedBits
 from repro.radio.fastpath.compat import HAVE_NUMPY, require_numpy
 from repro.radio.fastpath.lattice import Lattice
 from repro.radio.fastpath.result import FastSimulationResult
@@ -30,10 +37,13 @@ from repro.radio.fastpath.runner import (
 
 __all__ = [
     "ENGINES",
+    "FASTPATH_BYZANTINE_PROTOCOLS",
+    "FASTPATH_FIXED_STRATEGIES",
     "FASTPATH_PROTOCOLS",
     "FastSimulationResult",
     "HAVE_NUMPY",
     "Lattice",
+    "PackedBits",
     "fastpath_unsupported_reason",
     "require_numpy",
     "run_fastpath_broadcast",

@@ -1,0 +1,79 @@
+"""Packed boolean node state for the vectorized kernels.
+
+A side-1000 torus has a million nodes; the kernels track several
+per-node booleans (committed, protocol-active, announced).  A numpy
+``bool_`` array spends a full byte per flag -- tolerable alone, but the
+flags are the *mutable* state that must live alongside the tally
+matrices, and the memory budget at side 1000+ is the point of this
+module.  :class:`PackedBits` stores eight flags per byte and exposes
+exactly the three operations the kernels need: a vectorized gather
+(``get``), a duplicate-safe scatter (``set_true`` / ``set_false``), and
+a full unpack for result assembly.
+
+The scatter uses ``np.bitwise_or.at`` / ``np.bitwise_and.at`` -- the
+unbuffered ufunc forms -- so several indices landing in the same byte
+(or the same index twice) all take effect.
+"""
+
+from __future__ import annotations
+
+from repro.radio.fastpath.compat import require_numpy
+
+
+class PackedBits:
+    """``n`` boolean flags packed 8-per-byte (little-endian bit order)."""
+
+    __slots__ = ("n", "words", "_np")
+
+    def __init__(self, n: int, fill: bool = False) -> None:
+        np = require_numpy()
+        self._np = np
+        self.n = int(n)
+        nwords = (self.n + 7) >> 3
+        self.words = np.full(
+            nwords, 0xFF if fill else 0x00, dtype=np.uint8
+        )
+
+    def get(self, idxs):
+        """Flag values at ``idxs`` (any integer array shape) as bool."""
+        np = self._np
+        return (
+            (self.words[idxs >> 3] >> (idxs & 7).astype(np.uint8)) & 1
+        ).astype(bool)
+
+    def set_true(self, idxs) -> None:
+        """Set the flags at ``idxs`` (duplicates allowed)."""
+        np = self._np
+        np.bitwise_or.at(
+            self.words,
+            idxs >> 3,
+            np.left_shift(
+                np.uint8(1), (idxs & 7).astype(np.uint8)
+            ),
+        )
+
+    def set_false(self, idxs) -> None:
+        """Clear the flags at ``idxs`` (duplicates allowed)."""
+        np = self._np
+        np.bitwise_and.at(
+            self.words,
+            idxs >> 3,
+            np.invert(
+                np.left_shift(
+                    np.uint8(1), (idxs & 7).astype(np.uint8)
+                )
+            ),
+        )
+
+    def to_list(self):
+        """All ``n`` flags as a plain Python ``list[bool]``."""
+        np = self._np
+        bits = np.unpackbits(self.words, bitorder="little")[: self.n]
+        return bits.astype(bool).tolist()
+
+    def to_array(self):
+        """All ``n`` flags as a numpy bool array (a fresh copy)."""
+        np = self._np
+        return (
+            np.unpackbits(self.words, bitorder="little")[: self.n]
+        ).astype(bool)

@@ -7,7 +7,8 @@ so *every* delivered message commits any correct, uncommitted receiver.
 Per-node state is just two lattices -- ``committed`` (bool) and
 ``pending`` (outbox depth: 2 for the source's SRC+COMMITTED burst, 1
 for a relay, 0 otherwise) -- and one TDMA slot is one gather/scatter
-over the precomputed ball table.
+over the on-the-fly ball stencil (:meth:`Lattice.balls_of`); the
+``committed`` flags live in a :class:`PackedBits` bitset.
 
 Exactness relies on a schedule invariant the reference engine also
 depends on: nodes sharing a TDMA slot are >= 2r+1 apart, so their
@@ -40,6 +41,7 @@ from __future__ import annotations
 from itertools import repeat
 from typing import List, Optional
 
+from repro.radio.fastpath.bitset import PackedBits
 from repro.radio.fastpath.compat import require_numpy
 from repro.radio.fastpath.lattice import Lattice
 from repro.radio.fastpath.stats import KernelStats, SourceTracker
@@ -72,19 +74,18 @@ def run_crash_flood_kernel(
     np = require_numpy()
     stats = KernelStats()
     K = lattice.ball_size
-    nbr = lattice.nbr_idx
     coords = lattice.coords_all
     slot_of = lattice.slot_of
     num_slots = len(lattice.slot_groups)
 
-    committed = np.zeros(lattice.num_nodes, dtype=bool)
+    committed = PackedBits(lattice.num_nodes)
     pending = np.zeros(lattice.num_nodes, dtype=np.int64)
     tx_arr = np.zeros(lattice.num_nodes, dtype=np.int64)
     rx_arr = np.zeros(lattice.num_nodes, dtype=np.int64)
 
     def record_commits(idxs, round_: int) -> None:
         """Commit the nodes in ``idxs`` with observation round ``round_``."""
-        committed[idxs] = True
+        committed.set_true(idxs)
         lst = idxs.tolist()
         stats.commit_round.update(
             zip([coords[i] for i in lst], repeat(round_))
@@ -164,7 +165,7 @@ def run_crash_flood_kernel(
                 stats.fanout_deliveries += demand * K
                 tx_arr[txers] += msgs
                 pending[txers] = 0
-                balls = nbr[txers]  # (m, K) receiver indices
+                balls = lattice.balls_of(txers)  # (m, K) receiver indices
                 alive = crash_rounds[balls] > r
                 delivered = balls[alive]
                 if delivered.size:
@@ -184,7 +185,7 @@ def run_crash_flood_kernel(
                     for tr in trackers:
                         tr.on_delivered(delivered)
                     fresh = delivered[
-                        correct[delivered] & ~committed[delivered]
+                        correct[delivered] & ~committed.get(delivered)
                     ]
                     if fresh.size:
                         record_commits(fresh, r)
@@ -206,7 +207,7 @@ def run_crash_flood_kernel(
                         tx_round += 1
                         stats.fanout_deliveries += K
                         tx_arr[txer] += 1
-                        ball = nbr[txer]
+                        ball = lattice.ball_of(txer)
                         delivered = ball[crash_rounds[ball] > r]
                         if delivered.size:
                             obs_del_round += int(delivered.size)
@@ -214,7 +215,8 @@ def run_crash_flood_kernel(
                             for tr in trackers:
                                 tr.on_delivered(delivered)
                             fresh = delivered[
-                                correct[delivered] & ~committed[delivered]
+                                correct[delivered]
+                                & ~committed.get(delivered)
                             ]
                             if fresh.size:
                                 record_commits(fresh, r)
@@ -255,5 +257,5 @@ def run_crash_flood_kernel(
     stats.rx_by_node = dict(
         zip([coords[i] for i in nz], rx_arr[nz].tolist())
     )
-    stats.committed_mask = committed.tolist()
+    stats.committed_mask = committed.to_list()
     return stats

@@ -1,17 +1,24 @@
-"""Dense array geometry for a torus: flat indices, ball tables, slots.
+"""Dense array geometry for a torus: flat indices, ball stencils, slots.
 
 The kernels never touch coordinate tuples in their hot loops.  A
 :class:`Lattice` flattens the torus once -- node ``(x, y)`` becomes flat
 index ``x * height + y``, which preserves the engine's canonical sorted
 node order -- and precomputes:
 
-- ``nbr_idx``: an ``(N, K)`` table mapping each node to the flat indices
-  of its radius-``r`` ball (torus wrap folded in), so "deliver to the
-  whole neighborhood" is one numpy gather;
-- the TDMA slot structure, taken verbatim from
-  :func:`repro.grid.tdma.make_schedule` -- the fastpath engine must fire
-  the *same* slots in the *same* order as the reference engine, so it
-  reuses the reference construction rather than reimplementing it;
+- the radius-``r`` ball *stencil*: the metric's offset list split into
+  ``dx`` / ``dy`` component arrays.  :meth:`balls_of` applies the
+  stencil to any batch of transmitters on the fly (two adds, two mods,
+  one fused flat-index computation), so delivery needs no per-node
+  table.  On small tori -- where the ``(N, K)`` int64 ``nbr_idx`` table
+  fits :data:`_TABLE_MAX_ENTRIES` -- :meth:`balls_of` materializes the
+  table once and gathers from it instead (a plain fancy-index is ~25%
+  faster than the stencil arithmetic); above the cap the stencil avoids
+  the table's O(N*K) footprint entirely (192 MB at torus side 1000 with
+  ``r=2``, where peak kernel RSS is the whole budget);
+- the TDMA slot structure, built by a vectorized twin of
+  :func:`repro.grid.tdma.make_schedule` (same groups, same order --
+  pinned by ``tests/test_fastpath_differential.py``), so a side-1000
+  torus does not pay for a million-entry schedule dict;
 - metric distance-from-source fields for wave-front accounting.
 
 Everything here is geometry; no simulation state lives on the lattice,
@@ -21,13 +28,18 @@ so one lattice can serve many runs over the same torus.
 from __future__ import annotations
 
 import math
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.geometry.coords import Coord
-from repro.grid.tdma import make_schedule
 from repro.grid.torus import Torus
 from repro.radio.fastpath.compat import require_numpy
+
+#: largest ``N * K`` for which :meth:`Lattice.balls_of` gathers from the
+#: materialized neighbor table (64 MB of int64) instead of applying the
+#: stencil arithmetic; side 200 at r=2 linf is 1M entries (well under),
+#: side 1000 is 25M (well over).
+_TABLE_MAX_ENTRIES = 8_000_000
 
 
 class Lattice:
@@ -37,9 +49,6 @@ class Lattice:
     ----------
     width / height / num_nodes / r / ball_size:
         Torus shape, radius, and neighborhood population ``K``.
-    nbr_idx:
-        ``(N, K)`` array: row ``i`` holds the flat indices of node
-        ``i``'s neighbors (offset order of ``metric.offsets(r)``).
     slot_groups:
         One sorted flat-index array per TDMA slot, in slot order --
         exactly :func:`~repro.grid.tdma.make_schedule`'s frame.
@@ -68,24 +77,34 @@ class Lattice:
         ys = np.tile(np.arange(h, dtype=np.int64), w)
         self.xs = xs
         self.ys = ys
-        nbr = np.empty((n, self.ball_size), dtype=np.int64)
-        for j, (dx, dy) in enumerate(offsets):
-            nbr[:, j] = ((xs + dx) % w) * h + ((ys + dy) % h)
-        self.nbr_idx = nbr
+        # ball stencil: offset components, applied on the fly in
+        # balls_of() (offset order of metric.offsets(r), which is also
+        # Torus.neighbors order)
+        self._off_dx = np.asarray([dx for dx, _ in offsets], dtype=np.int64)
+        self._off_dy = np.asarray([dy for _, dy in offsets], dtype=np.int64)
+        self._nbr_idx = None  # built lazily; see nbr_idx
+        self._use_table = n * self.ball_size <= _TABLE_MAX_ENTRIES
 
-        schedule = make_schedule(topology)
-        self.schedule = schedule
-        self.slot_groups: Tuple = tuple(
-            np.asarray([self.flat(node) for node in group], dtype=np.int64)
-            for group in schedule.slots
-        )
-        slot_of = np.empty(n, dtype=np.int64)
-        for s, group in enumerate(self.slot_groups):
-            slot_of[group] = s
+        # TDMA frame, vectorized (same slots in the same order as
+        # make_schedule): coloring by residue class when both sides are
+        # divisible by k = 2r+1 -- slot of (x, y) is the row-major rank
+        # of ((x % k), (y % k)), members ascending (flat order equals
+        # sorted coordinate order) -- else one node per slot, sorted.
+        k = 2 * self.r + 1
+        if w % k == 0 and h % k == 0:
+            slot_of = (xs % k) * k + (ys % k)
+            counts = np.bincount(slot_of, minlength=k * k)
+            order = np.argsort(slot_of, kind="stable")
+            self.slot_groups: Tuple = tuple(
+                np.split(order, np.cumsum(counts)[:-1])
+            )
+        else:
+            slot_of = np.arange(n, dtype=np.int64)
+            self.slot_groups = tuple(
+                np.split(np.arange(n, dtype=np.int64), np.arange(1, n))
+            )
         self.slot_of = slot_of
-        #: canonical coordinate per flat index (flat order == sorted
-        #: node order); one C-speed zip instead of N coord() calls
-        self.coords_all: List[Coord] = list(zip(xs.tolist(), ys.tolist()))
+        self._coords_all: Optional[List[Coord]] = None
         self._dist_cache: dict = {}
 
     # -- index mapping -----------------------------------------------------
@@ -102,6 +121,61 @@ class Lattice:
     def coords(self, idxs) -> List[Coord]:
         """Canonical coordinates for an iterable of flat indices."""
         return [self.coord(i) for i in idxs]
+
+    @property
+    def coords_all(self) -> List[Coord]:
+        """Canonical coordinate per flat index (flat order == sorted
+        node order); one C-speed zip instead of N coord() calls, built
+        on first use and kept (result assembly needs it every run)."""
+        if self._coords_all is None:
+            self._coords_all = list(
+                zip(self.xs.tolist(), self.ys.tolist())
+            )
+        return self._coords_all
+
+    # -- neighborhoods -----------------------------------------------------
+
+    @property
+    def nbr_idx(self):
+        """``(N, K)`` flat-index ball table (offset order), built lazily.
+
+        Only the scalar bv-two-hop kernel still wants the full table
+        (it walks per-node Python lists); the vectorized kernels use
+        :meth:`balls_of` and never materialize O(N*K) memory.
+        """
+        if self._nbr_idx is None:
+            np = require_numpy()
+            n = self.num_nodes
+            nbr = np.empty((n, self.ball_size), dtype=np.int64)
+            w, h = self.width, self.height
+            for j in range(self.ball_size):
+                dx = int(self._off_dx[j])
+                dy = int(self._off_dy[j])
+                nbr[:, j] = ((self.xs + dx) % w) * h + ((self.ys + dy) % h)
+            self._nbr_idx = nbr
+        return self._nbr_idx
+
+    def balls_of(self, idxs):
+        """``(m, K)`` receiver flat indices for transmitters ``idxs``.
+
+        Exactly ``nbr_idx[idxs]`` either way: a table gather when the
+        table is small enough to keep (:data:`_TABLE_MAX_ENTRIES`), else
+        the on-the-fly stencil -- O(m*K) work and memory, independent
+        of N.
+        """
+        if self._use_table:
+            return self.nbr_idx[idxs]
+        x = self.xs[idxs][:, None] + self._off_dx
+        y = self.ys[idxs][:, None] + self._off_dy
+        return (x % self.width) * self.height + (y % self.height)
+
+    def ball_of(self, idx: int):
+        """``(K,)`` receiver flat indices for one transmitter."""
+        if self._use_table:
+            return self.nbr_idx[idx]
+        x = self.xs[idx] + self._off_dx
+        y = self.ys[idx] + self._off_dy
+        return (x % self.width) * self.height + (y % self.height)
 
     # -- derived fields ----------------------------------------------------
 

@@ -58,20 +58,26 @@ def build_processes(
     all_nodes: Iterable[Coord],
     committed_flags: Iterable[bool],
     value: Any,
+    wrong_values: Optional[Dict[Coord, Any]] = None,
 ) -> Dict[Coord, _CommitView]:
     """The post-mortem ``processes`` map: shared views, not node objects.
 
     ``all_nodes`` and ``committed_flags`` are aligned (flat-index
     order); flagged nodes commit to ``value``, every other node
     (including faulty ones, mirroring the reference engine's
-    ``SilentProcess`` entries) reports undecided.
+    ``SilentProcess`` entries) reports undecided.  ``wrong_values``
+    patches in the (Byzantine-induced) exceptions: nodes that committed
+    some other value get a view of their own.
     """
     committed_view = _CommitView(value)
     undecided_view = _CommitView(None)
-    return {
+    processes = {
         node: committed_view if flag else undecided_view
         for node, flag in zip(all_nodes, committed_flags)
     }
+    for node, wrong in (wrong_values or {}).items():
+        processes[node] = _CommitView(wrong)
+    return processes
 
 
 def build_trace(

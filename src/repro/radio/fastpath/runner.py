@@ -21,9 +21,19 @@ from repro.errors import ConfigurationError
 from repro.geometry.coords import Coord
 from repro.grid.torus import Torus
 from repro.obs.metrics import RunMetrics
-from repro.radio.engines import ENGINES, validate_engine
+from repro.radio.engines import (
+    ENGINES,
+    FASTPATH_BYZANTINE_PROTOCOLS,
+    FASTPATH_PROTOCOLS,
+    validate_engine,
+)
 from repro.radio.fastpath.bv_two_hop import run_bv_two_hop_kernel
+from repro.radio.fastpath.byzantine import (
+    build_plans,
+    classify_unsupported_reason,
+)
 from repro.radio.fastpath.compat import require_numpy
+from repro.radio.fastpath.cpa import run_cpa_kernel
 from repro.radio.fastpath.crash_flood import run_crash_flood_kernel
 from repro.radio.fastpath.lattice import Lattice
 from repro.radio.fastpath.result import (
@@ -45,9 +55,6 @@ __all__ = [
     "run_fastpath_broadcast",
     "validate_engine",
 ]
-
-#: Protocols with a fastpath kernel.
-FASTPATH_PROTOCOLS = ("crash-flood", "bv-two-hop")
 
 #: Crash-round sentinel for nodes that never crash (any value above
 #: every reachable round works; rounds are bounded by max_rounds).
@@ -88,10 +95,16 @@ def fastpath_unsupported_reason(
             f"(supported: {FASTPATH_PROTOCOLS})"
         )
     if scenario.byzantine_processes:
-        return (
-            "Byzantine processes run arbitrary node code; only the "
-            "reference engine can host them"
-        )
+        if scenario.protocol not in FASTPATH_BYZANTINE_PROTOCOLS:
+            return (
+                f"protocol {scenario.protocol!r} has no "
+                "Byzantine-capable fastpath kernel (supported: "
+                f"{FASTPATH_BYZANTINE_PROTOCOLS}); Byzantine scenarios "
+                "for other protocols need the reference engine"
+            )
+        reason = classify_unsupported_reason(scenario.byzantine_processes)
+        if reason is not None:
+            return reason
     if scenario.channel is not None:
         return "channel imperfections require the reference engine"
     if scenario.delivery != "immediate":
@@ -127,6 +140,12 @@ def _check_run_args(
     if scenario.max_rounds < 1:
         raise ConfigurationError(
             f"max_rounds must be >= 1, got {scenario.max_rounds}"
+        )
+    # same error the reference source process raises in on_start --
+    # a None source value means "not the source" to every protocol
+    if scenario.value is None:
+        raise ConfigurationError(
+            f"source node {scenario.source} has no source_value"
         )
     if record_events:
         raise ConfigurationError(
@@ -204,6 +223,24 @@ def run_fastpath_broadcast(
             max_messages=scenario.max_messages,
             trackers=trackers,
         )
+    elif scenario.protocol == "cpa":
+        plans = build_plans(
+            scenario.byzantine_processes, scenario.topology.r
+        )
+        stats = run_cpa_kernel(
+            lattice,
+            source_idx=source_idx,
+            value=scenario.value,
+            t=scenario.t,
+            correct=correct_mask,
+            crash_rounds=crash_rounds,
+            byz_plans={
+                lattice.flat(node): plan for node, plan in plans.items()
+            },
+            max_rounds=scenario.max_rounds,
+            max_messages=scenario.max_messages,
+            trackers=trackers,
+        )
     else:
         stats = run_bv_two_hop_kernel(
             lattice,
@@ -232,7 +269,10 @@ def run_fastpath_broadcast(
         hit_message_limit=stats.hit_message_limit,
         trace=trace,
         processes=build_processes(
-            lattice.coords_all, stats.committed_mask, scenario.value
+            lattice.coords_all,
+            stats.committed_mask,
+            scenario.value,
+            stats.wrong_values,
         ),
         crash_round=dict(scenario.crash_round),
     )

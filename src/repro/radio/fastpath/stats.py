@@ -113,8 +113,14 @@ class KernelStats:
     commits_by_round: Dict[int, int] = field(default_factory=dict)
     #: per-flat-index commit flags, aligned with ``Lattice.coords_all``
     #: (lets the runner build the processes map with one zip instead of
-    #: N set probes)
+    #: N set probes).  A flag is set only for commits to a non-``None``
+    #: value: a ``None``-valued commit halts and announces but is
+    #: observably undecided, exactly like the reference protocol.
     committed_mask: Optional[List[bool]] = None
+    #: nodes whose committed value differs from the scenario value
+    #: (possible only under Byzantine value faults); the runner patches
+    #: these into the processes map so grading sees the wrong commits
+    wrong_values: Dict[Coord, object] = field(default_factory=dict)
 
     @property
     def committed_nodes(self) -> Tuple[Coord, ...]:

@@ -25,10 +25,14 @@ from hypothesis import strategies as st
 
 #: protocols with a fastpath kernel (mirrors
 #: repro.radio.fastpath.FASTPATH_PROTOCOLS without importing numpy)
-DIFF_PROTOCOLS = ("crash-flood", "bv-two-hop")
+DIFF_PROTOCOLS = ("crash-flood", "bv-two-hop", "cpa")
 
 #: metrics both backends implement exactly
 DIFF_METRICS = ("linf", "l1", "l2")
+
+#: fixed Byzantine strategies with a compiled fastpath message plan
+#: (mirrors repro.radio.engines.FASTPATH_FIXED_STRATEGIES)
+DIFF_BYZ_STRATEGIES = ("silent", "liar", "duplicitous", "fabricator")
 
 
 def make_point(
@@ -99,6 +103,102 @@ def diff_points(
         max_messages=max_messages,
         staggered_max_round=staggered,
     )
+
+
+def make_byz_point(
+    *,
+    strategy: str,
+    r: int,
+    side: int,
+    t: int,
+    seed: int,
+    metric: str = "linf",
+    placement: str = "random",
+    max_rounds: int = 48,
+    max_messages: Optional[int] = None,
+) -> Dict[str, Any]:
+    """One Byzantine differential point (CPA, fixed-strategy faults)."""
+    assert side >= 2 * r + 1, "torus side must fit the radius"
+    assert strategy in DIFF_BYZ_STRATEGIES
+    return {
+        "strategy": strategy,
+        "r": r,
+        "side": side,
+        "t": t,
+        "seed": seed,
+        "metric": metric,
+        "placement": placement,
+        "max_rounds": max_rounds,
+        "max_messages": max_messages,
+    }
+
+
+@st.composite
+def byz_diff_points(draw) -> Dict[str, Any]:
+    """Hypothesis strategy over Byzantine (CPA) differential points.
+
+    Same degenerate-regime coverage as :func:`diff_points` -- minimal
+    tori, coloring vs sequential schedules, tripping budgets -- with the
+    fault axis swapped from crashes to the four fixed Byzantine value
+    strategies the fastpath compiles to message plans.
+    """
+    strategy = draw(st.sampled_from(DIFF_BYZ_STRATEGIES))
+    r = draw(st.integers(min_value=1, max_value=2))
+    side = draw(st.integers(min_value=2 * r + 1, max_value=12))
+    t = draw(st.integers(min_value=0, max_value=4))
+    metric = draw(st.sampled_from(DIFF_METRICS))
+    seed = draw(st.integers(min_value=0, max_value=2**16 - 1))
+    max_rounds = draw(st.sampled_from((1, 2, 3, 48)))
+    max_messages = draw(
+        st.one_of(st.none(), st.integers(min_value=0, max_value=120))
+    )
+    placement = draw(st.sampled_from(("random", "strip")))
+    if side < 2 * (3 * r + 1):  # two-strip construction infeasible
+        placement = "random"
+    return make_byz_point(
+        strategy=strategy,
+        r=r,
+        side=side,
+        t=t,
+        seed=seed,
+        metric=metric,
+        placement=placement,
+        max_rounds=max_rounds,
+        max_messages=max_messages,
+    )
+
+
+def sample_byz_points(n: int, *, seed: int = 0) -> List[Dict[str, Any]]:
+    """``n`` deterministic Byzantine differential points.
+
+    Points alternate over :data:`DIFF_BYZ_STRATEGIES` so every fixed
+    strategy gets an even share regardless of ``n``.
+    """
+    rng = random.Random(seed)
+    points: List[Dict[str, Any]] = []
+    for i in range(n):
+        strategy = DIFF_BYZ_STRATEGIES[i % len(DIFF_BYZ_STRATEGIES)]
+        r = rng.choice((1, 1, 2))  # weight small radii: denser coverage
+        side = rng.randint(2 * r + 1, 12)
+        placement = rng.choice(("random", "random", "strip"))
+        if side < 2 * (3 * r + 1):  # two-strip construction infeasible
+            placement = "random"
+        points.append(
+            make_byz_point(
+                strategy=strategy,
+                r=r,
+                side=side,
+                t=rng.randint(0, 4),
+                seed=rng.randrange(2**16),
+                metric=rng.choice(DIFF_METRICS),
+                placement=placement,
+                max_rounds=rng.choice((1, 2, 3, 48, 48, 48)),
+                max_messages=rng.choice(
+                    (None, None, None, 0, 1, rng.randint(2, 120))
+                ),
+            )
+        )
+    return points
 
 
 #: run-table factor pool: spec fields whose levels always produce

@@ -5,16 +5,19 @@ The fastpath array kernels (:mod:`repro.radio.fastpath`) promise
 ``metrics_summary`` JSON, same per-node commit map, same trace counters,
 same grading facts.  This suite enforces that contract three ways:
 
-1. a deterministic bulk sweep over 200+ randomized points spanning both
-   protocols, both placements, all three metrics, message budgets, round
-   caps, and staggered crashes (``tests/strategies.sample_points``);
-2. a shrinking hypothesis property over the same space
-   (``tests/strategies.diff_points``) that minimizes any divergence to a
-   small reportable scenario;
-3. golden pins at the crash threshold boundary t-1 / t / t+1, asserted
-   as literal constants against *both* backends -- so a simultaneous
-   drift of the two engines (which the differential pairs cannot see)
-   still fails.
+1. a deterministic bulk sweep over 200+ randomized points spanning all
+   three kernel protocols, both placements, all three metrics, message
+   budgets, round caps, and staggered crashes
+   (``tests/strategies.sample_points``), plus a second sweep over
+   fixed-strategy Byzantine CPA points
+   (``tests/strategies.sample_byz_points``);
+2. shrinking hypothesis properties over the same spaces
+   (``tests/strategies.diff_points`` / ``byz_diff_points``) that
+   minimize any divergence to a small reportable scenario;
+3. golden pins at the crash threshold boundary t-1 / t / t+1 and at the
+   CPA Theorem 6 boundary (``cpa_linf_max_t``), asserted as literal
+   constants against *both* backends -- so a simultaneous drift of the
+   two engines (which the differential pairs cannot see) still fails.
 
 Plus regression pins for the awkward edges both backends must agree on:
 zero-round runs, all-relays-dead-from-start, and message budgets that
@@ -28,13 +31,23 @@ from typing import Any, Dict
 import pytest
 from hypothesis import given, settings
 
-from repro.core.thresholds import crash_linf_max_t
+from repro.core.thresholds import cpa_linf_max_t, crash_linf_max_t
 from repro.errors import ConfigurationError
-from repro.experiments.scenarios import crash_broadcast_scenario
+from repro.experiments.scenarios import (
+    byzantine_broadcast_scenario,
+    crash_broadcast_scenario,
+)
 from repro.obs.export import canonical_json
 from repro.obs.metrics import RunMetrics
 from repro.radio.fastpath import HAVE_NUMPY
-from tests.strategies import diff_points, make_point, sample_points
+from tests.strategies import (
+    byz_diff_points,
+    diff_points,
+    make_byz_point,
+    make_point,
+    sample_byz_points,
+    sample_points,
+)
 
 pytestmark = pytest.mark.skipif(
     not HAVE_NUMPY, reason="fastpath engine needs numpy"
@@ -42,6 +55,9 @@ pytestmark = pytest.mark.skipif(
 
 #: bulk sweep size -- acceptance floor is 200 randomized points
 N_BULK_POINTS = 220
+
+#: Byzantine bulk sweep size (4 fixed strategies, even split)
+N_BYZ_POINTS = 120
 
 
 def _build(point: Dict[str, Any], engine: str):
@@ -68,9 +84,32 @@ def _build(point: Dict[str, Any], engine: str):
     return sc
 
 
-def observe(point: Dict[str, Any], engine: str) -> Dict[str, Any]:
+def _build_byz(point: Dict[str, Any], engine: str):
+    """Byzantine CPA scenario for ``point`` on ``engine``.
+
+    The builder has no ``max_messages`` parameter (it is a scenario
+    field, not a protocol knob), so the budget is assigned after
+    construction, exactly like :func:`_build` does for crash points.
+    """
+    sc = byzantine_broadcast_scenario(
+        r=point["r"],
+        t=point["t"],
+        protocol="cpa",
+        strategy=point["strategy"],
+        placement=point["placement"],
+        metric=point["metric"],
+        seed=point["seed"],
+        torus_side=point["side"],
+        max_rounds=point["max_rounds"],
+        engine=engine,
+    )
+    sc.max_messages = point["max_messages"]
+    return sc
+
+
+def observe(point: Dict[str, Any], engine: str, builder=None) -> Dict[str, Any]:
     """Everything observable about one run, in comparable form."""
-    sc = _build(point, engine)
+    sc = (builder or _build)(point, engine)
     per_source = RunMetrics(source=sc.source)
     global_view = RunMetrics(source=None)
     out = sc.run(observers=[per_source, global_view])
@@ -98,10 +137,12 @@ def observe(point: Dict[str, Any], engine: str) -> Dict[str, Any]:
     }
 
 
-def assert_engines_agree(point: Dict[str, Any]) -> Dict[str, Any]:
+def assert_engines_agree(
+    point: Dict[str, Any], builder=None
+) -> Dict[str, Any]:
     """Run ``point`` on both backends and diff every observable."""
-    ref = observe(point, "reference")
-    fast = observe(point, "fastpath")
+    ref = observe(point, "reference", builder)
+    fast = observe(point, "fastpath", builder)
     for key in ref:
         assert ref[key] == fast[key], (
             f"engines diverge on {key!r} at point {point!r}\n"
@@ -121,9 +162,20 @@ def test_differential_bulk_sweep():
     """
     points = sample_points(N_BULK_POINTS, seed=0)
     protocols = {p["protocol"] for p in points}
-    assert protocols == {"crash-flood", "bv-two-hop"}
+    assert protocols == {"crash-flood", "bv-two-hop", "cpa"}
     for point in points:
         assert_engines_agree(point)
+
+
+def test_differential_byzantine_bulk_sweep():
+    """Fixed-strategy Byzantine CPA points, byte-equal on every
+    observable -- wrong commits, fabricator junk floods, and budget
+    trips included."""
+    points = sample_byz_points(N_BYZ_POINTS, seed=0)
+    strategies = {p["strategy"] for p in points}
+    assert strategies == {"silent", "liar", "duplicitous", "fabricator"}
+    for point in points:
+        assert_engines_agree(point, builder=_build_byz)
 
 
 # -- 2. shrinking property -----------------------------------------------
@@ -133,6 +185,12 @@ def test_differential_bulk_sweep():
 @given(point=diff_points())
 def test_differential_property(point):
     assert_engines_agree(point)
+
+
+@settings(max_examples=40, deadline=None)
+@given(point=byz_diff_points())
+def test_differential_byzantine_property(point):
+    assert_engines_agree(point, builder=_build_byz)
 
 
 # -- 3. golden pins at the crash threshold boundary ----------------------
@@ -178,6 +236,53 @@ def test_golden_threshold_boundary(t):
         )
         assert got == expected, (
             f"{engine} drifted from golden pin at t={t}: "
+            f"got {got}, expected {expected}"
+        )
+
+
+# Literal expectations at the CPA Theorem 6 boundary: thr = floor(2r^2/3)
+# (cpa_linf_max_t), the largest budget the paper certifies for CPA.  Same
+# double-drift rationale as the crash pins; the liar strip placement
+# exercises the Byzantine value-fault kernel, so these constants also pin
+# the compiled message plans on both backends.  Theorem 6 guarantees
+# success only up to thr -- the t = thr+1 row is an empirical pin (this
+# particular strip does not defeat CPA), not a sharpness claim.
+GOLDEN_CPA_R = 2
+GOLDEN_CPA_THR = cpa_linf_max_t(GOLDEN_CPA_R)  # = 2 for r=2
+GOLDEN_CPA = {
+    # t: (achieved, rounds, quiescent, undecided_count, committed_count)
+    GOLDEN_CPA_THR - 1: (True, 2, True, 4, 192),
+    GOLDEN_CPA_THR: (True, 3, True, 10, 186),
+    GOLDEN_CPA_THR + 1: (True, 3, True, 14, 182),
+}
+
+
+def _golden_cpa_point(t: int) -> Dict[str, Any]:
+    return make_byz_point(
+        strategy="liar",
+        r=GOLDEN_CPA_R,
+        side=14,
+        t=t,
+        seed=5,
+        placement="strip",
+        max_rounds=200,
+    )
+
+
+@pytest.mark.parametrize("t", sorted(GOLDEN_CPA))
+def test_golden_cpa_theorem6_boundary(t):
+    expected = GOLDEN_CPA[t]
+    for engine in ("reference", "fastpath"):
+        obs = observe(_golden_cpa_point(t), engine, builder=_build_byz)
+        got = (
+            obs["grade"]["achieved"],
+            obs["grade"]["rounds"],
+            obs["grade"]["quiescent"],
+            len(obs["undecided"]),
+            sum(1 for v in obs["committed"].values() if v is not None),
+        )
+        assert got == expected, (
+            f"{engine} drifted from golden CPA pin at t={t}: "
             f"got {got}, expected {expected}"
         )
 
@@ -328,6 +433,88 @@ class TestAxisGuardrails:
             ConfigurationError,
             match=r'engine="fastpath" cannot run this scenario: channel '
             r"imperfections require the reference engine",
+        ):
+            sc.run()
+
+    def test_spec_rejects_fastpath_unkernelled_protocol(self):
+        from repro.exec import ScenarioSpec
+
+        with pytest.raises(
+            ConfigurationError,
+            match=r'engine="fastpath" cannot run this scenario: protocol '
+            r"'bv-indirect' has no fastpath kernel \(supported:",
+        ):
+            ScenarioSpec(
+                kind="crash", r=1, t=1, protocol="bv-indirect",
+                engine="fastpath",
+            )
+
+    def test_spec_rejects_fastpath_byzantine_off_cpa(self):
+        """Byzantine faults have a fastpath kernel only for CPA; a
+        bv-two-hop Byzantine spec must refuse at construction."""
+        from repro.exec import ScenarioSpec
+
+        with pytest.raises(
+            ConfigurationError,
+            match=r"protocol 'bv-two-hop' has no Byzantine-capable "
+            r"fastpath kernel \(supported:",
+        ):
+            ScenarioSpec(
+                kind="byzantine", r=1, t=1, protocol="bv-two-hop",
+                engine="fastpath",
+            )
+
+    def test_spec_rejects_fastpath_arbitrary_code_strategy(self):
+        """``noise`` Byzantine nodes run arbitrary per-round code; no
+        compiled message plan can reproduce them, so the spec refuses."""
+        from repro.exec import ScenarioSpec
+
+        with pytest.raises(
+            ConfigurationError,
+            match=r"Byzantine strategy 'noise' runs arbitrary node code "
+            r"\(no fixed-strategy kernel",
+        ):
+            ScenarioSpec(
+                kind="byzantine", r=1, t=1, protocol="cpa",
+                strategy="noise", engine="fastpath",
+            )
+
+    def test_spec_rejects_nonpositive_max_rounds(self):
+        """Same guard -- and the same message -- the engines raise at
+        run time, so a bad spec dies before minting a cache key."""
+        from repro.exec import ScenarioSpec
+
+        with pytest.raises(
+            ConfigurationError, match=r"max_rounds must be >= 1, got 0"
+        ):
+            ScenarioSpec(
+                kind="crash", r=1, t=1, protocol="crash-flood",
+                max_rounds=0,
+            )
+
+    def test_scenario_rejects_fastpath_byzantine_off_cpa(self):
+        """Run-time parity for the Byzantine-protocol gate: the same
+        named reason the spec layer raises at construction."""
+        sc = byzantine_broadcast_scenario(
+            r=1, t=1, protocol="bv-two-hop", strategy="liar",
+            placement="random", seed=3, engine="fastpath",
+        )
+        with pytest.raises(
+            ConfigurationError,
+            match=r'engine="fastpath" cannot run this scenario: protocol '
+            r"'bv-two-hop' has no Byzantine-capable fastpath kernel",
+        ):
+            sc.run()
+
+    def test_scenario_rejects_fastpath_arbitrary_code_strategy(self):
+        sc = byzantine_broadcast_scenario(
+            r=1, t=1, protocol="cpa", strategy="noise",
+            placement="random", seed=3, engine="fastpath",
+        )
+        with pytest.raises(
+            ConfigurationError,
+            match=r"Byzantine strategy 'noise' runs arbitrary node code "
+            r"\(no fixed-strategy kernel",
         ):
             sc.run()
 

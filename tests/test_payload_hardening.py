@@ -1,0 +1,178 @@
+"""Regression: malformed (unhashable) Byzantine payload values.
+
+Every protocol tallies ``COMMITTED`` / ``HEARD`` announcements in dicts
+keyed by the announced value.  A Byzantine process is free to announce
+*anything* -- including unhashable values like lists -- and before the
+hardening pass a single such announcement raised ``TypeError`` deep in
+the tally bookkeeping and killed the entire run.  The fix drops
+malformed values at the receive boundary (:func:`hashable_value` in
+``repro.protocols.base``), treated exactly like any other garbage
+transmission.
+
+Two subtleties are pinned here beyond "does not crash":
+
+- a dropped value must NOT consume the sender's first-announcement
+  slot: CPA's duplicity rule keeps only the first ``COMMITTED`` per
+  sender, and a malformed first announcement must not shadow a later
+  well-formed one;
+- the fastpath Byzantine kernel must agree byte-for-byte with the
+  hardened reference semantics (the differential check at the bottom).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.byzantine import EagerLiarByzantine, FabricatingByzantine
+from repro.grid.torus import Torus
+from repro.protocols.base import CommittedMsg, hashable_value
+from repro.protocols.cpa import CPAProtocol
+from repro.radio.messages import Envelope
+
+
+class _FakeCtx:
+    """Minimal Context stand-in for direct protocol-node unit tests."""
+
+    def __init__(self, node=(0, 0)):
+        self.node = node
+        self.round = 0
+        self.sent = []
+        self.halted = False
+
+    def localize(self, other):
+        return tuple(other)
+
+    def broadcast(self, payload):
+        self.sent.append(payload)
+
+    def halt(self):
+        self.halted = True
+
+
+def _cmt(sender, value, seq=0):
+    return Envelope(sender=sender, payload=CommittedMsg(value), seq=seq,
+                    round=0, slot=0)
+
+
+def test_hashable_value_helper():
+    assert hashable_value(1)
+    assert hashable_value(None)
+    assert hashable_value("v")
+    assert hashable_value((1, 2))
+    assert not hashable_value([1, 2])
+    assert not hashable_value({"a": 1})
+    assert not hashable_value({1, 2})
+
+
+class TestCPAUnitSemantics:
+    def test_unhashable_announcement_is_dropped(self):
+        node = CPAProtocol(t=1, source=(5, 5))
+        ctx = _FakeCtx()
+        node.on_receive(ctx, _cmt((1, 0), [1, 2]))
+        assert node._tally == {}
+        assert node._announced == {}
+        assert node.committed_value() is None
+
+    def test_dropped_value_does_not_consume_first_slot(self):
+        """A malformed first announcement must not shadow the sender's
+        later well-formed one -- the drop happens *before* the
+        first-announcement bookkeeping."""
+        node = CPAProtocol(t=1, source=(5, 5))
+        ctx = _FakeCtx()
+        node.on_receive(ctx, _cmt((1, 0), [1, 2], seq=0))  # dropped
+        node.on_receive(ctx, _cmt((1, 0), 7, seq=1))       # counts
+        assert node._tally == {7: 1}
+        node.on_receive(ctx, _cmt((0, 1), 7, seq=2))       # second voucher
+        assert node.committed_value() == 7
+        assert ctx.halted
+
+    def test_duplicity_detection_starts_at_first_wellformed(self):
+        """With the malformed announcement gone, the first *well-formed*
+        value is the one later announcements are checked against."""
+        node = CPAProtocol(t=2, source=(5, 5))
+        ctx = _FakeCtx()
+        node.on_receive(ctx, _cmt((1, 0), {"x": 1}, seq=0))  # dropped
+        node.on_receive(ctx, _cmt((1, 0), 7, seq=1))         # first counts
+        node.on_receive(ctx, _cmt((1, 0), 8, seq=2))         # duplicity
+        assert node._tally == {7: 1}
+        assert (1, 0) in node.detected_duplicity
+
+
+#: each protocol's evidence maps are keyed by announced value; all four
+#: must survive a liar announcing a list (and the bv protocols a
+#: fabricator relaying one)
+PROTOCOLS = ("cpa", "crash-flood", "bv-two-hop", "bv-indirect", "bv-earmarked")
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_unhashable_liar_does_not_kill_the_run(protocol):
+    from repro.experiments.scenarios import BroadcastScenario
+
+    sc = BroadcastScenario(
+        topology=Torus.square(9, 1),
+        protocol=protocol,
+        t=1,
+        byzantine_processes={(1, 1): EagerLiarByzantine([1, 2, 3])},
+        max_rounds=60,
+    )
+    out = sc.run()  # regression: raised TypeError before the hardening
+    assert out.achieved
+    committed = {
+        p.committed_value()
+        for n, p in out.result.processes.items()
+        if n in sc.correct_nodes
+    }
+    assert committed == {1}
+
+
+@pytest.mark.parametrize("protocol", ("bv-two-hop", "bv-indirect", "bv-earmarked"))
+def test_unhashable_fabricator_does_not_kill_the_run(protocol):
+    """Fabricators additionally flood relayed ``HEARD`` evidence; the
+    bv evidence registries must drop the malformed value there too."""
+    from repro.experiments.scenarios import BroadcastScenario
+
+    sc = BroadcastScenario(
+        topology=Torus.square(9, 1),
+        protocol=protocol,
+        t=1,
+        byzantine_processes={(1, 1): FabricatingByzantine(["junk"])},
+        max_rounds=60,
+    )
+    out = sc.run()
+    assert out.achieved
+
+
+def test_unhashable_liar_cross_engine():
+    """The fastpath CPA kernel models a malformed announcement as a
+    junk transmission (counters only, no tally bucket) -- which must be
+    observably identical to the reference drop."""
+    pytest.importorskip("numpy")
+    from repro.experiments.scenarios import BroadcastScenario
+    from repro.obs.export import canonical_json
+    from repro.obs.metrics import RunMetrics
+
+    def run(engine):
+        sc = BroadcastScenario(
+            topology=Torus.square(9, 1),
+            protocol="cpa",
+            t=1,
+            byzantine_processes={
+                (1, 1): EagerLiarByzantine([1, 2, 3]),
+                (4, 4): EagerLiarByzantine({"a": 0}),
+            },
+            max_rounds=60,
+            engine=engine,
+        )
+        metrics = RunMetrics(source=sc.source)
+        out = sc.run(observers=[metrics])
+        return (
+            canonical_json(metrics.summary()),
+            sorted(
+                (n, p.committed_value())
+                for n, p in out.result.processes.items()
+            ),
+            out.result.trace.summary(),
+            out.achieved,
+        )
+
+    assert run("reference") == run("fastpath")
