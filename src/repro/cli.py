@@ -93,6 +93,24 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0 if outcome.safe else 1
 
 
+def _cli_backend(args: argparse.Namespace):
+    """Resolve the --backend/--worker flags into a SweepExecutor
+    ``backend`` argument (``None`` keeps the workers-derived default).
+
+    Raises :class:`~repro.errors.ConfigurationError` on a bad
+    combination (e.g. ``--backend socket`` with no ``--worker``).
+    """
+    if not getattr(args, "backend", None):
+        return None
+    from repro.exec import make_backend
+
+    return make_backend(
+        args.backend,
+        workers=args.workers,
+        worker_addrs=getattr(args, "worker", None),
+    )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     import json
     import pathlib
@@ -142,7 +160,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             pathlib.Path(args.cache_dir) if args.cache_dir else default_cache_dir()
         )
         cache = ResultCache(cache_dir)
-    executor = SweepExecutor(workers=args.workers, cache=cache)
+    from repro.errors import ConfigurationError
+
+    try:
+        backend = _cli_backend(args)
+    except ConfigurationError as exc:
+        print(f"repro sweep: {exc}", file=sys.stderr)
+        return 2
+    executor = SweepExecutor(
+        workers=args.workers, cache=cache, backend=backend
+    )
 
     if args.budgets:
         budgets = list(args.budgets)
@@ -297,8 +324,11 @@ def _cmd_runtable(args: argparse.Namespace) -> int:
             pathlib.Path(args.cache_dir) if args.cache_dir else default_cache_dir()
         )
         cache = ResultCache(cache_dir)
-    executor = SweepExecutor(workers=args.workers, cache=cache)
     try:
+        backend = _cli_backend(args)
+        executor = SweepExecutor(
+            workers=args.workers, cache=cache, backend=backend
+        )
         result = execute_runtable(table, executor=executor, root_seed=args.seed)
     except ConfigurationError as exc:
         print(f"repro runtable: {exc}", file=sys.stderr)
@@ -500,6 +530,61 @@ def _cmd_adversary(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.exec import ResultCache, default_cache_dir
+    from repro.serve import CampaignService, make_server
+
+    cache = None
+    if not args.no_cache:
+        cache_dir = (
+            pathlib.Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+        )
+        cache = ResultCache(cache_dir)
+    service = CampaignService(
+        cache=cache,
+        backend=args.backend,
+        workers=args.workers,
+        worker_addrs=args.worker,
+    )
+    # bind first so the banner carries the real port (matters for --port 0)
+    server = make_server(service, host=args.host, port=args.port, quiet=args.quiet)
+    host, port = server.server_address[:2]
+    print(
+        f"repro serve: listening on http://{host}:{port} "
+        f"(backend={args.backend}, cache={'off' if cache is None else cache.root})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.exec import WorkerServer
+
+    worker = WorkerServer(
+        host=args.host, port=args.port, max_units=args.max_units
+    )
+    address = worker.start()
+    print(
+        f"repro worker: listening on {address[0]}:{address[1]}", flush=True
+    )
+    try:
+        while not worker.join(timeout=1.0):
+            pass
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    finally:
+        worker.stop()
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     import pathlib
 
@@ -651,6 +736,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, help="worker processes"
     )
     p_sweep.add_argument(
+        "--backend",
+        choices=["serial", "pool", "socket"],
+        help="execution backend (default: serial for --workers 1, else "
+        "pool; socket needs --worker, see docs/SERVICE.md)",
+    )
+    p_sweep.add_argument(
+        "--worker",
+        action="append",
+        metavar="HOST:PORT",
+        help="socket-backend worker address (repeatable)",
+    )
+    p_sweep.add_argument(
         "--no-cache",
         action="store_true",
         help="bypass the work-unit cache entirely (no reads, no writes)",
@@ -716,6 +813,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_rt.add_argument("--seed", type=int, default=0, help="root seed")
     p_rt.add_argument(
         "--workers", type=int, default=1, help="worker processes"
+    )
+    p_rt.add_argument(
+        "--backend",
+        choices=["serial", "pool", "socket"],
+        help="execution backend (default: serial for --workers 1, else "
+        "pool; socket needs --worker, see docs/SERVICE.md)",
+    )
+    p_rt.add_argument(
+        "--worker",
+        action="append",
+        metavar="HOST:PORT",
+        help="socket-backend worker address (repeatable)",
     )
     p_rt.add_argument(
         "--no-cache",
@@ -857,6 +966,68 @@ def build_parser() -> argparse.ArgumentParser:
         "a cpa + fixed-strategy search",
     )
     p_adv.set_defaults(func=_cmd_adversary)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the long-lived sweep campaign service",
+        description="Start an HTTP campaign service (stdlib http.server, "
+        "see docs/SERVICE.md): POST /sweeps submits and executes a sweep "
+        "against the shared content-addressed result store, GET /metrics "
+        "exposes Prometheus text metrics. Identical submissions return "
+        "byte-identical rows, the second entirely from cache.",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port", type=int, default=8321, help="bind port (0: ephemeral)"
+    )
+    p_serve.add_argument(
+        "--backend",
+        choices=["serial", "pool", "socket"],
+        default="serial",
+        help="default execution backend for submissions",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=1, help="pool-backend workers"
+    )
+    p_serve.add_argument(
+        "--worker",
+        action="append",
+        metavar="HOST:PORT",
+        help="socket-backend worker address (repeatable)",
+    )
+    p_serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="serve without the shared result store (recompute always)",
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        help="cache root (default: $REPRO_CACHE_DIR or "
+        "benchmarks/results/cache)",
+    )
+    p_serve.add_argument(
+        "--quiet", action="store_true", help="suppress the access log"
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="run one socket-backend execution worker",
+        description="Start a long-lived work-unit executor for the socket "
+        "backend (see docs/SERVICE.md): it handshakes repro version + "
+        "cache-key schema with each coordinator, then executes shipped "
+        "work units until stopped.",
+    )
+    p_worker.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_worker.add_argument(
+        "--port", type=int, default=0, help="bind port (0: ephemeral)"
+    )
+    p_worker.add_argument(
+        "--max-units",
+        type=int,
+        help="exit abruptly after N units (failure-injection testing)",
+    )
+    p_worker.set_defaults(func=_cmd_worker)
 
     p_lint = sub.add_parser(
         "lint",

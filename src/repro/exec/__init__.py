@@ -9,14 +9,33 @@ the simulator's reproducibility contract:
   agree byte-for-byte;
 - :mod:`repro.exec.specs` -- picklable scenario specifications and the
   single-trial worker function;
-- :mod:`repro.exec.cache` -- content-addressed on-disk memoization of
-  completed work units (also the checkpoint/resume mechanism);
-- :mod:`repro.exec.executor` -- the chunked ``multiprocessing`` executor
-  with a serial fallback and execution statistics.
+- :mod:`repro.exec.cache` -- sharded, content-addressed on-disk
+  memoization of completed work units (also the checkpoint/resume
+  mechanism);
+- :mod:`repro.exec.backends` -- pluggable execution backends behind one
+  protocol: in-process ``serial``, one-box ``pool``, multi-host
+  ``socket``;
+- :mod:`repro.exec.campaign` -- the backend-agnostic campaign manager
+  (cache-before-submit, checkpoint-on-complete, ordered finalization);
+- :mod:`repro.exec.executor` -- the stable :class:`SweepExecutor` facade
+  over all of the above, plus execution statistics.
 
-See ``docs/EXECUTION.md`` for the design and the CLI (``repro sweep``).
+See ``docs/EXECUTION.md`` for the design and the CLI (``repro sweep``),
+and ``docs/SERVICE.md`` for the long-running campaign service built on
+this layer (``repro serve``).
 """
 
+from repro.exec.backends import (
+    BACKEND_NAMES,
+    BackendError,
+    ExecutionBackend,
+    PoolBackend,
+    SerialBackend,
+    SocketBackend,
+    WorkerClient,
+    WorkerServer,
+    make_backend,
+)
 from repro.exec.cache import (
     CACHE_SCHEMA_VERSION,
     DEFAULT_CACHE_DIR,
@@ -25,6 +44,7 @@ from repro.exec.cache import (
     content_key,
     default_cache_dir,
 )
+from repro.exec.campaign import CampaignRunner, UnitState, plan_units
 from repro.exec.executor import (
     DEFAULT_CHUNK_SIZE,
     ExecStats,
@@ -45,12 +65,17 @@ from repro.exec.seeds import SEED_BITS, derive_seed
 from repro.exec.specs import KINDS, ScenarioSpec, build_scenario, run_trial
 
 __all__ = [
+    "BACKEND_NAMES",
+    "BackendError",
     "CACHE_SCHEMA_VERSION",
+    "CampaignRunner",
     "DEFAULT_CACHE_DIR",
     "DEFAULT_CHUNK_SIZE",
     "ExecStats",
+    "ExecutionBackend",
     "FACTOR_FIELDS",
     "KINDS",
+    "PoolBackend",
     "RUNTABLE_SCHEMA",
     "ResultCache",
     "RunTable",
@@ -58,8 +83,13 @@ __all__ = [
     "RunUnit",
     "SEED_BITS",
     "ScenarioSpec",
+    "SerialBackend",
+    "SocketBackend",
     "SweepExecutor",
     "SweepRunResult",
+    "UnitState",
+    "WorkerClient",
+    "WorkerServer",
     "build_scenario",
     "code_version_tag",
     "content_key",
@@ -67,6 +97,8 @@ __all__ = [
     "derive_seed",
     "execute_runtable",
     "load_runtable",
+    "make_backend",
+    "plan_units",
     "run_trial",
     "unit_cache_key",
 ]

@@ -1,0 +1,597 @@
+"""The socket backend: long-lived workers on other hosts, stdlib only.
+
+Two halves:
+
+- :class:`WorkerServer` -- the remote half.  ``repro worker`` runs one
+  per host/core: it listens on a TCP port, accepts one coordinator
+  connection at a time, and executes the work units shipped to it.
+- :class:`SocketBackend` (built on per-worker :class:`WorkerClient`
+  connections) -- the coordinator half, an
+  :class:`~repro.exec.backends.base.ExecutionBackend`: it hands units to
+  whichever workers are alive and streams results back as they land.
+
+Wire protocol (``docs/SERVICE.md`` has the full table): length-prefixed
+pickled dicts -- a 4-byte big-endian frame length followed by the pickle
+of ``{"op": ..., ...}``.  The unit function crosses the wire as a
+by-reference pickle (module + qualname), so workers must run the same
+installed ``repro`` -- which the handshake enforces:
+
+1. **handshake** -- the coordinator opens with ``hello`` carrying
+   ``repro.__version__`` *and* the scenario-key schema tag
+   (:func:`repro.exec.cache.code_version_tag`); the worker replies
+   ``hello-ok`` only on an exact match of both, else ``hello-reject``
+   with the reason.  A version-skewed worker therefore refuses work
+   instead of poisoning the shared result store with rows computed
+   under a different schema.
+2. **unit** -- ``unit`` is answered by an immediate ``ack`` (the
+   per-unit heartbeat: it proves the worker is alive before it goes
+   quiet to compute) and later by ``result`` or ``unit-error``.
+3. **liveness** -- ``ping``/``pong`` when idle; :class:`WorkerClient`
+   treats a missed ack (``heartbeat_s``), an overdue result
+   (``unit_timeout_s``), or any connection error as worker death.
+4. **requeue** -- a dead worker's in-flight unit goes back on the
+   shared queue and another worker recomputes it.  Rows are a pure
+   function of the unit payload, so a requeued campaign is
+   byte-identical to an undisturbed one (pinned by
+   ``tests/test_exec_backends.py``).
+
+Security note: frames are *pickles* -- the protocol authenticates
+versions, not peers, and must only span hosts you trust (a lab fleet
+behind a firewall), exactly like the raw ``multiprocessing`` it
+replaces.
+"""
+
+from __future__ import annotations
+
+import collections
+import pickle
+import queue
+import socket
+import struct
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro._version import __version__
+from repro.errors import ConfigurationError
+from repro.exec.backends.base import (
+    BackendError,
+    ExecutionBackend,
+    UnitFunction,
+    UnitPayload,
+)
+from repro.exec.cache import code_version_tag
+
+#: Frame-length prefix: 4-byte big-endian unsigned int.
+_FRAME = struct.Struct(">I")
+
+#: Upper bound on a single frame (sanity check, not a protocol limit):
+#: work units and row lists are kilobytes; anything near this is a bug.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+class WorkerLostError(Exception):
+    """A worker connection died or timed out (internal: triggers requeue,
+    never propagates out of the backend)."""
+
+
+def _send_msg(sock: socket.socket, msg: Dict[str, Any]) -> None:
+    """Pickle ``msg`` and write it as one length-prefixed frame."""
+    blob = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_FRAME.pack(len(blob)) + blob)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise :class:`WorkerLostError` on EOF."""
+    chunks = []
+    while n > 0:
+        chunk = sock.recv(min(n, 1 << 20))
+        if not chunk:
+            raise WorkerLostError("connection closed")
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_msg(sock: socket.socket) -> Dict[str, Any]:
+    """Read one length-prefixed frame and unpickle it."""
+    (length,) = _FRAME.unpack(_recv_exact(sock, _FRAME.size))
+    if length > MAX_FRAME_BYTES:
+        raise WorkerLostError(f"oversized frame ({length} bytes)")
+    return pickle.loads(_recv_exact(sock, length))
+
+
+def parse_worker_addr(addr: Union[str, Tuple[str, int]]) -> Tuple[str, int]:
+    """Normalize a ``host:port`` string (or ``(host, port)`` pair)."""
+    if isinstance(addr, tuple):
+        host, port = addr
+        return str(host), int(port)
+    host, sep, port = addr.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ConfigurationError(
+            f"worker address {addr!r} is not host:port"
+        )
+    return host, int(port)
+
+
+class WorkerServer:
+    """A long-lived unit-execution worker (the ``repro worker`` process).
+
+    Accepts one coordinator connection at a time and loops: handshake,
+    then execute ``unit`` requests until the coordinator says ``bye`` or
+    the connection drops, then accept the next coordinator.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; port ``0`` picks an ephemeral port (read it back
+        from :attr:`address` after :meth:`start`).
+    max_units:
+        Test hook -- die abruptly (close everything mid-protocol, like a
+        killed process) after completing this many units.  ``None``
+        (production) never self-terminates.
+    version, schema:
+        Handshake identity overrides (test hook for skew rejection);
+        default to this build's real tags.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_units: Optional[int] = None,
+        version: Optional[str] = None,
+        schema: Optional[str] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.max_units = max_units
+        self.version = version if version is not None else __version__
+        self.schema = schema if schema is not None else code_version_tag()
+        self.units_done = 0
+        self._listener: Optional[socket.socket] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (resolves ephemeral ports)."""
+        if self._listener is None:
+            raise RuntimeError("worker not started")
+        return self._listener.getsockname()[:2]
+
+    def _bind(self) -> None:
+        if self._listener is not None:
+            return
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(1)
+        self._listener = listener
+
+    def start(self) -> Tuple[str, int]:
+        """Bind and serve on a daemon thread; returns the bound address."""
+        self._bind()
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-worker", daemon=True
+        )
+        self._thread.start()
+        return self.address
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Block until the serving thread exits (via :meth:`stop` or the
+        ``max_units`` death hook); ``True`` once it has."""
+        if self._thread is None:
+            return True
+        self._thread.join(timeout)
+        return not self._thread.is_alive()
+
+    def stop(self) -> None:
+        """Stop accepting and unblock :meth:`serve_forever`; idempotent."""
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        if self._thread is not None and self._thread.is_alive():
+            self._thread.join(timeout=5)
+
+    def serve_forever(self) -> None:
+        """Accept coordinators until :meth:`stop` (or simulated death)."""
+        self._bind()
+        assert self._listener is not None
+        while not self._stopping.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:  # listener closed by stop()
+                return
+            try:
+                self._serve_connection(conn)
+            except WorkerLostError:
+                pass  # coordinator went away; accept the next one
+            finally:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+            if self._dead():
+                return
+
+    def _dead(self) -> bool:
+        """Whether the ``max_units`` test hook has killed this worker."""
+        if self.max_units is None or self.units_done < self.max_units:
+            return False
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover
+                pass
+        return True
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        """Drive one coordinator session over ``conn``."""
+        while not self._stopping.is_set():
+            msg = _recv_msg(conn)
+            op = msg.get("op")
+            if op == "hello":
+                if (
+                    msg.get("version") != self.version
+                    or msg.get("schema") != self.schema
+                ):
+                    _send_msg(
+                        conn,
+                        {
+                            "op": "hello-reject",
+                            "reason": (
+                                "version/schema mismatch: worker is "
+                                f"{self.version} / {self.schema}, "
+                                f"coordinator sent {msg.get('version')} "
+                                f"/ {msg.get('schema')}"
+                            ),
+                        },
+                    )
+                    return
+                _send_msg(
+                    conn,
+                    {
+                        "op": "hello-ok",
+                        "version": self.version,
+                        "schema": self.schema,
+                    },
+                )
+            elif op == "unit":
+                unit_id = msg["unit_id"]
+                _send_msg(conn, {"op": "ack", "unit_id": unit_id})
+                try:
+                    rows = msg["fn"](msg["payload"])
+                except Exception as exc:  # unit itself failed: report it
+                    _send_msg(
+                        conn,
+                        {
+                            "op": "unit-error",
+                            "unit_id": unit_id,
+                            "error": f"{type(exc).__name__}: {exc}",
+                        },
+                    )
+                    continue
+                self.units_done += 1
+                if self._dead():
+                    # simulated kill: vanish without sending the result
+                    return
+                _send_msg(
+                    conn, {"op": "result", "unit_id": unit_id, "rows": rows}
+                )
+            elif op == "ping":
+                _send_msg(conn, {"op": "pong"})
+            elif op == "bye":
+                return
+            else:
+                _send_msg(
+                    conn,
+                    {"op": "error", "reason": f"unknown op {op!r}"},
+                )
+                return
+
+
+class WorkerClient:
+    """Coordinator-side handle on one remote worker connection."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        connect_timeout_s: float = 5.0,
+        heartbeat_s: float = 10.0,
+        unit_timeout_s: float = 600.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.connect_timeout_s = connect_timeout_s
+        self.heartbeat_s = heartbeat_s
+        self.unit_timeout_s = unit_timeout_s
+        self._sock: Optional[socket.socket] = None
+
+    @property
+    def addr(self) -> str:
+        """``host:port`` label (metrics, error messages)."""
+        return f"{self.host}:{self.port}"
+
+    def connect(self) -> None:
+        """Open the connection and complete the version handshake.
+
+        Raises :class:`BackendError` on connection failure or handshake
+        rejection (a rejected worker is *unusable*, not merely dead --
+        it must not be retried with the same build).
+        """
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout_s
+            )
+        except OSError as exc:
+            raise BackendError(
+                f"worker {self.addr}: connect failed ({exc})"
+            ) from exc
+        self._sock = sock
+        try:
+            _send_msg(
+                sock,
+                {
+                    "op": "hello",
+                    "version": __version__,
+                    "schema": code_version_tag(),
+                },
+            )
+            reply = self._recv(timeout_s=self.heartbeat_s)
+        except WorkerLostError as exc:
+            self.close()
+            raise BackendError(
+                f"worker {self.addr}: handshake failed ({exc})"
+            ) from exc
+        if reply.get("op") != "hello-ok":
+            reason = reply.get("reason", f"unexpected reply {reply!r}")
+            self.close()
+            raise BackendError(f"worker {self.addr}: rejected ({reason})")
+
+    def _recv(self, timeout_s: float) -> Dict[str, Any]:
+        """One frame within ``timeout_s`` seconds or worker-lost."""
+        assert self._sock is not None
+        self._sock.settimeout(timeout_s)
+        try:
+            return _recv_msg(self._sock)
+        except socket.timeout as exc:
+            raise WorkerLostError(
+                f"no reply within {timeout_s:g}s"
+            ) from exc
+        except OSError as exc:
+            raise WorkerLostError(str(exc)) from exc
+
+    def run_unit(
+        self, fn: UnitFunction, unit_id: int, payload: UnitPayload
+    ) -> List[Dict[str, Any]]:
+        """Ship one unit; return its rows.
+
+        Liveness: the worker must ``ack`` within ``heartbeat_s`` and
+        deliver the result within ``unit_timeout_s``, else
+        :class:`WorkerLostError` (the caller requeues the unit).  A
+        ``unit-error`` reply -- the unit function itself raised, which
+        would happen identically on any worker -- raises
+        :class:`BackendError` instead (no requeue).
+        """
+        if self._sock is None:
+            raise WorkerLostError("not connected")
+        try:
+            _send_msg(
+                self._sock,
+                {"op": "unit", "unit_id": unit_id, "fn": fn,
+                 "payload": payload},
+            )
+        except OSError as exc:
+            raise WorkerLostError(str(exc)) from exc
+        ack = self._recv(timeout_s=self.heartbeat_s)
+        if ack.get("op") != "ack" or ack.get("unit_id") != unit_id:
+            raise WorkerLostError(f"expected ack, got {ack.get('op')!r}")
+        reply = self._recv(timeout_s=self.unit_timeout_s)
+        op = reply.get("op")
+        if op == "result" and reply.get("unit_id") == unit_id:
+            return reply["rows"]
+        if op == "unit-error":
+            raise BackendError(
+                f"worker {self.addr}: unit {unit_id} failed: "
+                f"{reply.get('error')}"
+            )
+        raise WorkerLostError(f"expected result, got {op!r}")
+
+    def ping(self) -> bool:
+        """Idle liveness probe: ``True`` iff the worker ponged in time."""
+        if self._sock is None:
+            return False
+        try:
+            _send_msg(self._sock, {"op": "ping"})
+            return self._recv(self.heartbeat_s).get("op") == "pong"
+        except (WorkerLostError, OSError):
+            return False
+
+    def close(self) -> None:
+        """Say ``bye`` (best effort) and drop the connection."""
+        if self._sock is None:
+            return
+        try:
+            _send_msg(self._sock, {"op": "bye"})
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+        self._sock = None
+
+
+class SocketBackend(ExecutionBackend):
+    """Fan work units out to socket-connected workers on other hosts.
+
+    ``worker_addrs`` lists the fleet (``host:port`` strings or
+    ``(host, port)`` pairs).  Units are pulled from a shared queue by one
+    coordinator thread per live worker; a worker that dies mid-unit has
+    that unit pushed back to the *front* of the queue (first-requeued,
+    first-recomputed keeps completion roughly in plan order) and its
+    thread retires.  The campaign fails only when every worker is gone
+    with units still outstanding.
+    """
+
+    name = "socket"
+
+    def __init__(
+        self,
+        worker_addrs: Sequence[Union[str, Tuple[str, int]]],
+        connect_timeout_s: float = 5.0,
+        heartbeat_s: float = 10.0,
+        unit_timeout_s: float = 600.0,
+    ) -> None:
+        if not worker_addrs:
+            raise ConfigurationError(
+                "socket backend needs at least one worker address "
+                "(host:port)"
+            )
+        self.addrs = [parse_worker_addr(a) for a in worker_addrs]
+        self.workers = len(self.addrs)
+        self.connect_timeout_s = connect_timeout_s
+        self.heartbeat_s = heartbeat_s
+        self.unit_timeout_s = unit_timeout_s
+        self._lock = threading.Lock()
+        self._queue_depth = 0
+        self._live = 0
+
+    # -- coordinator threads ------------------------------------------------
+
+    def _drain_worker(
+        self,
+        client: WorkerClient,
+        fn: UnitFunction,
+        payloads: List[UnitPayload],
+        work: "collections.deque[int]",
+        completions: "queue.Queue[Tuple[str, int, Any]]",
+        done: threading.Event,
+    ) -> None:
+        """Pull units for one worker until the campaign ends or it dies."""
+        try:
+            while not done.is_set():
+                with self._lock:
+                    index = work.popleft() if work else None
+                if index is None:
+                    # another worker may still die and requeue its unit;
+                    # stay available until the campaign says done
+                    time.sleep(0.02)
+                    continue
+                try:
+                    rows = client.run_unit(fn, index, payloads[index])
+                except WorkerLostError as exc:
+                    with self._lock:
+                        work.appendleft(index)
+                        self._live -= 1
+                    completions.put(("lost", index, f"{client.addr}: {exc}"))
+                    return
+                except BackendError as exc:
+                    completions.put(("fatal", index, str(exc)))
+                    return
+                completions.put(("rows", index, rows))
+        finally:
+            client.close()
+
+    def run_units(
+        self, fn: UnitFunction, payloads: List[UnitPayload]
+    ) -> Iterator[Tuple[int, List[Dict[str, Any]]]]:
+        """Yield ``(index, rows)`` as the fleet completes units.
+
+        Connects and handshakes every configured worker first; raises
+        :class:`BackendError` if none is usable, if a unit function
+        fails on a worker, or if the last live worker dies with units
+        outstanding.
+        """
+        clients: List[WorkerClient] = []
+        handshake_errors: List[str] = []
+        for host, port in self.addrs:
+            client = WorkerClient(
+                host,
+                port,
+                connect_timeout_s=self.connect_timeout_s,
+                heartbeat_s=self.heartbeat_s,
+                unit_timeout_s=self.unit_timeout_s,
+            )
+            try:
+                client.connect()
+            except BackendError as exc:
+                handshake_errors.append(str(exc))
+                continue
+            clients.append(client)
+        if not clients:
+            raise BackendError(
+                "socket backend has no usable workers: "
+                + "; ".join(handshake_errors)
+            )
+
+        work: "collections.deque[int]" = collections.deque(
+            range(len(payloads))
+        )
+        completions: "queue.Queue[Tuple[str, int, Any]]" = queue.Queue()
+        done = threading.Event()
+        with self._lock:
+            self._queue_depth = len(payloads)
+            self._live = len(clients)
+        threads = [
+            threading.Thread(
+                target=self._drain_worker,
+                args=(client, fn, payloads, work, completions, done),
+                name=f"repro-socket-{client.addr}",
+                daemon=True,
+            )
+            for client in clients
+        ]
+        for t in threads:
+            t.start()
+
+        completed = 0
+        seen = set()
+        lost: List[str] = []
+        try:
+            while completed < len(payloads):
+                try:
+                    kind, index, value = completions.get(timeout=0.1)
+                except queue.Empty:
+                    if not any(t.is_alive() for t in threads):
+                        raise BackendError(
+                            "socket backend lost every worker with "
+                            f"{len(payloads) - completed} unit(s) "
+                            "outstanding: " + "; ".join(lost)
+                        )
+                    continue
+                if kind == "fatal":
+                    raise BackendError(value)
+                if kind == "lost":
+                    lost.append(value)
+                    continue
+                if index in seen:  # pragma: no cover - defensive dedupe
+                    continue
+                seen.add(index)
+                completed += 1
+                with self._lock:
+                    self._queue_depth -= 1
+                yield index, value
+        finally:
+            done.set()
+            for t in threads:
+                t.join(timeout=5)
+            with self._lock:
+                self._queue_depth = 0
+                self._live = 0
+
+    def status(self) -> Dict[str, Any]:
+        """Queue depth and live/total worker counts (thread-safe)."""
+        with self._lock:
+            return {
+                "backend": self.name,
+                "queue_depth": self._queue_depth,
+                "workers_total": self.workers,
+                "workers_live": self._live,
+            }

@@ -1,4 +1,4 @@
-"""Content-addressed disk cache for completed sweep work units.
+"""Content-addressed, sharded disk cache for completed sweep work units.
 
 Each completed work unit (one chunk of trials at one scenario point) is
 persisted as a small JSON file under a cache root (by default
@@ -16,8 +16,27 @@ trial indices, and a code-version tag.  Consequences:
   schema validation and is treated as a miss (and removed), never
   trusted.
 
-Writes are atomic (temp file + ``os.replace``) so a crash mid-write
-cannot leave a half-written unit that a resumed run would read.
+Layout
+------
+Units live in ``shards/{key[:2]}/{key}.json`` under the cache root: 256
+two-hex-digit shard directories, so a campaign of a million units never
+puts a million entries in one directory (directory-scan cost is what
+kills flat content stores at fleet scale, and per-shard subtrees can be
+rsynced / mounted / garbage-collected independently).
+
+The *flat* layout (``{key}.json`` directly under the root) that shipped
+before the sharded store is still read: :meth:`ResultCache.get` falls
+back to the flat path on a shard miss and -- when the flat entry is
+valid -- atomically *promotes* the file into its shard via
+``os.replace``.  A rename preserves bytes exactly, so a warm flat cache
+migrates in place with 100% hits and byte-identical entries, one unit at
+a time, with no migration step to schedule.
+
+Writes are atomic and durable: the temp file is flushed and ``fsync``\\ ed
+before ``os.replace`` moves it into place (so a crash mid-write can
+leave at worst a torn *temp* file, never a torn entry), and the shard
+directory is fsynced best-effort afterwards so the rename itself
+survives a power cut.
 """
 
 from __future__ import annotations
@@ -26,13 +45,19 @@ import hashlib
 import json
 import os
 import pathlib
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, Iterator, List, Mapping, Optional
 
 from repro._version import __version__
 
 #: Bump when the cached row schema or the seed-derivation scheme changes
 #: incompatibly; old cache entries then miss instead of lying.
+#: (The flat->sharded *layout* change deliberately did NOT bump this:
+#: keys are unchanged and flat entries remain readable, so warm caches
+#: survive the migration.)
 CACHE_SCHEMA_VERSION = 1
+
+#: Name of the shard-tree directory under the cache root.
+SHARD_DIR = "shards"
 
 #: Default cache root, relative to the working directory (the repo root
 #: in CI and the benches).  Override per call, or process-wide with the
@@ -54,6 +79,9 @@ def code_version_tag() -> str:
 
     Ties cached results to the package version *and* the executor's
     schema version, so either kind of upgrade invalidates the cache.
+    The same tag is exchanged in the socket-backend handshake
+    (:mod:`repro.exec.backends.socket`), so a worker running a
+    different build refuses work instead of poisoning the store.
     """
     return f"repro-{__version__}/exec-{CACHE_SCHEMA_VERSION}"
 
@@ -70,25 +98,74 @@ def content_key(payload: Mapping[str, Any]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+def _fsync_dir(path: pathlib.Path) -> None:
+    """Best-effort fsync of a directory (so renames inside it persist).
+
+    Some filesystems (and all of Windows) refuse ``open`` on a
+    directory; durability of the rename is then up to the OS, which is
+    the pre-fsync status quo -- never an error.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
 class ResultCache:
-    """A directory of content-addressed work-unit results.
+    """A sharded directory of content-addressed work-unit results.
 
     The cache never judges freshness by timestamps: the key *is* the
     contract.  ``get`` returns ``None`` on any miss, including unreadable
     or schema-violating files (which are deleted so they cannot shadow a
     later write).
+
+    Concurrent writers are safe by construction: an entry's bytes are a
+    pure function of its key (canonical JSON, sorted keys), so two
+    processes racing ``put`` on the same key both stage identical
+    content and the surviving ``os.replace`` winner is byte-identical to
+    a serial write (pinned by ``tests/test_exec_cache.py``).
     """
 
     def __init__(self, root: pathlib.Path) -> None:
         self.root = pathlib.Path(root)
 
+    # -- layout -------------------------------------------------------------
+
+    def shard_for(self, key: str) -> pathlib.Path:
+        """The shard directory a unit with ``key`` belongs to."""
+        return self.root / SHARD_DIR / key[:2]
+
     def path_for(self, key: str) -> pathlib.Path:
-        """Where a unit with ``key`` lives on disk."""
+        """Canonical (sharded) location of a unit with ``key``."""
+        return self.shard_for(key) / f"{key}.json"
+
+    def flat_path_for(self, key: str) -> pathlib.Path:
+        """Legacy pre-shard location, still read (and promoted) by
+        :meth:`get`."""
         return self.root / f"{key}.json"
 
-    def get(self, key: str) -> Optional[List[Dict[str, Any]]]:
-        """The cached rows for ``key``, or ``None`` on miss/corruption."""
-        path = self.path_for(key)
+    def entry_paths(self) -> Iterator[pathlib.Path]:
+        """Every entry file currently on disk, sharded then flat,
+        lexicographic within each layout (deterministic order)."""
+        try:
+            yield from sorted((self.root / SHARD_DIR).glob("??/*.json"))
+            yield from sorted(self.root.glob("*.json"))
+        except OSError:  # pragma: no cover - racing removal
+            return
+
+    # -- read ---------------------------------------------------------------
+
+    def _load(
+        self, path: pathlib.Path, key: str
+    ) -> Optional[List[Dict[str, Any]]]:
+        """Rows stored at ``path`` for ``key``, or ``None``; corrupt or
+        torn files are deleted so they cannot shadow a later write."""
         try:
             raw = path.read_text(encoding="utf-8")
         except OSError:
@@ -111,14 +188,53 @@ class ResultCache:
             return None
         return rows
 
+    def get(self, key: str) -> Optional[List[Dict[str, Any]]]:
+        """The cached rows for ``key``, or ``None`` on miss/corruption.
+
+        Checks the sharded location first, then the legacy flat layout;
+        a valid flat entry is atomically promoted into its shard (a
+        byte-preserving ``os.replace``) so the store converges to the
+        sharded layout as it is read.
+        """
+        rows = self._load(self.path_for(key), key)
+        if rows is not None:
+            return rows
+        flat = self.flat_path_for(key)
+        rows = self._load(flat, key)
+        if rows is None:
+            return None
+        # migration shim: promote the still-valid flat entry in place
+        try:
+            self.shard_for(key).mkdir(parents=True, exist_ok=True)
+            os.replace(flat, self.path_for(key))
+        except OSError:  # pragma: no cover - read-only cache roots
+            pass
+        return rows
+
+    def contains(self, key: str) -> bool:
+        """Whether a *valid* entry exists for ``key`` (corrupt = no)."""
+        return self.get(key) is not None
+
+    # -- write --------------------------------------------------------------
+
     def put(
         self,
         key: str,
         rows: List[Dict[str, Any]],
         meta: Optional[Mapping[str, Any]] = None,
     ) -> pathlib.Path:
-        """Atomically persist ``rows`` under ``key``; returns the path."""
-        self.root.mkdir(parents=True, exist_ok=True)
+        """Durably and atomically persist ``rows`` under ``key``.
+
+        The temp file is fsynced before the rename and the shard
+        directory after it, so a crash at any point leaves either the
+        old state or the complete new entry -- never a torn unit a
+        resumed run could read (torn *temp* files are ignored by
+        :meth:`get` and overwritten by the next ``put``).
+
+        Returns the sharded entry path.
+        """
+        shard = self.shard_for(key)
+        shard.mkdir(parents=True, exist_ok=True)
         path = self.path_for(key)
         blob = {
             "key": key,
@@ -126,20 +242,20 @@ class ResultCache:
             "meta": dict(meta or {}),
             "rows": rows,
         }
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(
-            json.dumps(blob, sort_keys=True, indent=0), encoding="utf-8"
-        )
+        data = json.dumps(blob, sort_keys=True, indent=0)
+        # per-process temp name: two processes racing the same key must
+        # not stage through one file, or the loser's rename pulls the
+        # winner's staged bytes out from under it (the final os.replace
+        # still serializes them -- and both stage identical content)
+        tmp = path.with_suffix(f".json.{os.getpid()}.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
+        _fsync_dir(shard)
         return path
 
-    def contains(self, key: str) -> bool:
-        """Whether a *valid* entry exists for ``key`` (corrupt = no)."""
-        return self.get(key) is not None
-
     def __len__(self) -> int:
-        """Number of entry files currently on disk."""
-        try:
-            return sum(1 for _ in self.root.glob("*.json"))
-        except OSError:  # pragma: no cover - racing removal
-            return 0
+        """Number of entry files currently on disk (both layouts)."""
+        return sum(1 for _ in self.entry_paths())

@@ -1,10 +1,14 @@
 """The parallel, cached sweep executor.
 
 :class:`SweepExecutor` turns a list of :class:`~repro.exec.specs.
-ScenarioSpec` into per-trial result rows, fanning work out over a
-``multiprocessing`` pool (with a pure in-process serial path for
-``workers=1``) and memoizing completed work units on disk through
-:class:`~repro.exec.cache.ResultCache`.
+ScenarioSpec` into per-trial result rows.  Since the backend tier landed
+it is a thin, stable facade: planning and caching live in
+:mod:`repro.exec.campaign`, and the actual computation runs on a
+pluggable :class:`~repro.exec.backends.base.ExecutionBackend` --
+in-process (``serial``), one-box ``multiprocessing`` (``pool``), or
+remote workers over TCP (``socket``).  ``workers=1`` maps to serial,
+``workers>1`` to pool, and ``backend=`` overrides either with a name or
+a ready backend instance.
 
 Determinism contract
 --------------------
@@ -14,19 +18,19 @@ The executor's output is a pure function of ``(specs, root_seed)``:
   on ``(root_seed, spec.scenario_key(), trial_index)``, never from
   worker identity or execution order;
 - work units are chunks of *trial indices*, chunked the same way
-  regardless of worker count;
-- results are reassembled in trial-index order in the parent process.
+  regardless of worker count or backend;
+- results are finalized in trial-index order by the campaign manager.
 
-So serial, parallel, cached, and resumed runs all produce byte-identical
-row lists -- pinned by ``tests/test_exec_golden.py``.
+So serial, parallel, remote, cached, and resumed runs all produce
+byte-identical row lists -- pinned by ``tests/test_exec_golden.py`` and
+cross-backend by ``tests/test_exec_campaign.py``.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError
 from repro.exec.cache import ResultCache, code_version_tag, content_key
@@ -56,6 +60,34 @@ class ExecStats:
     def hit_fraction(self) -> float:
         """Cache hits as a fraction of all work units (0.0 when none)."""
         return self.cache_hits / self.units_total if self.units_total else 0.0
+
+    def merge(self, other: "ExecStats") -> "ExecStats":
+        """Combine accounting from two runs into one (a new object).
+
+        Counts add; ``wall_clock_s`` adds (total compute time, not
+        elapsed time -- overlapping campaigns double-count on purpose);
+        ``workers`` takes the max and ``cache_enabled`` the OR, since a
+        merged report answers "what resources/caching did this study
+        use anywhere".  Associative and commutative, so a campaign
+        service can fold stats over any number of sweeps in any order.
+        """
+        return ExecStats(
+            workers=max(self.workers, other.workers),
+            units_total=self.units_total + other.units_total,
+            cache_hits=self.cache_hits + other.cache_hits,
+            cache_misses=self.cache_misses + other.cache_misses,
+            trials_total=self.trials_total + other.trials_total,
+            trials_computed=self.trials_computed + other.trials_computed,
+            wall_clock_s=self.wall_clock_s + other.wall_clock_s,
+            cache_enabled=self.cache_enabled or other.cache_enabled,
+        )
+
+    def __add__(self, other: "ExecStats") -> "ExecStats":
+        """``stats_a + stats_b`` is :meth:`merge` (sum()-friendly with
+        ``start=ExecStats()``)."""
+        if not isinstance(other, ExecStats):
+            return NotImplemented
+        return self.merge(other)
 
     def as_dict(self) -> Dict[str, Any]:
         """Flat dict form for JSON reports and stats tables."""
@@ -112,9 +144,10 @@ def _run_unit(
 ) -> List[Dict[str, Any]]:
     """Worker entry point: run one chunk of trials.
 
-    Takes a plain-data payload (picklable under every start method) and
-    returns the trial rows in index order.  Module-level so
-    ``multiprocessing`` can import it by reference.
+    Takes a plain-data payload (picklable under every start method and
+    every backend wire) and returns the trial rows in index order.
+    Module-level so ``multiprocessing`` and the socket protocol can
+    ship it by reference.
     """
     spec_dict, root_seed, indices = payload
     spec = ScenarioSpec.from_dict(spec_dict)
@@ -125,25 +158,6 @@ def _run_unit(
     ]
 
 
-def _pool_context() -> multiprocessing.context.BaseContext:
-    """The start method for worker pools: ``fork`` where available
-    (cheap, inherits ``sys.path``), else the platform default."""
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context(
-        "fork" if "fork" in methods else None
-    )
-
-
-@dataclass
-class _Unit:
-    """One schedulable work unit (internal)."""
-
-    spec_index: int
-    indices: Tuple[int, ...]
-    key: str
-    rows: Optional[List[Dict[str, Any]]] = None
-
-
 class SweepExecutor:
     """Runs scenario sweeps: chunked, optionally parallel, optionally
     cached.
@@ -152,14 +166,19 @@ class SweepExecutor:
     ----------
     workers:
         Worker-process count.  ``1`` (the default) runs every trial in
-        the calling process -- no pool, no pickling -- which is also the
-        fallback wherever ``multiprocessing`` is unavailable.
+        the calling process -- no pool, no pickling; ``>1`` fans out
+        over a ``multiprocessing`` pool on this box.
     cache:
         A :class:`ResultCache` for memoization and checkpoint/resume, or
         ``None`` (the default) to always recompute.
     chunk_size:
         Trials per work unit; keep it identical between runs that should
         share cache entries (see :data:`DEFAULT_CHUNK_SIZE`).
+    backend:
+        Execution-backend override: a registry name (``"serial"`` /
+        ``"pool"``) or a ready :class:`~repro.exec.backends.base.
+        ExecutionBackend` instance (how a ``socket`` fleet is plugged
+        in).  ``None`` derives serial/pool from ``workers``.
     """
 
     def __init__(
@@ -167,6 +186,7 @@ class SweepExecutor:
         workers: int = 1,
         cache: Optional[ResultCache] = None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        backend: Optional[Union[str, "Any"]] = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -177,27 +197,29 @@ class SweepExecutor:
         self.workers = workers
         self.cache = cache
         self.chunk_size = chunk_size
+        self.backend = backend
+
+    def _resolve_backend(self) -> "Any":
+        """Materialize the execution backend for one run."""
+        # local import: repro.exec.campaign imports this module
+        from repro.exec.backends import ExecutionBackend, make_backend
+
+        if isinstance(self.backend, ExecutionBackend):
+            return self.backend
+        if isinstance(self.backend, str):
+            return make_backend(self.backend, workers=self.workers)
+        return make_backend(
+            "serial" if self.workers == 1 else "pool", workers=self.workers
+        )
 
     # -- planning -----------------------------------------------------------
 
-    def _plan(
-        self, specs: Sequence[ScenarioSpec], root_seed: int
-    ) -> List[_Unit]:
-        """Chunk every spec's trial range into work units."""
-        units: List[_Unit] = []
-        for spec_index, spec in enumerate(specs):
-            for start in range(0, spec.trials, self.chunk_size):
-                indices = tuple(
-                    range(start, min(start + self.chunk_size, spec.trials))
-                )
-                units.append(
-                    _Unit(
-                        spec_index=spec_index,
-                        indices=indices,
-                        key=unit_cache_key(spec, root_seed, indices),
-                    )
-                )
-        return units
+    def _plan(self, specs: Sequence[ScenarioSpec], root_seed: int):
+        """Chunk every spec's trial range into work units (see
+        :func:`repro.exec.campaign.plan_units`)."""
+        from repro.exec.campaign import plan_units
+
+        return plan_units(specs, root_seed, self.chunk_size)
 
     def checkpointed(
         self, specs: Sequence[ScenarioSpec], root_seed: int = 0
@@ -222,55 +244,25 @@ class SweepExecutor:
         for the determinism contract.
 
         Returns one row list per spec (in spec order, rows in
-        trial-index order) plus :class:`ExecStats`.
+        trial-index order) plus :class:`ExecStats`.  Delegates to
+        :class:`~repro.exec.campaign.CampaignRunner` on the resolved
+        backend; a backend constructed here (rather than passed in) is
+        closed afterwards.
         """
+        # local import: repro.exec.campaign imports this module
+        from repro.exec.backends import ExecutionBackend
+        from repro.exec.campaign import CampaignRunner
+
         started = time.perf_counter()
-        stats = ExecStats(
-            workers=self.workers,
-            cache_enabled=self.cache is not None,
-            trials_total=sum(s.trials for s in specs),
-        )
-        units = self._plan(specs, root_seed)
-        stats.units_total = len(units)
-
-        pending: List[_Unit] = []
-        for unit in units:
-            cached = self.cache.get(unit.key) if self.cache else None
-            if cached is not None and len(cached) == len(unit.indices):
-                unit.rows = cached
-                stats.cache_hits += 1
-            else:
-                pending.append(unit)
-        stats.cache_misses = len(pending)
-        stats.trials_computed = sum(len(u.indices) for u in pending)
-
-        payloads = [
-            (specs[u.spec_index].as_dict(), int(root_seed), u.indices)
-            for u in pending
-        ]
-        if self.workers == 1 or len(pending) <= 1:
-            computed = [_run_unit(p) for p in payloads]
-        else:
-            ctx = _pool_context()
-            with ctx.Pool(processes=min(self.workers, len(pending))) as pool:
-                computed = pool.map(_run_unit, payloads)
-        for unit, rows in zip(pending, computed):
-            unit.rows = rows
-            if self.cache is not None:
-                spec = specs[unit.spec_index]
-                self.cache.put(
-                    unit.key,
-                    rows,
-                    meta={
-                        "scenario_key": spec.scenario_key(),
-                        "root_seed": int(root_seed),
-                        "indices": list(unit.indices),
-                    },
-                )
-
-        per_spec: List[List[Dict[str, Any]]] = [[] for _ in specs]
-        for unit in units:  # plan order == ascending trial index per spec
-            assert unit.rows is not None
-            per_spec[unit.spec_index].extend(unit.rows)
-        stats.wall_clock_s = time.perf_counter() - started
-        return SweepRunResult(rows=per_spec, stats=stats)
+        backend = self._resolve_backend()
+        owns_backend = not isinstance(self.backend, ExecutionBackend)
+        try:
+            runner = CampaignRunner(
+                backend, cache=self.cache, chunk_size=self.chunk_size
+            )
+            result = runner.run(specs, root_seed=root_seed)
+        finally:
+            if owns_backend:
+                backend.close()
+        result.stats.wall_clock_s = time.perf_counter() - started
+        return result

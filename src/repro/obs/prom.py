@@ -1,0 +1,276 @@
+"""Prometheus text exposition: deterministic rendering and a strict
+parser.
+
+The ``repro serve`` ``/metrics`` endpoint speaks the Prometheus text
+format (version 0.0.4): ``# HELP`` / ``# TYPE`` headers followed by
+``name{label="value"} 1.0`` samples.  This module is the single place
+that format lives:
+
+- :func:`render_metrics` turns :class:`MetricFamily` objects into
+  exposition text.  Output is deterministic -- families render in the
+  order given, samples in the order added, floats via :func:`repr` --
+  so two scrapes of the same state are byte-identical (same property
+  the rest of the repo holds for result files).
+- :func:`parse_metrics` / :func:`validate_metrics_text` read the format
+  back and *enforce* it: metric-name and label grammar, declared types,
+  samples matching their family, finite-or-sentinel values.  CI's
+  ``serve-smoke`` job round-trips a live scrape through the parser, so
+  a malformed exposition fails the build rather than a dashboard.
+
+Only counters and gauges are emitted today; the grammar accepts the
+other official types so foreign expositions still validate.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+#: Metric types legal in a ``# TYPE`` line (exposition format 0.0.4).
+METRIC_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+(?P<ts>-?\d+))?$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+
+
+class PromFormatError(ValueError):
+    """The text is not valid Prometheus exposition format."""
+
+
+@dataclass
+class Sample:
+    """One sample line: a (possibly labeled) value of a family."""
+
+    #: sample metric name (equals the family name for counters/gauges)
+    name: str
+    #: label key/value pairs, rendered in insertion order
+    labels: Dict[str, str] = field(default_factory=dict)
+    #: the observed value
+    value: float = 0.0
+
+
+@dataclass
+class MetricFamily:
+    """One metric family: HELP + TYPE header and its sample lines."""
+
+    #: family name (``repro_`` prefix by convention here)
+    name: str
+    #: one of :data:`METRIC_TYPES`
+    mtype: str
+    #: free-text HELP line (newlines/backslashes are escaped on render)
+    help: str
+    #: sample lines, rendered in order
+    samples: List[Sample] = field(default_factory=list)
+
+    def add(
+        self,
+        value: float,
+        labels: Optional[Mapping[str, str]] = None,
+        name: Optional[str] = None,
+    ) -> "MetricFamily":
+        """Append one sample (chainable); ``name`` defaults to the
+        family name."""
+        self.samples.append(
+            Sample(
+                name=name or self.name,
+                labels=dict(labels or {}),
+                value=float(value),
+            )
+        )
+        return self
+
+
+def _escape_help(text: str) -> str:
+    """Escape backslashes and newlines for a HELP line."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value per the exposition grammar."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value (+Inf/-Inf/NaN sentinels, repr floats,
+    bare ints)."""
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_metrics(families: List[MetricFamily]) -> str:
+    """Render families to exposition text (trailing newline included).
+
+    Raises :class:`PromFormatError` on an invalid family/label name or
+    metric type, so a typo fails at render time rather than at scrape
+    time.
+    """
+    lines: List[str] = []
+    for fam in families:
+        if not _NAME_RE.match(fam.name):
+            raise PromFormatError(f"invalid metric name {fam.name!r}")
+        if fam.mtype not in METRIC_TYPES:
+            raise PromFormatError(
+                f"invalid metric type {fam.mtype!r} for {fam.name}"
+            )
+        lines.append(f"# HELP {fam.name} {_escape_help(fam.help)}")
+        lines.append(f"# TYPE {fam.name} {fam.mtype}")
+        for sample in fam.samples:
+            if not _NAME_RE.match(sample.name):
+                raise PromFormatError(
+                    f"invalid sample name {sample.name!r}"
+                )
+            label_text = ""
+            if sample.labels:
+                for key in sample.labels:
+                    if not _LABEL_RE.match(key):
+                        raise PromFormatError(f"invalid label name {key!r}")
+                pairs = ",".join(
+                    f'{k}="{_escape_label(str(v))}"'
+                    for k, v in sample.labels.items()
+                )
+                label_text = "{" + pairs + "}"
+            lines.append(
+                f"{sample.name}{label_text} {_format_value(sample.value)}"
+            )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _parse_value(token: str, context: str) -> float:
+    """Parse a sample value token (accepts the Inf/NaN sentinels)."""
+    try:
+        return float(token)
+    except ValueError:
+        raise PromFormatError(
+            f"{context}: unparseable value {token!r}"
+        ) from None
+
+
+def _parse_labels(raw: str, context: str) -> Dict[str, str]:
+    """Parse the inside of a ``{...}`` label block."""
+    labels: Dict[str, str] = {}
+    pos = 0
+    while pos < len(raw):
+        match = _LABEL_PAIR_RE.match(raw, pos)
+        if not match:
+            raise PromFormatError(
+                f"{context}: malformed labels {raw!r}"
+            )
+        value = match.group("value")
+        value = (
+            value.replace("\\n", "\n")
+            .replace('\\"', '"')
+            .replace("\\\\", "\\")
+        )
+        labels[match.group("key")] = value
+        pos = match.end()
+    return labels
+
+
+def parse_metrics(text: str) -> Dict[str, MetricFamily]:
+    """Parse exposition text into families keyed by name.
+
+    Strict: raises :class:`PromFormatError` on malformed HELP/TYPE
+    lines, bad names, duplicate TYPE declarations, unparseable values,
+    or samples whose name does not belong to a declared family (a
+    ``_bucket``/``_sum``/``_count`` suffix of a histogram/summary
+    family counts as belonging).  Undeclared bare samples become
+    ``untyped`` families, as the format allows.
+    """
+    families: Dict[str, MetricFamily] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        context = f"line {lineno}"
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP "):].split(" ", 1)
+            name = parts[0]
+            if not _NAME_RE.match(name):
+                raise PromFormatError(f"{context}: bad HELP name {name!r}")
+            fam = families.setdefault(
+                name, MetricFamily(name=name, mtype="untyped", help="")
+            )
+            fam.help = parts[1] if len(parts) > 1 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split()
+            if len(parts) != 2:
+                raise PromFormatError(f"{context}: malformed TYPE line")
+            name, mtype = parts
+            if not _NAME_RE.match(name):
+                raise PromFormatError(f"{context}: bad TYPE name {name!r}")
+            if mtype not in METRIC_TYPES:
+                raise PromFormatError(
+                    f"{context}: unknown metric type {mtype!r}"
+                )
+            fam = families.setdefault(
+                name, MetricFamily(name=name, mtype="untyped", help="")
+            )
+            if fam.mtype != "untyped" and fam.samples:
+                raise PromFormatError(
+                    f"{context}: duplicate TYPE for {name}"
+                )
+            fam.mtype = mtype
+            continue
+        if line.startswith("#"):
+            continue  # comment
+        match = _SAMPLE_RE.match(line.strip())
+        if not match:
+            raise PromFormatError(f"{context}: malformed sample {line!r}")
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels") or "", context)
+        value = _parse_value(match.group("value"), context)
+        fam = _family_for_sample(families, name)
+        if fam is None:
+            fam = families.setdefault(
+                name, MetricFamily(name=name, mtype="untyped", help="")
+            )
+        fam.samples.append(Sample(name=name, labels=labels, value=value))
+    return families
+
+
+def _family_for_sample(
+    families: Dict[str, MetricFamily], sample_name: str
+) -> Optional[MetricFamily]:
+    """Find the declared family a sample line belongs to, if any."""
+    if sample_name in families:
+        return families[sample_name]
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            fam = families.get(base)
+            if fam is not None and fam.mtype in ("histogram", "summary"):
+                return fam
+    return None
+
+
+def validate_metrics_text(text: str) -> Tuple[int, int]:
+    """Validate exposition text; returns ``(families, samples)`` counts.
+
+    The CI round-trip check: raises :class:`PromFormatError` with the
+    offending line on any violation, additionally requiring at least
+    one family and every declared family to carry at least one sample.
+    """
+    families = parse_metrics(text)
+    if not families:
+        raise PromFormatError("no metric families found")
+    for fam in families.values():
+        if not fam.samples:
+            raise PromFormatError(f"family {fam.name} has no samples")
+    return len(families), sum(len(f.samples) for f in families.values())

@@ -1,0 +1,36 @@
+"""``repro.serve``: the long-running sweep campaign service.
+
+``repro serve`` turns the sweep layer into a service: a stdlib
+``http.server`` process that accepts sweep submissions over HTTP, runs
+them through any :mod:`execution backend <repro.exec.backends>` against
+the shared content-addressed result store, and exposes progress as
+Prometheus metrics.  Two modules:
+
+- :mod:`repro.serve.service` -- :class:`CampaignService`, the
+  transport-free core (submission parsing, campaign execution,
+  cumulative accounting, metric families);
+- :mod:`repro.serve.http` -- the HTTP shim (``POST /sweeps``,
+  ``GET /sweeps/{id}``, ``GET /results/{unit_key}``, ``GET /metrics``,
+  ``GET /healthz``).
+
+Determinism carries through the wire: identical submissions return
+byte-identical rows, the second one entirely from cache.  See
+``docs/SERVICE.md``.
+"""
+
+from repro.serve.http import (
+    PROM_CONTENT_TYPE,
+    CampaignRequestHandler,
+    make_server,
+    serve,
+)
+from repro.serve.service import CampaignService, canonical_report
+
+__all__ = [
+    "CampaignRequestHandler",
+    "CampaignService",
+    "PROM_CONTENT_TYPE",
+    "canonical_report",
+    "make_server",
+    "serve",
+]

@@ -1,11 +1,17 @@
 """Tests for repro.exec.cache: hit/miss, invalidation, corruption
-recovery, and the --no-cache bypass."""
+recovery, the sharded layout and flat-layout migration, write
+durability (fsync + torn-file recovery), concurrent writers, and the
+--no-cache bypass."""
 
 from __future__ import annotations
 
 import json
+import multiprocessing
+import os
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.exec import (
     ResultCache,
@@ -43,7 +49,13 @@ class TestHitMiss:
 
     def test_put_is_atomic_no_tmp_left_behind(self, cache):
         cache.put(content_key({"x": 1}), ROWS)
-        assert not list(cache.root.glob("*.tmp"))
+        assert not list(cache.root.rglob("*.tmp"))
+
+    def test_entries_land_in_their_shard(self, cache):
+        key = content_key({"x": 1})
+        path = cache.put(key, ROWS)
+        assert path == cache.root / "shards" / key[:2] / f"{key}.json"
+        assert path.exists()
 
 
 class TestInvalidation:
@@ -127,7 +139,7 @@ class TestCorruptionRecovery:
         executor = SweepExecutor(cache=cache)
         clean = executor.run([spec])
         assert clean.stats.cache_misses == 1
-        for path in cache.root.glob("*.json"):
+        for path in list(cache.entry_paths()):
             path.write_text("garbage{{{")
         recovered = executor.run([spec])
         assert recovered.stats.cache_hits == 0
@@ -135,6 +147,153 @@ class TestCorruptionRecovery:
         assert recovered.rows == clean.rows
         # and the recompute re-banked a valid entry
         assert executor.run([spec]).stats.cache_hits == 1
+
+
+def _demote_to_flat(cache: ResultCache) -> int:
+    """Rewrite a cache into the legacy flat layout (pre-shard repos)."""
+    moved = 0
+    for path in list(cache.entry_paths()):
+        if path.parent != cache.root:
+            os.replace(path, cache.root / path.name)
+            moved += 1
+    shards = cache.root / "shards"
+    if shards.exists():
+        for sub in sorted(shards.iterdir()):
+            sub.rmdir()
+        shards.rmdir()
+    return moved
+
+
+class TestShardedMigration:
+    def test_flat_entry_is_a_hit_and_promoted(self, cache):
+        """A valid legacy flat entry is read (100% hit) and atomically
+        moved into its shard with its bytes preserved exactly."""
+        key = content_key({"x": 1})
+        cache.put(key, ROWS)
+        original = cache.path_for(key).read_bytes()
+        assert _demote_to_flat(cache) == 1
+        assert cache.flat_path_for(key).exists()
+        assert cache.get(key) == ROWS
+        assert not cache.flat_path_for(key).exists()
+        assert cache.path_for(key).read_bytes() == original
+
+    def test_sweep_over_flat_cache_is_all_hits(self, cache):
+        """End to end: a warm pre-shard cache serves a rerun at 100%
+        hits with identical rows, converging to the sharded layout."""
+        spec = ScenarioSpec(
+            kind="crash", r=1, t=1, trials=4, protocol="crash-flood"
+        )
+        executor = SweepExecutor(cache=cache)
+        cold = executor.run([spec])
+        _demote_to_flat(cache)
+        warm = executor.run([spec])
+        assert warm.stats.cache_hits == warm.stats.units_total > 0
+        assert warm.stats.cache_misses == 0
+        assert warm.rows == cold.rows
+        assert all(p.parent != cache.root for p in cache.entry_paths())
+
+    def test_corrupt_flat_entry_is_a_miss_and_removed(self, cache):
+        key = content_key({"x": 1})
+        flat = cache.flat_path_for(key)
+        cache.root.mkdir(parents=True, exist_ok=True)
+        flat.write_text("garbage{{{")
+        assert cache.get(key) is None
+        assert not flat.exists()
+
+    def test_len_counts_both_layouts(self, cache):
+        cache.put(content_key({"x": 1}), ROWS)
+        cache.put(content_key({"x": 2}), ROWS)
+        assert len(cache) == 2
+        # demote one entry to the flat layout: still two entries
+        path = next(iter(cache.entry_paths()))
+        os.replace(path, cache.root / path.name)
+        assert len(cache) == 2
+
+
+class TestDurability:
+    def test_truncated_entry_mid_write_recomputes_cleanly(self, cache):
+        """Crash injection: tear a unit file mid-write (truncate it) and
+        assert the executor recomputes the unit cleanly -- same rows,
+        torn file replaced by a valid one."""
+        spec = ScenarioSpec(
+            kind="crash", r=1, t=1, trials=2, protocol="crash-flood"
+        )
+        executor = SweepExecutor(cache=cache)
+        clean = executor.run([spec])
+        (victim,) = list(cache.entry_paths())
+        blob = victim.read_bytes()
+        victim.write_bytes(blob[: len(blob) // 2])  # torn write
+        recovered = executor.run([spec])
+        assert recovered.stats.cache_hits == 0
+        assert recovered.stats.cache_misses == 1
+        assert recovered.rows == clean.rows
+        # the recompute re-banked a valid, byte-identical entry
+        assert executor.run([spec]).stats.cache_hits == 1
+        assert victim.read_bytes() == blob
+
+    def test_torn_tmp_file_never_shadows_the_entry(self, cache):
+        """A crash between staging and rename leaves only a ``.tmp``
+        file; reads miss and the next put overwrites it."""
+        key = content_key({"x": 1})
+        cache.shard_for(key).mkdir(parents=True)
+        tmp = cache.path_for(key).with_suffix(f".json.{os.getpid()}.tmp")
+        tmp.write_text('{"key": "' + key + '", "rows": [{"a"')
+        assert cache.get(key) is None
+        cache.put(key, ROWS)
+        assert cache.get(key) == ROWS
+        assert not tmp.exists()
+
+
+def _race_put(args):
+    """Worker for the concurrent-writer race (module-level: fork/pickle)."""
+    root, key, rows, barrier = args
+    cache = ResultCache(root)
+    barrier.wait()  # line both writers up on the same key
+    cache.put(key, rows)
+
+
+class TestConcurrentWriters:
+    @settings(max_examples=5, deadline=None)
+    @given(
+        rows=st.lists(
+            st.dictionaries(
+                st.sampled_from(["achieved", "rounds", "messages"]),
+                st.integers(min_value=0, max_value=99),
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_racing_writers_leave_a_serial_byte_identical_file(
+        self, tmp_path_factory, rows
+    ):
+        """Two processes racing ``put`` on one key must leave exactly
+        the file a serial write would have left, byte for byte."""
+        base = tmp_path_factory.mktemp("race")
+        key = content_key({"rows": rows})
+        serial = ResultCache(base / "serial")
+        expected = serial.put(key, rows).read_bytes()
+
+        racy = ResultCache(base / "racy")
+        ctx = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        barrier = ctx.Barrier(2)
+        procs = [
+            ctx.Process(
+                target=_race_put, args=((racy.root, key, rows, barrier),)
+            )
+            for _ in range(2)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=30)
+            assert p.exitcode == 0
+        assert racy.path_for(key).read_bytes() == expected
+        assert racy.get(key) == rows
 
 
 class TestBypass:
@@ -160,10 +319,11 @@ class TestBypass:
         assert main(args + ["--no-cache"]) == 0
         assert not cache_dir.exists()
         assert main(args) == 0  # cached run populates it
-        assert cache_dir.exists() and len(list(cache_dir.glob("*.json"))) == 1
-        before = {p: p.read_bytes() for p in cache_dir.glob("*.json")}
+        assert cache_dir.exists()
+        assert len(list(cache_dir.rglob("*.json"))) == 1
+        before = {p: p.read_bytes() for p in cache_dir.rglob("*.json")}
         assert main(args + ["--no-cache"]) == 0
-        after = {p: p.read_bytes() for p in cache_dir.glob("*.json")}
+        after = {p: p.read_bytes() for p in cache_dir.rglob("*.json")}
         assert before == after
 
     def test_cli_resume_requires_cache(self, capsys):

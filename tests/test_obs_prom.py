@@ -1,0 +1,144 @@
+"""Prometheus exposition tests: deterministic rendering, strict
+parsing, and render/parse round-trip identity."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.prom import (
+    MetricFamily,
+    PromFormatError,
+    Sample,
+    parse_metrics,
+    render_metrics,
+    validate_metrics_text,
+)
+
+
+def families():
+    """A small, representative family set."""
+    counter = MetricFamily(
+        "repro_units_total", "counter", "Work units finished"
+    )
+    counter.add(3, {"outcome": "computed"}).add(7, {"outcome": "cached"})
+    gauge = MetricFamily(
+        "repro_backend_queue_depth", "gauge", "Units pending"
+    ).add(2.5, {"backend": "socket"})
+    return [counter, gauge]
+
+
+class TestRender:
+    def test_help_and_type_headers(self):
+        text = render_metrics(families())
+        assert "# HELP repro_units_total Work units finished" in text
+        assert "# TYPE repro_units_total counter" in text
+        assert 'repro_units_total{outcome="computed"} 3' in text
+
+    def test_rendering_is_deterministic(self):
+        assert render_metrics(families()) == render_metrics(families())
+
+    def test_integral_floats_render_bare(self):
+        text = render_metrics(
+            [MetricFamily("x_total", "counter", "x").add(4.0)]
+        )
+        assert "x_total 4\n" in text
+
+    def test_special_values(self):
+        fam = (
+            MetricFamily("x", "gauge", "x")
+            .add(math.inf)
+            .add(-math.inf)
+            .add(math.nan)
+        )
+        text = render_metrics([fam])
+        assert "x +Inf" in text and "x -Inf" in text and "x NaN" in text
+
+    def test_label_escaping_round_trips(self):
+        fam = MetricFamily("x", "gauge", "x").add(
+            1, {"path": 'a"b\\c\nd'}
+        )
+        back = parse_metrics(render_metrics([fam]))
+        assert back["x"].samples[0].labels == {"path": 'a"b\\c\nd'}
+
+    def test_bad_metric_name_rejected(self):
+        with pytest.raises(PromFormatError, match="invalid metric name"):
+            render_metrics([MetricFamily("bad name", "gauge", "x").add(1)])
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(PromFormatError, match="invalid metric type"):
+            render_metrics([MetricFamily("x", "rainbow", "x").add(1)])
+
+    def test_bad_label_name_rejected(self):
+        fam = MetricFamily("x", "gauge", "x").add(1, {"bad-label": "v"})
+        with pytest.raises(PromFormatError, match="invalid label name"):
+            render_metrics([fam])
+
+    def test_empty_render(self):
+        assert render_metrics([]) == ""
+
+
+class TestParse:
+    def test_round_trip_byte_identity(self):
+        text = render_metrics(families())
+        assert render_metrics(list(parse_metrics(text).values())) == text
+
+    def test_untyped_bare_sample_accepted(self):
+        fams = parse_metrics("plain_metric 1\n")
+        assert fams["plain_metric"].mtype == "untyped"
+
+    def test_histogram_suffixes_fold_into_family(self):
+        text = (
+            "# TYPE lat histogram\n"
+            'lat_bucket{le="1"} 3\n'
+            'lat_bucket{le="+Inf"} 5\n'
+            "lat_sum 7.5\n"
+            "lat_count 5\n"
+        )
+        fams = parse_metrics(text)
+        assert set(fams) == {"lat"}
+        assert len(fams["lat"].samples) == 4
+
+    def test_malformed_sample_rejected(self):
+        with pytest.raises(PromFormatError, match="malformed sample"):
+            parse_metrics("this is not a sample\n")
+
+    def test_malformed_labels_rejected(self):
+        with pytest.raises(PromFormatError, match="malformed labels"):
+            parse_metrics('x{key=unquoted} 1\n')
+
+    def test_unparseable_value_rejected(self):
+        with pytest.raises(PromFormatError, match="unparseable value"):
+            parse_metrics("x banana\n")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(PromFormatError, match="unknown metric type"):
+            parse_metrics("# TYPE x rainbow\n")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(PromFormatError, match="line 2"):
+            parse_metrics("x 1\nx banana\n")
+
+
+class TestValidate:
+    def test_counts_families_and_samples(self):
+        assert validate_metrics_text(render_metrics(families())) == (2, 3)
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(PromFormatError, match="no metric families"):
+            validate_metrics_text("")
+
+    def test_sampleless_family_rejected(self):
+        with pytest.raises(PromFormatError, match="has no samples"):
+            validate_metrics_text(
+                "# HELP x nothing\n# TYPE x gauge\ny 1\n"
+            )
+
+    def test_sample_dataclass_shape(self):
+        sample = Sample(name="x", labels={"a": "b"}, value=1.0)
+        assert (sample.name, sample.labels, sample.value) == (
+            "x",
+            {"a": "b"},
+            1.0,
+        )
